@@ -1,0 +1,106 @@
+(* Benchmark entry point.
+
+   With no arguments: prints Table 1, regenerates every figure of the
+   paper's evaluation (quick scale; set NATTO_BENCH_FULL=1 for the paper's
+   60-second runs), then runs Bechamel micro-benchmarks of the core data
+   structures. With arguments: any of the figure names (see
+   Harness.Figures.names), "micro", or "all". *)
+
+open Bechamel
+
+let micro_tests () =
+  let open Simcore in
+  let queue_churn =
+    Test.make ~name:"event_queue push+pop x100"
+      (Staged.stage @@ fun () ->
+       let q = Event_queue.create () in
+       for i = 1 to 100 do
+         ignore (Event_queue.push q ~time:(i * 7 mod 97) i)
+       done;
+       let rec drain () = match Event_queue.pop q with Some _ -> drain () | None -> () in
+       drain ())
+  in
+  let zipf = Workload.Zipf.create ~n:1_000_000 ~theta:0.95 in
+  let zipf_rng = Rng.create ~seed:1 in
+  let zipf_sample =
+    Test.make ~name:"zipf sample (n=1M, theta=0.95)"
+      (Staged.stage @@ fun () -> ignore (Workload.Zipf.sample zipf zipf_rng))
+  in
+  let occ_cycle =
+    Test.make ~name:"occ prepare+conflicts+release"
+      (Staged.stage
+      @@
+      let occ = Store.Occ.create () in
+      let reads = [| 1; 2; 3; 4; 5; 6 |] in
+      fun () ->
+        Store.Occ.prepare occ ~txn:1 ~reads ~writes:reads;
+        ignore (Store.Occ.conflicts occ ~reads ~writes:reads);
+        Store.Occ.release occ ~txn:1)
+  in
+  let tsq_cycle =
+    Test.make ~name:"txn queue add+min+remove x32"
+      (Staged.stage @@ fun () ->
+       let q = Natto.Tsq.create () in
+       for i = 1 to 32 do
+         Natto.Tsq.add q ~ts:(i * 13 mod 37) ~id:i i
+       done;
+       let rec drain () =
+         match Natto.Tsq.min q with
+         | Some (ts, id, _) ->
+             Natto.Tsq.remove q ~ts ~id;
+             drain ()
+         | None -> ()
+       in
+       drain ())
+  in
+  let latencies = Array.init 10_000 (fun i -> float_of_int (i * 7919 mod 10_000)) in
+  let percentile =
+    Test.make ~name:"p95 over 10k samples"
+      (Staged.stage @@ fun () -> ignore (Simstats.Percentile.p95 latencies))
+  in
+  let rng = Rng.create ~seed:2 in
+  let pareto =
+    Test.make ~name:"pareto delay sample"
+      (Staged.stage @@ fun () -> ignore (Rng.pareto rng ~mean:40.0 ~cv:0.3))
+  in
+  Test.make_grouped ~name:"core"
+    [ queue_churn; zipf_sample; occ_cycle; tsq_cycle; percentile; pareto ]
+
+let run_micro () =
+  Printf.printf "\n# Micro-benchmarks (Bechamel, OLS estimate per call)\n%!";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns = match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (name, ns) -> Printf.printf "%-40s %12.1f ns/call\n%!" name ns) rows
+
+let () =
+  let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
+  let scale = Harness.Figures.scale_of_env () in
+  let t0 = Unix.gettimeofday () in
+  let run_all () =
+    Harness.Figures.all scale;
+    run_micro ()
+  in
+  (match args with
+  | [] | [ "all" ] -> run_all ()
+  | names ->
+      List.iter
+        (fun name ->
+          if name = "micro" then run_micro ()
+          else if not (Harness.Figures.run_by_name name scale) then begin
+            Printf.eprintf "unknown target %S; available: %s micro all\n" name
+              (String.concat " " Harness.Figures.names);
+            exit 1
+          end)
+        names);
+  Printf.printf "\n# bench wall time: %.1fs\n%!" (Unix.gettimeofday () -. t0)

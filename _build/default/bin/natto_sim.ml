@@ -1,0 +1,174 @@
+(* Command-line interface over the simulator: run any single experiment
+   configuration, or regenerate a figure from the paper. *)
+
+let system_names =
+  [
+    ("carousel-basic", Harness.Experiment.Carousel_basic);
+    ("carousel-fast", Harness.Experiment.Carousel_fast);
+    ("tapir", Harness.Experiment.Tapir);
+    ("2pl", Harness.Experiment.Twopl Twopl.Plain);
+    ("2pl-p", Harness.Experiment.Twopl Twopl.Preempt);
+    ("2pl-pow", Harness.Experiment.Twopl Twopl.Preempt_on_wait);
+    ("natto-ts", Harness.Experiment.Natto Natto.Features.ts);
+    ("natto-lecsf", Harness.Experiment.Natto Natto.Features.lecsf);
+    ("natto-pa", Harness.Experiment.Natto Natto.Features.pa);
+    ("natto-cp", Harness.Experiment.Natto Natto.Features.cp);
+    ("natto-recsf", Harness.Experiment.Natto Natto.Features.recsf);
+  ]
+
+let topo_names =
+  [
+    ("azure5", Netsim.Topology.azure5);
+    ("hybrid", Netsim.Topology.hybrid_aws_azure);
+    ("local3", Netsim.Topology.local3);
+  ]
+
+let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo ~variance
+    ~loss ~partitions ~histograms =
+  let gen =
+    match workload with
+    | "ycsbt" -> Workload.Ycsbt.gen ~theta:zipf ()
+    | "retwis" -> Workload.Retwis.gen ~theta:zipf ()
+    | "smallbank" -> Workload.Smallbank.gen ()
+    | "smallbank-priority" -> Workload.Smallbank.gen ~prioritize_send_payment:true ()
+    | other -> failwith (Printf.sprintf "unknown workload %S" other)
+  in
+  let topo = List.assoc topo topo_names in
+  let net_config =
+    {
+      Netsim.Network.default_config with
+      Netsim.Network.cv_override = (if variance > 0. then Some variance else None);
+      Netsim.Network.loss;
+    }
+  in
+  let driver =
+    {
+      Workload.Driver.default_config with
+      Workload.Driver.rate_tps = rate;
+      duration = Simcore.Sim_time.seconds duration;
+      warmup = Simcore.Sim_time.seconds (duration /. 4.);
+      cooldown = Simcore.Sim_time.seconds (duration /. 4.);
+      high_fraction;
+    }
+  in
+  let setup =
+    {
+      Harness.Experiment.topo;
+      Harness.Experiment.n_partitions = partitions;
+      Harness.Experiment.clients_per_dc = 2;
+      Harness.Experiment.net_config;
+      Harness.Experiment.driver;
+    }
+  in
+  Printf.printf
+    "system,workload,rate_tps,zipf,p95_high_ms,ci,p95_low_ms,ci,goodput_high,goodput_low,failed,aborts\n%!";
+  List.iter
+    (fun name ->
+      let spec = List.assoc name system_names in
+      let s = Harness.Experiment.run_repeated setup spec ~gen ~seeds in
+      Printf.printf "%s,%s,%.0f,%.2f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%d,%d\n%!"
+        (Harness.Experiment.spec_name spec)
+        workload rate zipf s.Harness.Experiment.p95_high_ms s.Harness.Experiment.p95_high_ci
+        s.Harness.Experiment.p95_low_ms s.Harness.Experiment.p95_low_ci
+        s.Harness.Experiment.goodput_high_tps s.Harness.Experiment.goodput_low_tps
+        s.Harness.Experiment.failed s.Harness.Experiment.aborts)
+    systems;
+  if histograms then begin
+    Printf.printf "\nLatency distributions (committed transactions, both priorities):\n";
+    List.iter
+      (fun name ->
+        let spec = List.assoc name system_names in
+        let merged =
+          List.fold_left
+            (fun acc seed ->
+              let r = Harness.Experiment.run setup spec ~gen ~seed in
+              let h =
+                Simstats.Histogram.of_array
+                  (Array.append r.Workload.Driver.high_latencies_ms
+                     r.Workload.Driver.low_latencies_ms)
+              in
+              Simstats.Histogram.merge acc h)
+            (Simstats.Histogram.create ()) seeds
+        in
+        Printf.printf "%-15s %s\n%!" (Harness.Experiment.spec_name spec)
+          (Simstats.Histogram.render merged))
+      systems
+  end
+
+open Cmdliner
+
+let systems_arg =
+  let all = List.map fst system_names in
+  let doc =
+    Printf.sprintf "Comma-separated systems to run (any of: %s, or 'all')."
+      (String.concat ", " all)
+  in
+  Arg.(value & opt (list string) [ "natto-recsf"; "carousel-basic" ] & info [ "s"; "systems" ] ~doc)
+
+let workload_arg =
+  let doc = "Workload: ycsbt, retwis, smallbank, smallbank-priority." in
+  Arg.(value & opt string "ycsbt" & info [ "w"; "workload" ] ~doc)
+
+let rate_arg = Arg.(value & opt float 100. & info [ "r"; "rate" ] ~doc:"Input rate, txn/s.")
+let zipf_arg = Arg.(value & opt float 0.65 & info [ "z"; "zipf" ] ~doc:"Zipf coefficient.")
+
+let duration_arg =
+  Arg.(value & opt float 20. & info [ "d"; "duration" ] ~doc:"Simulated seconds.")
+
+let seeds_arg =
+  Arg.(value & opt (list int) [ 1; 2 ] & info [ "seeds" ] ~doc:"Repetition seeds.")
+
+let high_arg =
+  Arg.(value & opt float 0.1 & info [ "high-fraction" ] ~doc:"High-priority probability.")
+
+let topo_arg =
+  Arg.(value & opt string "azure5" & info [ "t"; "topology" ] ~doc:"azure5|hybrid|local3.")
+
+let variance_arg =
+  Arg.(value & opt float 0. & info [ "variance" ] ~doc:"Delay variance (stddev/mean).")
+
+let loss_arg = Arg.(value & opt float 0. & info [ "loss" ] ~doc:"Packet loss probability.")
+let partitions_arg = Arg.(value & opt int 5 & info [ "p"; "partitions" ] ~doc:"Partitions.")
+
+let histograms_arg =
+  Arg.(value & flag & info [ "histograms" ] ~doc:"Also print latency distribution sketches.")
+
+let figure_arg =
+  let doc =
+    Printf.sprintf "Regenerate a figure instead (%s)."
+      (String.concat ", " Harness.Figures.names)
+  in
+  Arg.(value & opt (some string) None & info [ "figure" ] ~doc)
+
+let main systems workload rate zipf duration seeds high_fraction topo variance loss partitions
+    histograms figure =
+  match figure with
+  | Some name ->
+      if Harness.Figures.run_by_name name (Harness.Figures.scale_of_env ()) then `Ok ()
+      else `Error (false, Printf.sprintf "unknown figure %S" name)
+  | None ->
+      let systems =
+        if systems = [ "all" ] then List.map fst system_names else systems
+      in
+      (match List.find_opt (fun s -> not (List.mem_assoc s system_names)) systems with
+      | Some bad -> `Error (false, Printf.sprintf "unknown system %S" bad)
+      | None ->
+          if not (List.mem_assoc topo topo_names) then
+            `Error (false, Printf.sprintf "unknown topology %S" topo)
+          else begin
+            run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
+              ~variance ~loss ~partitions ~histograms;
+            `Ok ()
+          end)
+
+let cmd =
+  let doc = "Simulate Natto and its baselines on a geo-distributed deployment" in
+  let info = Cmd.info "natto_sim" ~doc in
+  Cmd.v info
+    Term.(
+      ret
+        (const main $ systems_arg $ workload_arg $ rate_arg $ zipf_arg $ duration_arg
+       $ seeds_arg $ high_arg $ topo_arg $ variance_arg $ loss_arg $ partitions_arg
+       $ histograms_arg $ figure_arg))
+
+let () = exit (Cmd.eval cmd)

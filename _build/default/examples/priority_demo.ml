@@ -1,0 +1,57 @@
+(* Priority mechanics, side by side.
+
+       dune exec examples/priority_demo.exe
+
+   Runs the same contended workload (small key space, 30% high priority)
+   against every Natto variant and shows what each mechanism contributes:
+   the protocol counters make the abort window, conditional prepares, and
+   read forwarding visible. *)
+
+open Txnkit
+
+let run features =
+  let cluster = Cluster.build ~seed:99 () in
+  let system, stats = Natto.Protocol.make_with_stats cluster ~features in
+  let gen = Workload.Ycsbt.gen ~n_keys:80 ~theta:0.0 ~ops:2 () in
+  let config =
+    {
+      Workload.Driver.default_config with
+      Workload.Driver.rate_tps = 55.;
+      duration = Simcore.Sim_time.seconds 15.;
+      warmup = Simcore.Sim_time.seconds 3.;
+      cooldown = Simcore.Sim_time.seconds 3.;
+      high_fraction = 0.3;
+    }
+  in
+  let r = Workload.Driver.run cluster system ~gen config in
+  (system.System.name, r, stats)
+
+let () =
+  Printf.printf
+    "%-13s %11s %11s %8s %6s %6s %9s %7s %7s\n" "system" "p95 high" "p95 low" "aborts"
+    "PA" "PAskip" "condprep" "cond+/-" "recsf";
+  List.iter
+    (fun features ->
+      let name, r, s = run features in
+      Printf.printf "%-13s %9.0fms %9.0fms %8d %6d %6d %9d %3d/%-3d %7d\n%!" name
+        (Workload.Driver.p95_high r) (Workload.Driver.p95_low r) r.Workload.Driver.total_aborts
+        s.Natto.Protocol.priority_aborts s.Natto.Protocol.pa_skipped_completion
+        s.Natto.Protocol.cond_prepares s.Natto.Protocol.cond_success
+        s.Natto.Protocol.cond_failure s.Natto.Protocol.recsf_forwards)
+    [
+      Natto.Features.ts;
+      Natto.Features.lecsf;
+      Natto.Features.pa;
+      Natto.Features.cp;
+      Natto.Features.recsf;
+    ];
+  print_newline ();
+  print_endline
+    "Reading the table: TS only orders transactions; LECSF shortens the lock window;";
+  print_endline
+    "PA aborts queued low-priority transactions blocking a high-priority one (PAskip =";
+  print_endline
+    "aborts suppressed because the blocker was predicted to finish in time); CP";
+  print_endline
+    "optimistically prepares past a doomed low-priority transaction (cond+/- = condition";
+  print_endline "held / failed); RECSF forwards blocked reads to the blocker's coordinator."

@@ -1,0 +1,1 @@
+lib/carousel/basic.ml: Array Cluster Hashtbl List Netsim Option Raft Store System Txn Txnkit Wire

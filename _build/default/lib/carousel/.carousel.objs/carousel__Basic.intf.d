@@ -1,0 +1,1 @@
+lib/carousel/basic.mli: Txnkit

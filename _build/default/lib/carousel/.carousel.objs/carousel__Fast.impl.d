@@ -1,0 +1,1 @@
+lib/carousel/fast.ml: Array Cluster List Netsim Raft Store System Txn Txnkit Wire

@@ -1,0 +1,1 @@
+lib/carousel/fast.mli: Txnkit

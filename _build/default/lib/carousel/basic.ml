@@ -1,0 +1,208 @@
+open Txnkit
+
+type server = {
+  partition : int;
+  node : int;
+  occ : Store.Occ.t;
+  kv : Store.Kv.t;
+}
+
+type coord = {
+  n_participants : int;
+  client : int;
+  mutable ok_votes : int;
+  mutable decided : bool;
+  mutable writes_replicated : bool;
+  mutable commit_pairs : (int * int) list option;
+}
+
+type client_attempt = {
+  txn : Txn.t;
+  plan : Txnkit.Exec.plan;
+  mutable pending : int;
+  mutable failed : bool;
+  mutable replies : (int * int * int) list list;
+}
+
+let make (cluster : Cluster.t) : System.t =
+  let net = cluster.Cluster.net in
+  let send ~src ~dst ~bytes f = Netsim.Network.send net ~src ~dst ~bytes f in
+  let servers =
+    Array.init cluster.Cluster.n_partitions (fun p ->
+        {
+          partition = p;
+          node = Cluster.leader cluster p;
+          occ = Store.Occ.create ();
+          kv = Store.Kv.create ();
+        })
+  in
+  let coords : (int, coord) Hashtbl.t = Hashtbl.create 4096 in
+  let coord_node ~client = Cluster.coordinator_for cluster ~client in
+  let coord_state ~txn_id ~client ~n_participants =
+    match Hashtbl.find_opt coords txn_id with
+    | Some c -> c
+    | None ->
+        let c =
+          {
+            n_participants;
+            client;
+            ok_votes = 0;
+            decided = false;
+            writes_replicated = false;
+            commit_pairs = None;
+          }
+        in
+        Hashtbl.replace coords txn_id c;
+        c
+  in
+
+  (* --- participant side --- *)
+  let apply_commit server txn_id pairs =
+    (* Write data becomes visible only after it is replicated to the
+       partition's followers (paper §3.4: Carousel's rule, relaxed by
+       Natto's ECSF). *)
+    let bytes = Wire.write_record_bytes ~writes:(List.length pairs) in
+    Raft.Group.replicate cluster.Cluster.groups.(server.partition) ~size:bytes ~tag:txn_id
+      ~on_committed:(fun () ->
+        List.iter (fun (key, data) -> Store.Kv.put server.kv ~key ~data) pairs;
+        Store.Occ.release server.occ ~txn:txn_id)
+      ()
+  in
+  let abort_at_participant server txn_id = Store.Occ.release server.occ ~txn:txn_id in
+
+  (* --- coordinator side --- *)
+  let decide_commit ~txn_id ~(txn : Txn.t) c =
+    c.decided <- true;
+    let pairs = Option.value ~default:[] c.commit_pairs in
+    let me = coord_node ~client:c.client in
+    (* Notify the client, then distribute write data asynchronously. *)
+    send ~src:me ~dst:c.client ~bytes:Wire.control_bytes (fun () -> ());
+    List.iter
+      (fun p ->
+        let server = servers.(p) in
+        let local = Txnkit.Exec.pairs_on_partition cluster ~partition:p pairs in
+        send ~src:me ~dst:server.node
+          ~bytes:(Wire.decision_bytes ~writes:(List.length local))
+          (fun () -> apply_commit server txn_id local))
+      (Cluster.participants cluster txn)
+  in
+  let decide_abort ~txn_id ~(txn : Txn.t) c =
+    c.decided <- true;
+    let me = coord_node ~client:c.client in
+    List.iter
+      (fun p ->
+        let server = servers.(p) in
+        send ~src:me ~dst:server.node ~bytes:Wire.control_bytes (fun () ->
+            abort_at_participant server txn_id))
+      (Cluster.participants cluster txn)
+  in
+  let try_commit ~txn_id ~txn ~notify_client c =
+    if (not c.decided) && c.writes_replicated && c.ok_votes = c.n_participants then begin
+      decide_commit ~txn_id ~txn c;
+      notify_client ()
+    end
+  in
+
+  (* --- client side --- *)
+  let submit (txn : Txn.t) ~on_done =
+    let plan = Txnkit.Exec.plan_of cluster txn in
+    let n = List.length plan.Txnkit.Exec.participants in
+    let attempt = { txn; plan; pending = n; failed = false; replies = [] } in
+    let client = txn.Txn.client in
+    let coordinator = coord_node ~client in
+    (* Client-side commit notification: the coordinator replies over the
+       network; latency to the client is the intra-DC hop. *)
+    let notify_client_commit () =
+      send ~src:coordinator ~dst:client ~bytes:Wire.control_bytes (fun () ->
+          on_done ~committed:true)
+    in
+    let on_vote ~ok =
+      let c = coord_state ~txn_id:txn.Txn.id ~client ~n_participants:n in
+      if not c.decided then
+        if ok then begin
+          c.ok_votes <- c.ok_votes + 1;
+          try_commit ~txn_id:txn.Txn.id ~txn ~notify_client:notify_client_commit c
+        end
+        else decide_abort ~txn_id:txn.Txn.id ~txn c
+    in
+    let on_commit_request pairs =
+      let c = coord_state ~txn_id:txn.Txn.id ~client ~n_participants:n in
+      if not c.decided then begin
+        c.commit_pairs <- Some pairs;
+        Raft.Group.replicate
+          (Cluster.coordinator_group cluster ~client)
+          ~size:(Wire.write_record_bytes ~writes:(List.length pairs))
+          ~tag:txn.Txn.id
+          ~on_committed:(fun () ->
+            c.writes_replicated <- true;
+            try_commit ~txn_id:txn.Txn.id ~txn ~notify_client:notify_client_commit c)
+          ()
+      end
+    in
+    let on_abort_notice () =
+      let c = coord_state ~txn_id:txn.Txn.id ~client ~n_participants:n in
+      if not c.decided then decide_abort ~txn_id:txn.Txn.id ~txn c
+    in
+    let round_one_complete () =
+      if attempt.failed then begin
+        (* Release prepares directly from the client, before the retry's
+           read-and-prepare goes out on the same connections: per-connection
+           FIFO then guarantees the ghost prepare is gone when the retry
+           lands. The coordinator is told too so its 2PC state resolves. *)
+        List.iter
+          (fun p ->
+            let server = servers.(p) in
+            send ~src:client ~dst:server.node ~bytes:Wire.control_bytes (fun () ->
+                abort_at_participant server txn.Txn.id))
+          plan.Txnkit.Exec.participants;
+        send ~src:client ~dst:coordinator ~bytes:Wire.control_bytes on_abort_notice;
+        on_done ~committed:false
+      end
+      else begin
+        let reads = Txnkit.Exec.assemble_reads txn attempt.replies in
+        let pairs = Txnkit.Exec.write_pairs txn reads in
+        send ~src:client ~dst:coordinator
+          ~bytes:(Wire.commit_request_bytes ~writes:(List.length pairs))
+          (fun () -> on_commit_request pairs)
+      end
+    in
+    let on_read_reply ~ok values =
+      if not ok then attempt.failed <- true else attempt.replies <- values :: attempt.replies;
+      attempt.pending <- attempt.pending - 1;
+      if attempt.pending = 0 then round_one_complete ()
+    in
+    (* Round 1: read-and-prepare at every participant leader. *)
+    List.iter
+      (fun p ->
+        let server = servers.(p) in
+        let reads = plan.Txnkit.Exec.reads_of p and writes = plan.Txnkit.Exec.writes_of p in
+        send ~src:client ~dst:server.node
+          ~bytes:(Wire.read_and_prepare_bytes ~reads:(Array.length reads) ~writes:(Array.length writes))
+          (fun () ->
+            let conflicting = Store.Occ.conflicts server.occ ~reads ~writes in
+            if conflicting <> [] then begin
+              send ~src:server.node ~dst:client ~bytes:Wire.control_bytes (fun () ->
+                  on_read_reply ~ok:false []);
+              send ~src:server.node ~dst:coordinator ~bytes:Wire.vote_bytes (fun () ->
+                  on_vote ~ok:false)
+            end
+            else begin
+              Store.Occ.prepare server.occ ~txn:txn.Txn.id ~reads ~writes;
+              let values = Txnkit.Exec.read_values server.kv reads in
+              send ~src:server.node ~dst:client
+                ~bytes:(Wire.read_reply_bytes ~reads:(Array.length reads))
+                (fun () -> on_read_reply ~ok:true values);
+              (* Replicate the prepare record, then vote. *)
+              Raft.Group.replicate cluster.Cluster.groups.(p)
+                ~size:
+                  (Wire.prepare_record_bytes ~reads:(Array.length reads)
+                     ~writes:(Array.length writes))
+                ~tag:txn.Txn.id
+                ~on_committed:(fun () ->
+                  send ~src:server.node ~dst:coordinator ~bytes:Wire.vote_bytes (fun () ->
+                      on_vote ~ok:true))
+                ()
+            end))
+      plan.Txnkit.Exec.participants
+  in
+  System.make ~name:"Carousel Basic" ~submit

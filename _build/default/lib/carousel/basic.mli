@@ -1,0 +1,15 @@
+(** Carousel's basic protocol (paper §2.1, Fig. 1).
+
+    The client sends read-and-prepare requests to every participant
+    partition leader; leaders serve reads and prepare the transaction with
+    OCC while 2PC and Raft replication run in parallel with transaction
+    processing. The coordinator (a partition leader co-located with the
+    client) replicates the write data, collects prepare votes from all
+    participants, commits, and asynchronously distributes write data to the
+    participants, which apply it after replicating to their followers.
+
+    A transaction conflicting with a prepared transaction at any leader is
+    aborted (vote = abort) — under contention this abort/retry loop is what
+    blows up Carousel's tail latency and motivates Natto. *)
+
+val make : Txnkit.Cluster.t -> Txnkit.System.t

@@ -1,0 +1,177 @@
+open Txnkit
+
+type replica = {
+  partition : int;
+  node : int;
+  is_leader : bool;
+  occ : Store.Occ.t;
+  kv : Store.Kv.t;
+}
+
+type reply = {
+  partition : int;
+  from_leader : bool;
+  ok : bool;
+  values : (int * int * int) list;  (** key, data, version *)
+}
+
+let make (cluster : Cluster.t) : System.t =
+  let net = cluster.Cluster.net in
+  let send ~src ~dst ~bytes f = Netsim.Network.send net ~src ~dst ~bytes f in
+  let replicas =
+    Array.init cluster.Cluster.n_partitions (fun p ->
+        Array.mapi
+          (fun i node ->
+            {
+              partition = p;
+              node;
+              is_leader = i = 0;
+              occ = Store.Occ.create ();
+              kv = Store.Kv.create ();
+            })
+          cluster.Cluster.replicas.(p))
+  in
+  let submit (txn : Txn.t) ~on_done =
+    let plan = Txnkit.Exec.plan_of cluster txn in
+    let participants = plan.Txnkit.Exec.participants in
+    let client = txn.Txn.client in
+    let coordinator = Cluster.coordinator_for cluster ~client in
+    let total_replies =
+      List.fold_left (fun acc p -> acc + Array.length replicas.(p)) 0 participants
+    in
+    let pending = ref total_replies in
+    let replies : reply list ref = ref [] in
+    let release_everywhere () =
+      (* Straight from the client, so a retry's read-and-prepare (sent on
+         the same connections, after these) finds the prepares released. *)
+      List.iter
+        (fun p ->
+          Array.iter
+            (fun r ->
+              send ~src:client ~dst:r.node ~bytes:Wire.control_bytes (fun () ->
+                  Store.Occ.release r.occ ~txn:txn.Txn.id))
+            replicas.(p))
+        participants
+    in
+    let commit_via_coordinator ~pairs ~already_committed ~after_durable =
+      (* [after_durable] fires at the coordinator once the decision can be
+         made; used by the slow path to wait for participant votes. *)
+      send ~src:client ~dst:coordinator
+        ~bytes:(Wire.commit_request_bytes ~writes:(List.length pairs))
+        (fun () ->
+          let write_replicated = ref false and votes_ok = ref false in
+          let try_finish () =
+            if !write_replicated && !votes_ok then begin
+              if not already_committed then
+                send ~src:coordinator ~dst:client ~bytes:Wire.control_bytes (fun () ->
+                    on_done ~committed:true);
+              List.iter
+                (fun p ->
+                  let local = Txnkit.Exec.pairs_on_partition cluster ~partition:p pairs in
+                  Array.iter
+                    (fun r ->
+                      send ~src:coordinator ~dst:r.node
+                        ~bytes:(Wire.decision_bytes ~writes:(List.length local))
+                        (fun () ->
+                          List.iter (fun (key, data) -> Store.Kv.put r.kv ~key ~data) local;
+                          Store.Occ.release r.occ ~txn:txn.Txn.id))
+                    replicas.(p))
+                participants
+            end
+          in
+          Raft.Group.replicate
+            (Cluster.coordinator_group cluster ~client)
+            ~size:(Wire.write_record_bytes ~writes:(List.length pairs))
+            ~tag:txn.Txn.id
+            ~on_committed:(fun () ->
+              write_replicated := true;
+              try_finish ())
+            ();
+          after_durable (fun () ->
+              votes_ok := true;
+              try_finish ()))
+    in
+    let finish_round_one () =
+      (* The leader's vote is authoritative. Any leader abort fails the
+         attempt. All-replica agreement takes the fast path (prepare already
+         durable everywhere); follower disagreement forces the slow path:
+         leaders must replicate their prepare records before the coordinator
+         can commit, costing an extra round. *)
+      let leader_abort =
+        List.exists (fun r -> r.from_leader && not r.ok) !replies
+      in
+      if leader_abort then begin
+        release_everywhere ();
+        on_done ~committed:false
+      end
+      else begin
+        let reads =
+          Txnkit.Exec.assemble_reads txn
+            (List.filter_map (fun r -> if r.from_leader then Some r.values else None) !replies)
+        in
+        let pairs = Txnkit.Exec.write_pairs txn reads in
+        let unanimous = List.for_all (fun r -> r.ok) !replies in
+        if unanimous then begin
+          (* Fast path: the prepare is durable at every replica of every
+             participant, so the transaction commits in one WAN round trip
+             (paper §5.2.1). Write data distribution is asynchronous. *)
+          on_done ~committed:true;
+          commit_via_coordinator ~pairs ~already_committed:true ~after_durable:(fun k -> k ())
+        end
+        else
+          commit_via_coordinator ~pairs ~already_committed:false ~after_durable:(fun k ->
+              (* Slow path: each participant leader replicates its prepare
+                 record and votes to the coordinator. *)
+              let votes = ref 0 in
+              let n = List.length participants in
+              List.iter
+                (fun p ->
+                  let leader = replicas.(p).(0) in
+                  let reads_p = plan.Txnkit.Exec.reads_of p
+                  and writes_p = plan.Txnkit.Exec.writes_of p in
+                  send ~src:coordinator ~dst:leader.node ~bytes:Wire.control_bytes (fun () ->
+                      Raft.Group.replicate cluster.Cluster.groups.(p)
+                        ~size:
+                          (Wire.prepare_record_bytes ~reads:(Array.length reads_p)
+                             ~writes:(Array.length writes_p))
+                        ~tag:txn.Txn.id
+                        ~on_committed:(fun () ->
+                          send ~src:leader.node ~dst:coordinator ~bytes:Wire.vote_bytes
+                            (fun () ->
+                              incr votes;
+                              if !votes = n then k ()))
+                        ()))
+                participants)
+      end
+    in
+    let on_reply r =
+      replies := r :: !replies;
+      decr pending;
+      if !pending = 0 then finish_round_one ()
+    in
+    List.iter
+      (fun p ->
+        let reads = plan.Txnkit.Exec.reads_of p and writes = plan.Txnkit.Exec.writes_of p in
+        Array.iter
+          (fun r ->
+            send ~src:client ~dst:r.node
+              ~bytes:
+                (Wire.read_and_prepare_bytes ~reads:(Array.length reads)
+                   ~writes:(Array.length writes))
+              (fun () ->
+                let conflicting = Store.Occ.conflicts r.occ ~reads ~writes in
+                if conflicting <> [] then
+                  send ~src:r.node ~dst:client ~bytes:Wire.control_bytes (fun () ->
+                      on_reply { partition = p; from_leader = r.is_leader; ok = false; values = [] })
+                else begin
+                  Store.Occ.prepare r.occ ~txn:txn.Txn.id ~reads ~writes;
+                  let values = Txnkit.Exec.read_values r.kv reads in
+                  send ~src:r.node ~dst:client
+                    ~bytes:(Wire.read_reply_bytes ~reads:(Array.length reads))
+                    (fun () ->
+                      on_reply { partition = p; from_leader = r.is_leader; ok = true; values })
+                end))
+          replicas.(p))
+      plan.Txnkit.Exec.participants
+  in
+  System.make ~name:"Carousel Fast" ~submit

@@ -1,0 +1,1 @@
+lib/core/estimate.ml: Cluster Features List Measure Netsim Sim_time Simcore Stdlib Txnkit

@@ -1,0 +1,1 @@
+lib/core/features.ml: Simcore

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Array Cluster Engine Estimate Exec Features Hashtbl List Netsim Option Printf Raft Sim_time Simcore Stdlib Store Sys System Tsq Txn Txnkit Wire

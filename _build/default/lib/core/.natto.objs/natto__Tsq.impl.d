@@ -1,0 +1,1 @@
+lib/core/tsq.ml: Int List Map

@@ -1,0 +1,36 @@
+open Simcore
+open Txnkit
+
+let arrival_estimate_us cluster ~client ~target =
+  let cache = Cluster.cache_for cluster ~client in
+  match Measure.Delay_cache.estimate_us cache ~target with
+  | Some est -> est
+  | None ->
+      let owd = Sim_time.to_us (Netsim.Network.mean_owd cluster.Cluster.net ~src:client ~dst:target) in
+      (1.25 *. float_of_int owd) +. 5_000.
+
+let timestamps cluster (features : Features.t) ~client ~leaders =
+  let engine = cluster.Cluster.engine in
+  let now_local = Netsim.Clock.now cluster.Cluster.clock engine ~node:client in
+  let pad = Sim_time.to_us features.Features.ts_pad in
+  let arrivals =
+    List.map
+      (fun leader ->
+        let est = arrival_estimate_us cluster ~client ~target:leader in
+        (leader, now_local + int_of_float est + pad))
+      leaders
+  in
+  let ts = List.fold_left (fun acc (_, t) -> Stdlib.max acc t) 0 arrivals in
+  (ts, arrivals)
+
+let completion_estimate cluster ~server_node ~coord_node ~ts =
+  let net = cluster.Cluster.net in
+  let owd a b = Sim_time.to_us (Netsim.Network.mean_owd net ~src:a ~dst:b) in
+  (* After executing at [ts], the transaction's critical path to releasing
+     keys here is roughly: prepare replication at this partition (nearest
+     follower round trip is close to the coordinator hop for our layouts —
+     approximated by one server/coordinator round trip), the vote reaching
+     the coordinator, and the commit message coming back. *)
+  let round_trip = 2 * owd server_node coord_node in
+  let margin = 20_000 (* replication + processing slack, us *) in
+  ts + round_trip + round_trip + margin

@@ -1,0 +1,780 @@
+open Simcore
+open Txnkit
+
+type stats = {
+  mutable priority_aborts : int;
+  mutable pa_skipped_completion : int;
+  mutable cond_prepares : int;
+  mutable cond_success : int;
+  mutable cond_failure : int;
+  mutable recsf_forwards : int;
+  mutable late_aborts : int;
+  mutable occ_aborts : int;
+  mutable promotions : int;
+}
+
+let new_stats () =
+  {
+    priority_aborts = 0;
+    pa_skipped_completion = 0;
+    cond_prepares = 0;
+    cond_success = 0;
+    cond_failure = 0;
+    recsf_forwards = 0;
+    late_aborts = 0;
+    occ_aborts = 0;
+    promotions = 0;
+  }
+
+(* How the client obtained a partition's read results. *)
+type source = S_normal | S_cond of int | S_recsf of int
+
+type vote = V_ok | V_cond of int | V_abort
+
+type srec_state = Queued | Waiting | Prepared | Done
+
+(* Per-server view of one transaction attempt. *)
+type srec = {
+  txn : Txn.t;
+  ts : int;
+  reads : int array;  (** read keys on this partition *)
+  writes : int array;
+  keys : int array;  (** union footprint on this partition *)
+  arrivals : (int * int) list;  (** leader node -> estimated arrival (client clock) *)
+  participants : int list;
+  coord_node : int;
+  deliver_read : source -> (int * int * int) list -> unit;
+      (** runs at the requesting client on message delivery *)
+  deliver_abort : unit -> unit;
+  mutable state : srec_state;
+  mutable cond_on : int option;  (** conditionally prepared on this blocker *)
+}
+
+type server = {
+  partition : int;
+  node : int;
+  occ : Store.Occ.t;
+  kv : Store.Kv.t;
+  queue : srec Tsq.t;
+  mutable waiting : srec list;  (** high-priority, blocked; kept in ts order *)
+  recs : (int, srec) Hashtbl.t;
+  cond_watchers : (int, int list) Hashtbl.t;  (** blocker id -> watcher txn ids *)
+  tombstones : (int, unit) Hashtbl.t;
+      (** aborted transaction ids whose release outran their own
+          read-and-prepare *)
+  mutable wakeup : Simcore.Engine.handle option;
+  mutable wakeup_at : int option;  (** local timestamp the wakeup is armed for *)
+}
+
+(* Coordinator-side 2PC state. *)
+type cstate = {
+  c_txn : Txn.t;
+  c_client : int;
+  c_node : int;
+  c_participants : int list;
+  votes : (int, vote) Hashtbl.t;  (** partition -> latest vote *)
+  resolutions : (int, bool) Hashtbl.t;  (** blocker id -> did it abort? *)
+  mutable gen : int;
+  mutable gen_sources : (int * source) list;
+  mutable gen_pairs : (int * int) list;
+  mutable gen_replicated : bool;
+  mutable decided : bool;
+  mutable committed : bool;
+  mutable recsf_waiters : (int * int array * ((int * int * int) list -> unit)) list;
+      (** requester client node, keys, requester-side delivery *)
+}
+
+(* Client-side per-partition read slot. *)
+type slot = {
+  expected : int;
+  mutable src : source option;
+  mutable got : (int * int * int) list;
+}
+
+let overlap a b = Array.exists (fun k -> Array.exists (fun k' -> k = k') b) a
+
+(* OCC conflict: my writes vs their footprint, or my reads vs their writes. *)
+let conflicts_occ ~reads ~writes (other : srec) =
+  overlap writes other.keys || overlap reads other.writes
+
+let conflicts_any keys (other : srec) = overlap keys other.keys
+
+let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
+  let engine = cluster.Cluster.engine in
+  let net = cluster.Cluster.net in
+  let clock = cluster.Cluster.clock in
+  let stats = new_stats () in
+  (* Expensive per-prepare assertions, enabled by tests. *)
+  let check_invariants = Sys.getenv_opt "NATTO_CHECK_INVARIANTS" <> None in
+  let send ~src ~dst ~bytes f = Netsim.Network.send net ~src ~dst ~bytes f in
+  let servers =
+    Array.init cluster.Cluster.n_partitions (fun p ->
+        {
+          partition = p;
+          node = Cluster.leader cluster p;
+          occ = Store.Occ.create ();
+          kv = Store.Kv.create ();
+          queue = Tsq.create ();
+          waiting = [];
+          recs = Hashtbl.create 256;
+          cond_watchers = Hashtbl.create 64;
+          tombstones = Hashtbl.create 256;
+          wakeup = None;
+          wakeup_at = None;
+        })
+  in
+  let cstates : (int, cstate) Hashtbl.t = Hashtbl.create 4096 in
+  let commit_hooks : (int, unit -> unit) Hashtbl.t = Hashtbl.create 4096 in
+  let pa_counts : (int, int) Hashtbl.t = Hashtbl.create 256 in
+
+  let cstate_for (txn : Txn.t) ~participants =
+    match Hashtbl.find_opt cstates txn.Txn.id with
+    | Some c -> c
+    | None ->
+        let c =
+          {
+            c_txn = txn;
+            c_client = txn.Txn.client;
+            c_node = Cluster.coordinator_for cluster ~client:txn.Txn.client;
+            c_participants = participants;
+            votes = Hashtbl.create 8;
+            resolutions = Hashtbl.create 4;
+            gen = 0;
+            gen_sources = [];
+            gen_pairs = [];
+            gen_replicated = false;
+            decided = false;
+            committed = false;
+            recsf_waiters = [];
+          }
+        in
+        Hashtbl.replace cstates txn.Txn.id c;
+        c
+  in
+
+  (* ---------------- coordinator ---------------- *)
+  let rec coord_try_commit c =
+    if (not c.decided) && c.gen > 0 && c.gen_replicated then begin
+      let ready (p, src) =
+        match (Hashtbl.find_opt c.votes p, src) with
+        | Some V_ok, (S_normal | S_recsf _) -> true
+        | Some (V_cond b), S_cond b' when b = b' ->
+            Hashtbl.find_opt c.resolutions b = Some true
+        | _ -> false
+      in
+      if List.for_all ready c.gen_sources then coord_decide_commit c
+    end
+
+  and coord_decide_commit c =
+    c.decided <- true;
+    c.committed <- true;
+    send ~src:c.c_node ~dst:c.c_client ~bytes:Wire.control_bytes (fun () ->
+        match Hashtbl.find_opt commit_hooks c.c_txn.Txn.id with
+        | Some hook -> hook ()
+        | None -> ());
+    (* Serve RECSF reads registered against this transaction: its commit is
+       now fault-tolerant here, so forwarding the write data is safe. *)
+    List.iter
+      (fun (requester, keys, deliver) ->
+        let values =
+          Array.to_list keys
+          |> List.filter_map (fun key ->
+                 List.assoc_opt key c.gen_pairs |> Option.map (fun data -> (key, data, 0)))
+        in
+        send ~src:c.c_node ~dst:requester
+          ~bytes:(Wire.read_reply_bytes ~reads:(List.length values))
+          (fun () -> deliver values))
+      c.recsf_waiters;
+    c.recsf_waiters <- [];
+    List.iter
+      (fun p ->
+        let server = servers.(p) in
+        let local = Exec.pairs_on_partition cluster ~partition:p c.gen_pairs in
+        send ~src:c.c_node ~dst:server.node
+          ~bytes:(Wire.decision_bytes ~writes:(List.length local))
+          (fun () -> server_on_commit server c.c_txn.Txn.id local))
+      c.c_participants
+
+  and coord_decide_abort c =
+    if not c.decided then begin
+      c.decided <- true;
+      c.recsf_waiters <- [];
+      List.iter
+        (fun p ->
+          let server = servers.(p) in
+          send ~src:c.c_node ~dst:server.node ~bytes:Wire.control_bytes (fun () ->
+              server_on_abort server c.c_txn.Txn.id))
+        c.c_participants
+    end
+
+  and coord_on_vote c ~partition v =
+    if not c.decided then begin
+      Hashtbl.replace c.votes partition v;
+      match v with V_abort -> coord_decide_abort c | V_ok | V_cond _ -> coord_try_commit c
+    end
+
+  and coord_on_resolution c ~blocker ~aborted =
+    if not c.decided then begin
+      Hashtbl.replace c.resolutions blocker aborted;
+      if aborted then coord_try_commit c
+    end
+
+  and coord_on_commit_request c ~gen ~sources ~pairs =
+    if (not c.decided) && gen > c.gen then begin
+      c.gen <- gen;
+      c.gen_sources <- sources;
+      c.gen_pairs <- pairs;
+      c.gen_replicated <- false;
+      Raft.Group.replicate
+        (Cluster.coordinator_group cluster ~client:c.c_client)
+        ~size:(Wire.write_record_bytes ~writes:(List.length pairs))
+        ~tag:c.c_txn.Txn.id
+        ~on_committed:(fun () ->
+          if c.gen = gen && not c.decided then begin
+            c.gen_replicated <- true;
+            coord_try_commit c
+          end)
+        ()
+    end
+
+  and coord_on_recsf_request c ~requester ~keys ~deliver =
+    if c.committed then begin
+      let values =
+        Array.to_list keys
+        |> List.filter_map (fun key ->
+               List.assoc_opt key c.gen_pairs |> Option.map (fun data -> (key, data, 0)))
+      in
+      send ~src:c.c_node ~dst:requester
+        ~bytes:(Wire.read_reply_bytes ~reads:(List.length values))
+        (fun () -> deliver values)
+    end
+    else if not c.decided then
+      c.recsf_waiters <- (requester, keys, deliver) :: c.recsf_waiters
+    (* Aborted: drop; the requester's normal path supplies the reads. *)
+
+  (* ---------------- participant server ---------------- *)
+  and server_local_now server = Netsim.Clock.now clock engine ~node:server.node
+
+  and server_send_vote server (r : srec) v =
+    send ~src:server.node ~dst:r.coord_node ~bytes:Wire.vote_bytes (fun () ->
+        let c = cstate_for r.txn ~participants:r.participants in
+        coord_on_vote c ~partition:server.partition v)
+
+  and server_drop server (r : srec) =
+    (match r.state with
+    | Queued -> Tsq.remove server.queue ~ts:r.ts ~id:r.txn.Txn.id
+    | Waiting -> server.waiting <- List.filter (fun w -> w != r) server.waiting
+    | Prepared | Done -> ());
+    if r.cond_on <> None || r.state = Prepared then Store.Occ.release server.occ ~txn:r.txn.Txn.id;
+    r.state <- Done;
+    r.cond_on <- None;
+    Hashtbl.remove server.recs r.txn.Txn.id
+
+  and server_abort_txn server (r : srec) ~late =
+    if late then stats.late_aborts <- stats.late_aborts + 1;
+    server_drop server r;
+    send ~src:server.node ~dst:r.txn.Txn.client ~bytes:Wire.control_bytes (fun () ->
+        r.deliver_abort ());
+    server_send_vote server r V_abort
+
+  and server_priority_abort server (r : srec) =
+    stats.priority_aborts <- stats.priority_aborts + 1;
+    let lineage = r.txn.Txn.wound_ts in
+    Hashtbl.replace pa_counts lineage
+      (1 + Option.value ~default:0 (Hashtbl.find_opt pa_counts lineage));
+    server_abort_txn server r ~late:false
+
+  (* Prepared (incl. conditionally prepared) records conflicting with a
+     footprint under the OCC rule. *)
+  and prepared_conflicts server ~reads ~writes ~excluding =
+    Store.Occ.conflicts server.occ ~reads ~writes
+    |> List.filter_map (fun id ->
+           if id = excluding then None else Hashtbl.find_opt server.recs id)
+
+  and prepared_conflicts_any server ~keys ~excluding =
+    Store.Occ.conflicts_any server.occ ~keys
+    |> List.filter_map (fun id ->
+           if id = excluding then None else Hashtbl.find_opt server.recs id)
+
+  and server_prepare_normal server (r : srec) =
+    if check_invariants then begin
+      (* Timestamp-order invariant (§3.2): when a transaction prepares, no
+         conflicting transaction with a smaller timestamp may still be
+         queued or waiting on this server. *)
+      let conflicts (q : srec) =
+        match r.txn.Txn.priority with
+        | Txn.High -> conflicts_any r.keys q
+        | Txn.Low -> conflicts_occ ~reads:r.reads ~writes:r.writes q
+      in
+      let bad_queue =
+        Tsq.filter_to_list server.queue (fun ~ts ~id:_ q -> ts < r.ts && conflicts q)
+      in
+      let bad_wait =
+        List.filter (fun (w : srec) -> w != r && w.ts < r.ts && conflicts w) server.waiting
+      in
+      if bad_queue <> [] || bad_wait <> [] then
+        failwith
+          (Printf.sprintf
+             "Natto invariant violated: txn %d (ts %d) prepared ahead of %d queued / %d \
+              waiting conflicting earlier transactions"
+             r.txn.Txn.id r.ts (List.length bad_queue) (List.length bad_wait))
+    end;
+    Store.Occ.prepare server.occ ~txn:r.txn.Txn.id ~reads:r.reads ~writes:r.writes;
+    r.state <- Prepared;
+    let values = Exec.read_values server.kv r.reads in
+    send ~src:server.node ~dst:r.txn.Txn.client
+      ~bytes:(Wire.read_reply_bytes ~reads:(Array.length r.reads))
+      (fun () -> r.deliver_read S_normal values);
+    Raft.Group.replicate cluster.Cluster.groups.(server.partition)
+      ~size:(Wire.prepare_record_bytes ~reads:(Array.length r.reads) ~writes:(Array.length r.writes))
+      ~tag:r.txn.Txn.id
+      ~on_committed:(fun () -> if r.state = Prepared then server_send_vote server r V_ok)
+      ()
+
+  and server_cond_prepare server (r : srec) ~blocker =
+    stats.cond_prepares <- stats.cond_prepares + 1;
+    Store.Occ.prepare server.occ ~txn:r.txn.Txn.id ~reads:r.reads ~writes:r.writes;
+    r.cond_on <- Some blocker;
+    let watchers = Option.value ~default:[] (Hashtbl.find_opt server.cond_watchers blocker) in
+    Hashtbl.replace server.cond_watchers blocker (r.txn.Txn.id :: watchers);
+    let values = Exec.read_values server.kv r.reads in
+    send ~src:server.node ~dst:r.txn.Txn.client
+      ~bytes:(Wire.read_reply_bytes ~reads:(Array.length r.reads))
+      (fun () -> r.deliver_read (S_cond blocker) values);
+    Raft.Group.replicate cluster.Cluster.groups.(server.partition)
+      ~size:(Wire.prepare_record_bytes ~reads:(Array.length r.reads) ~writes:(Array.length r.writes))
+      ~tag:r.txn.Txn.id
+      ~on_committed:(fun () ->
+        if r.state <> Done then server_send_vote server r (V_cond blocker))
+      ()
+
+  and server_recsf_forward server (r : srec) ~(blocker : srec) =
+    stats.recsf_forwards <- stats.recsf_forwards + 1;
+    let fwd_keys =
+      Array.of_list
+        (List.filter
+           (fun k -> Array.exists (fun k' -> k' = k) blocker.writes)
+           (Array.to_list r.reads))
+    in
+    let local_keys =
+      Array.of_list
+        (List.filter
+           (fun k -> not (Array.exists (fun k' -> k' = k) fwd_keys))
+           (Array.to_list r.reads))
+    in
+    let blocker_id = blocker.txn.Txn.id in
+    if Array.length local_keys > 0 || Array.length fwd_keys = 0 then begin
+      let values = Exec.read_values server.kv local_keys in
+      send ~src:server.node ~dst:r.txn.Txn.client
+        ~bytes:(Wire.read_reply_bytes ~reads:(Array.length local_keys))
+        (fun () -> r.deliver_read (S_recsf blocker_id) values)
+    end;
+    if Array.length fwd_keys > 0 then begin
+      let requester = r.txn.Txn.client in
+      let deliver values = r.deliver_read (S_recsf blocker_id) values in
+      send ~src:server.node ~dst:blocker.coord_node
+        ~bytes:(Wire.control_bytes + (Array.length fwd_keys * Wire.key_bytes))
+        (fun () ->
+          let c = cstate_for blocker.txn ~participants:blocker.participants in
+          coord_on_recsf_request c ~requester ~keys:fwd_keys ~deliver)
+    end
+
+  (* Would [hp] cause a priority abort of [lp] on another shared
+     participant? (§3.3.2: predicted from the piggybacked arrival times.) *)
+  and predicts_priority_abort server ~(hp : srec) ~(lp : srec) =
+    List.exists
+      (fun (leader, hp_arrival) ->
+        leader <> server.node && List.mem_assoc leader lp.arrivals && hp_arrival < lp.ts)
+      hp.arrivals
+
+  and server_process server (r : srec) =
+    match r.txn.Txn.priority with
+    | Txn.Low ->
+        let prepared =
+          prepared_conflicts server ~reads:r.reads ~writes:r.writes ~excluding:r.txn.Txn.id
+        in
+        (* Only earlier (smaller-timestamp) waiting high-priority
+           transactions block a low-priority prepare: against later ones
+           the timestamp order says we go first. *)
+        let waiting =
+          List.filter
+            (fun (w : srec) -> w.ts < r.ts && conflicts_occ ~reads:r.reads ~writes:r.writes w)
+            server.waiting
+        in
+        if prepared <> [] || waiting <> [] then begin
+          stats.occ_aborts <- stats.occ_aborts + 1;
+          server_abort_txn server r ~late:false
+        end
+        else server_prepare_normal server r
+    | Txn.High ->
+        let blockers = prepared_conflicts_any server ~keys:r.keys ~excluding:r.txn.Txn.id in
+        let earlier_waiting =
+          List.filter (fun (w : srec) -> w.ts < r.ts && conflicts_any r.keys w) server.waiting
+        in
+        if blockers = [] && earlier_waiting = [] then server_prepare_normal server r
+        else begin
+          r.state <- Waiting;
+          server.waiting <-
+            List.sort
+              (fun (a : srec) (b : srec) -> compare (a.ts, a.txn.Txn.id) (b.ts, b.txn.Txn.id))
+              (r :: server.waiting);
+          (* Conditional prepare: exactly one blocker, a prepared low-priority
+             transaction predicted to be priority-aborted elsewhere. *)
+          (match (features.Features.conditional_prepare, blockers, earlier_waiting) with
+          | true, [ blocker ], []
+            when blocker.txn.Txn.priority = Txn.Low
+                 && blocker.state = Prepared && blocker.ts < r.ts
+                 && predicts_priority_abort server ~hp:r ~lp:blocker ->
+              server_cond_prepare server r ~blocker:blocker.txn.Txn.id
+          | _ -> ());
+          (* RECSF: forward reads past a single prepared blocker. *)
+          if features.Features.recsf && r.cond_on = None then
+            match (blockers, earlier_waiting) with
+            | [ blocker ], [] when blocker.state = Prepared ->
+                server_recsf_forward server r ~blocker
+            | _ -> ()
+        end
+
+  and server_rescan server =
+    (* Grant blocked high-priority transactions in timestamp order. *)
+    let rec pass () =
+      let progress = ref false in
+      let snapshot = server.waiting in
+      List.iter
+        (fun (r : srec) ->
+          if r.cond_on = None && List.memq r server.waiting then begin
+            let blockers =
+              prepared_conflicts_any server ~keys:r.keys ~excluding:r.txn.Txn.id
+            in
+            let earlier =
+              List.exists
+                (fun (w : srec) -> w != r && w.ts < r.ts && conflicts_any r.keys w)
+                server.waiting
+              || Tsq.filter_to_list server.queue (fun ~ts ~id:_ (q : srec) ->
+                     ts < r.ts && conflicts_any r.keys q)
+                 <> []
+            in
+            if blockers = [] && not earlier then begin
+              server.waiting <- List.filter (fun w -> w != r) server.waiting;
+              server_prepare_normal server r;
+              progress := true
+            end
+          end)
+        snapshot;
+      if !progress then pass ()
+    in
+    pass ()
+
+  and server_notify_cond_watchers server ~blocker ~aborted =
+    match Hashtbl.find_opt server.cond_watchers blocker with
+    | None -> ()
+    | Some watchers ->
+        Hashtbl.remove server.cond_watchers blocker;
+        List.iter
+          (fun watcher_id ->
+            match Hashtbl.find_opt server.recs watcher_id with
+            | Some (w : srec) when w.cond_on = Some blocker ->
+                if aborted then begin
+                  (* Condition satisfied: the conditional prepare becomes the
+                     real prepare. *)
+                  stats.cond_success <- stats.cond_success + 1;
+                  w.cond_on <- None;
+                  w.state <- Prepared;
+                  server.waiting <- List.filter (fun x -> x != w) server.waiting
+                end
+                else begin
+                  (* Condition failed: discard the conditional prepare; the
+                     normal path (still Waiting) takes over. *)
+                  stats.cond_failure <- stats.cond_failure + 1;
+                  Store.Occ.release server.occ ~txn:watcher_id;
+                  w.cond_on <- None
+                end;
+                send ~src:server.node ~dst:w.coord_node ~bytes:Wire.control_bytes (fun () ->
+                    let c = cstate_for w.txn ~participants:w.participants in
+                    coord_on_resolution c ~blocker ~aborted)
+            | Some _ | None -> ())
+          watchers
+
+  and server_on_commit server txn_id pairs =
+    match Hashtbl.find_opt server.recs txn_id with
+    | None -> ()
+    | Some r ->
+        let finish () =
+          List.iter (fun (key, data) -> Store.Kv.put server.kv ~key ~data) pairs;
+          server_drop server r;
+          server_notify_cond_watchers server ~blocker:txn_id ~aborted:false;
+          server_rescan server;
+          server_drain server
+        in
+        if features.Features.lecsf then begin
+          (* LECSF: the commit is already fault-tolerant at the coordinator;
+             make the writes visible now and replicate in the background. *)
+          Raft.Group.replicate cluster.Cluster.groups.(server.partition)
+            ~size:(Wire.write_record_bytes ~writes:(List.length pairs))
+            ~tag:txn_id
+            ~on_committed:(fun () -> ())
+            ();
+          finish ()
+        end
+        else
+          Raft.Group.replicate cluster.Cluster.groups.(server.partition)
+            ~size:(Wire.write_record_bytes ~writes:(List.length pairs))
+            ~tag:txn_id ~on_committed:finish ()
+
+  and server_on_abort server txn_id =
+    (match Hashtbl.find_opt server.recs txn_id with
+    | None -> Hashtbl.replace server.tombstones txn_id ()
+    | Some r -> server_drop server r);
+    server_notify_cond_watchers server ~blocker:txn_id ~aborted:true;
+    server_rescan server;
+    server_drain server
+
+  and server_drain server =
+    let now = server_local_now server in
+    let rec loop () =
+      match Tsq.min server.queue with
+      | Some (ts, id, r) when ts <= now ->
+          Tsq.remove server.queue ~ts ~id;
+          server_process server r;
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    (* Arm exactly one pending wakeup per server, for the queue head. *)
+    match Tsq.min server.queue with
+    | Some (ts, _, _) ->
+        if server.wakeup_at <> Some ts then begin
+          (match server.wakeup with Some h -> Engine.cancel h | None -> ());
+          let at = Netsim.Clock.engine_time_of_local clock ~node:server.node ts in
+          let at = Sim_time.max at (Sim_time.add (Engine.now engine) (Sim_time.us 1)) in
+          server.wakeup_at <- Some ts;
+          server.wakeup <-
+            Some
+              (Engine.schedule_at engine at (fun () ->
+                   server.wakeup <- None;
+                   server.wakeup_at <- None;
+                   server_drain server))
+        end
+    | None ->
+        (match server.wakeup with Some h -> Engine.cancel h | None -> ());
+        server.wakeup <- None;
+        server.wakeup_at <- None
+
+  and server_on_read_and_prepare server (r : srec) =
+    if Hashtbl.mem server.recs r.txn.Txn.id || Hashtbl.mem server.tombstones r.txn.Txn.id then ()
+    else begin
+      Hashtbl.replace server.recs r.txn.Txn.id r;
+      let now = server_local_now server in
+      let late = now > r.ts in
+      let pa_on = features.Features.priority_abort in
+      let aborted_self = ref false in
+      (match r.txn.Txn.priority with
+      | Txn.High when pa_on ->
+          (* Abort queued low-priority transactions ahead of us (§3.3.1). *)
+          let victims =
+            Tsq.filter_to_list server.queue (fun ~ts ~id:_ (q : srec) ->
+                ts < r.ts && q.txn.Txn.priority = Txn.Low && conflicts_any r.keys q)
+          in
+          List.iter
+            (fun (_, _, (victim : srec)) ->
+              let skip =
+                features.Features.pa_completion_estimate
+                && Estimate.completion_estimate cluster ~server_node:server.node
+                     ~coord_node:victim.coord_node ~ts:victim.ts
+                   < r.ts
+              in
+              if skip then stats.pa_skipped_completion <- stats.pa_skipped_completion + 1
+              else server_priority_abort server victim)
+            victims
+      | Txn.Low when pa_on ->
+          (* A low-priority transaction may not slot in ahead of a queued
+             conflicting high-priority transaction. *)
+          let hp_after =
+            Tsq.filter_to_list server.queue (fun ~ts ~id:_ (q : srec) ->
+                ts > r.ts && q.txn.Txn.priority = Txn.High && conflicts_any r.keys q)
+          in
+          if hp_after <> [] then begin
+            let hp_ts = List.fold_left (fun acc (ts, _, _) -> Stdlib.min acc ts) max_int hp_after in
+            let skip =
+              features.Features.pa_completion_estimate
+              && Estimate.completion_estimate cluster ~server_node:server.node
+                   ~coord_node:r.coord_node ~ts:r.ts
+                 < hp_ts
+            in
+            if skip then stats.pa_skipped_completion <- stats.pa_skipped_completion + 1
+            else begin
+              aborted_self := true;
+              server_priority_abort server r
+            end
+          end
+      | Txn.High | Txn.Low -> ());
+      if not !aborted_self then begin
+        (* Late-arrival timestamp-order checks (§3.2). *)
+        let ordering_violation () =
+          (* A prepared transaction with a larger timestamp has already read
+             its versions; slotting in before it would break the order.
+             Waiting transactions have not prepared, so they are not a
+             violation — the queue ordering handles them. *)
+          prepared_conflicts server ~reads:r.reads ~writes:r.writes ~excluding:r.txn.Txn.id
+          |> List.exists (fun (o : srec) -> o.ts > r.ts)
+        in
+        let high_late_conflict () =
+          r.txn.Txn.priority = Txn.High
+          && (prepared_conflicts_any server ~keys:r.keys ~excluding:r.txn.Txn.id
+              |> List.exists (fun (o : srec) -> o.ts < r.ts)
+             || List.exists
+                  (fun (w : srec) -> w.ts < r.ts && conflicts_any r.keys w)
+                  server.waiting
+             || Tsq.filter_to_list server.queue (fun ~ts ~id:_ (q : srec) ->
+                    ts < r.ts && conflicts_any r.keys q)
+                <> [])
+        in
+        if late && (ordering_violation () || high_late_conflict ()) then
+          server_abort_txn server r ~late:true
+        else begin
+          Tsq.add server.queue ~ts:r.ts ~id:r.txn.Txn.id r;
+          server_drain server
+        end
+      end
+    end
+  in
+
+  (* ---------------- client ---------------- *)
+  let submit (txn : Txn.t) ~on_done =
+    (* Starvation mitigation: optionally promote a repeatedly
+       priority-aborted transaction (§3.3.1). *)
+    let txn =
+      match features.Features.promote_after_aborts with
+      | Some n
+        when txn.Txn.priority = Txn.Low
+             && Option.value ~default:0 (Hashtbl.find_opt pa_counts txn.Txn.wound_ts) >= n ->
+          stats.promotions <- stats.promotions + 1;
+          { txn with Txn.priority = Txn.High }
+      | _ -> txn
+    in
+    let plan = Exec.plan_of cluster txn in
+    let participants = plan.Exec.participants in
+    let client = txn.Txn.client in
+    let leaders = List.map (fun p -> Cluster.leader cluster p) participants in
+    let ts, arrivals = Estimate.timestamps cluster features ~client ~leaders in
+    let coordinator = Cluster.coordinator_for cluster ~client in
+    let slots : (int, slot) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun p ->
+        Hashtbl.replace slots p
+          { expected = Array.length (plan.Exec.reads_of p); src = None; got = [] })
+      participants;
+    let finished = ref false in
+    let sent_gen = ref 0 in
+    let used : (int * source) list ref = ref [] in
+    let must_resend = ref false in
+    let slot_complete s =
+      match s.src with
+      | None -> false
+      | Some (S_normal | S_cond _) -> true
+      | Some (S_recsf _) -> List.length s.got >= s.expected
+    in
+    let send_commit_request () =
+      let gen = !sent_gen + 1 in
+      sent_gen := gen;
+      must_resend := false;
+      used := List.map (fun p -> (p, Option.get (Hashtbl.find slots p).src)) participants;
+      let per_partition = List.map (fun p -> (Hashtbl.find slots p).got) participants in
+      let reads = Exec.assemble_reads txn per_partition in
+      let pairs = Exec.write_pairs txn reads in
+      let sources = !used in
+      send ~src:client ~dst:coordinator
+        ~bytes:(Wire.commit_request_bytes ~writes:(List.length pairs))
+        (fun () ->
+          let c = cstate_for txn ~participants in
+          coord_on_commit_request c ~gen ~sources ~pairs)
+    in
+    let maybe_send () =
+      if
+        (not !finished)
+        && List.for_all (fun p -> slot_complete (Hashtbl.find slots p)) participants
+      then if !sent_gen = 0 || !must_resend then send_commit_request ()
+    in
+    let deliver_read_for p src values =
+      if not !finished then begin
+        let s = Hashtbl.find slots p in
+        (match (src, s.src) with
+        | S_normal, prev ->
+            s.src <- Some S_normal;
+            s.got <- values;
+            (* A normal read arriving for a slot we used conditionally means
+               the condition failed: re-execute (§3.3.2). *)
+            (match (prev, List.assoc_opt p !used) with
+            | Some (S_cond _), Some (S_cond _) when !sent_gen > 0 -> must_resend := true
+            | _ -> ())
+        | (S_cond _ | S_recsf _), None ->
+            s.src <- Some src;
+            s.got <- values
+        | S_recsf b, Some (S_recsf b') when b = b' ->
+            (* Merge partial RECSF deliveries (local + forwarded). *)
+            List.iter
+              (fun ((k, _, _) as v) ->
+                if not (List.exists (fun (k', _, _) -> k' = k) s.got) then s.got <- v :: s.got)
+              values
+        | _ -> ());
+        maybe_send ()
+      end
+    in
+    let finish ~committed =
+      if not !finished then begin
+        finished := true;
+        Hashtbl.remove commit_hooks txn.Txn.id;
+        on_done ~committed
+      end
+    in
+    let deliver_abort () =
+      if not !finished then begin
+        (* Release everywhere straight from the client (per-connection FIFO
+           puts these ahead of the retry), and tell the coordinator. *)
+        List.iter
+          (fun p ->
+            let server = servers.(p) in
+            send ~src:client ~dst:server.node ~bytes:Wire.control_bytes (fun () ->
+                server_on_abort server txn.Txn.id))
+          participants;
+        send ~src:client ~dst:coordinator ~bytes:Wire.control_bytes (fun () ->
+            let c = cstate_for txn ~participants in
+            coord_decide_abort c);
+        finish ~committed:false
+      end
+    in
+    Hashtbl.replace commit_hooks txn.Txn.id (fun () -> finish ~committed:true);
+    List.iter
+      (fun p ->
+        let server = servers.(p) in
+        let reads = plan.Exec.reads_of p and writes = plan.Exec.writes_of p in
+        let keys =
+          Array.of_list (List.sort_uniq compare (Array.to_list reads @ Array.to_list writes))
+        in
+        let r : srec =
+          {
+            txn;
+            ts;
+            reads;
+            writes;
+            keys;
+            arrivals;
+            participants;
+            coord_node = coordinator;
+            deliver_read = deliver_read_for p;
+            deliver_abort;
+            state = Queued;
+            cond_on = None;
+          }
+        in
+        send ~src:client ~dst:server.node
+          ~bytes:
+            (Wire.read_and_prepare_bytes ~reads:(Array.length reads)
+               ~writes:(Array.length writes)
+            + (12 * List.length participants))
+          (fun () -> server_on_read_and_prepare server r))
+      participants
+  in
+  (System.make ~name:(Features.name features) ~submit, stats)
+
+let make cluster ~features = fst (make_with_stats cluster ~features)

@@ -1,0 +1,21 @@
+(** The per-server transaction queue (§3.2): transactions ordered by
+    (timestamp, transaction id), with timestamp-order iteration and
+    conflict scans. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val add : 'a t -> ts:int -> id:int -> 'a -> unit
+val remove : 'a t -> ts:int -> id:int -> unit
+val mem : 'a t -> ts:int -> id:int -> bool
+
+val min : 'a t -> (int * int * 'a) option
+(** The head: smallest (ts, id). *)
+
+val iter : 'a t -> (ts:int -> id:int -> 'a -> unit) -> unit
+(** In (ts, id) order. *)
+
+val filter_to_list : 'a t -> (ts:int -> id:int -> 'a -> bool) -> (int * int * 'a) list

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array Carousel Float List Natto Netsim Simstats Tapir Twopl Txnkit Workload

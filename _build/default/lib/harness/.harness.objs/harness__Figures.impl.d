@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Experiment Float Format Fun List Natto Netsim Printf Sim_time Simcore Sys Twopl Workload

@@ -1,0 +1,123 @@
+type system_spec =
+  | Carousel_basic
+  | Carousel_fast
+  | Tapir
+  | Twopl of Twopl.variant
+  | Natto of Natto.Features.t
+
+let spec_name = function
+  | Carousel_basic -> "Carousel Basic"
+  | Carousel_fast -> "Carousel Fast"
+  | Tapir -> "TAPIR"
+  | Twopl v -> Twopl.name_of v
+  | Natto f -> Natto.Features.name f
+
+let all_natto_variants =
+  [
+    Natto Natto.Features.ts;
+    Natto Natto.Features.lecsf;
+    Natto Natto.Features.pa;
+    Natto Natto.Features.cp;
+    Natto Natto.Features.recsf;
+  ]
+
+let eleven_systems =
+  [
+    Twopl Twopl.Plain;
+    Twopl Twopl.Preempt;
+    Twopl Twopl.Preempt_on_wait;
+    Tapir;
+    Carousel_basic;
+    Carousel_fast;
+  ]
+  @ all_natto_variants
+
+let eight_systems =
+  [
+    Twopl Twopl.Plain;
+    Twopl Twopl.Preempt;
+    Twopl Twopl.Preempt_on_wait;
+    Tapir;
+    Carousel_basic;
+    Carousel_fast;
+    Natto Natto.Features.ts;
+    Natto Natto.Features.recsf;
+  ]
+
+type setup = {
+  topo : Netsim.Topology.t;
+  n_partitions : int;
+  clients_per_dc : int;
+  net_config : Netsim.Network.config;
+  driver : Workload.Driver.config;
+}
+
+let default_setup =
+  {
+    topo = Netsim.Topology.azure5;
+    n_partitions = 5;
+    clients_per_dc = 2;
+    net_config = Netsim.Network.default_config;
+    driver = Workload.Driver.default_config;
+  }
+
+let instantiate spec cluster =
+  match spec with
+  | Carousel_basic -> Carousel.Basic.make cluster
+  | Carousel_fast -> Carousel.Fast.make cluster
+  | Tapir -> Tapir.make cluster
+  | Twopl v -> Twopl.make cluster ~variant:v
+  | Natto f -> Natto.Protocol.make cluster ~features:f
+
+let needs_raft = function Tapir -> false | _ -> true
+let needs_proxies = function Natto _ -> true | _ -> false
+
+let run setup spec ~gen ~seed =
+  let cluster =
+    Txnkit.Cluster.build ~topo:setup.topo ~n_partitions:setup.n_partitions
+      ~clients_per_dc:setup.clients_per_dc ~net_config:setup.net_config
+      ~with_raft:(needs_raft spec) ~with_proxies:(needs_proxies spec) ~seed ()
+  in
+  let system = instantiate spec cluster in
+  Workload.Driver.run cluster system ~gen { setup.driver with Workload.Driver.seed }
+
+type summary = {
+  p95_high_ms : float;
+  p95_high_ci : float;
+  p95_low_ms : float;
+  p95_low_ci : float;
+  goodput_high_tps : float;
+  goodput_low_tps : float;
+  failed : int;
+  unfinished : int;
+  aborts : int;
+  commits : int;
+}
+
+let run_repeated setup spec ~gen ~seeds =
+  let results = List.map (fun seed -> run setup spec ~gen ~seed) seeds in
+  let finite a = Array.of_list (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list a)) in
+  let p95s_high =
+    finite (Array.of_list (List.map Workload.Driver.p95_high results))
+  in
+  let p95s_low = finite (Array.of_list (List.map Workload.Driver.p95_low results)) in
+  let ci a = if Array.length a = 0 then (nan, nan) else Simstats.Confidence.interval95 a in
+  let p95_high_ms, p95_high_ci = ci p95s_high in
+  let p95_low_ms, p95_low_ci = ci p95s_low in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let avg f =
+    List.fold_left (fun acc r -> acc +. f r) 0.0 results /. float_of_int (List.length results)
+  in
+  {
+    p95_high_ms;
+    p95_high_ci;
+    p95_low_ms;
+    p95_low_ci;
+    goodput_high_tps = avg (fun r -> r.Workload.Driver.goodput_high_tps);
+    goodput_low_tps = avg (fun r -> r.Workload.Driver.goodput_low_tps);
+    failed = sum (fun r -> r.Workload.Driver.failed);
+    unfinished = sum (fun r -> r.Workload.Driver.unfinished);
+    aborts = sum (fun r -> r.Workload.Driver.total_aborts);
+    commits =
+      sum (fun r -> r.Workload.Driver.committed_high + r.Workload.Driver.committed_low);
+  }

@@ -1,0 +1,55 @@
+(** Experiment runner: builds a fresh cluster per (system, seed) pair and
+    drives a workload through it, so runs never share simulator state. *)
+
+type system_spec =
+  | Carousel_basic
+  | Carousel_fast
+  | Tapir
+  | Twopl of Twopl.variant
+  | Natto of Natto.Features.t
+
+val spec_name : system_spec -> string
+
+val all_natto_variants : system_spec list
+(** TS, LECSF, PA, CP, RECSF — the paper's five evaluation points. *)
+
+val eleven_systems : system_spec list
+(** Every system in Fig. 7(a): the three 2PL variants, TAPIR, both
+    Carousels, and the five Natto variants. *)
+
+val eight_systems : system_spec list
+(** The Fig. 7(c) set: the 2PL variants, TAPIR, the Carousels, Natto-TS and
+    Natto-RECSF. *)
+
+type setup = {
+  topo : Netsim.Topology.t;
+  n_partitions : int;
+  clients_per_dc : int;
+  net_config : Netsim.Network.config;
+  driver : Workload.Driver.config;
+}
+
+val default_setup : setup
+(** §5.1 defaults: azure5, 5 partitions, 2 clients per DC. *)
+
+val run :
+  setup -> system_spec -> gen:Workload.Gen.t -> seed:int -> Workload.Driver.result
+(** One run: fresh cluster, one system, one workload pass. *)
+
+type summary = {
+  p95_high_ms : float;
+  p95_high_ci : float;
+  p95_low_ms : float;
+  p95_low_ci : float;
+  goodput_high_tps : float;
+  goodput_low_tps : float;
+  failed : int;
+  unfinished : int;
+  aborts : int;
+  commits : int;
+}
+
+val run_repeated :
+  setup -> system_spec -> gen:Workload.Gen.t -> seeds:int list -> summary
+(** Repetitions with different seeds; percentile statistics are averaged
+    across repetitions with 95% confidence intervals (§5.1's error bars). *)

@@ -1,0 +1,369 @@
+open Simcore
+
+type scale = Quick | Full
+
+let scale_of_env () = if Sys.getenv_opt "NATTO_BENCH_FULL" <> None then Full else Quick
+
+let seeds = function Quick -> [ 1 ] | Full -> [ 1; 2; 3; 4; 5 ]
+
+(* Run length: the paper uses 60 s runs with 10 s warm-up/cool-down (§5.1);
+   quick mode shrinks this (the DES is deterministic, percentiles stabilize
+   fast) and shortens further at very high rates. *)
+let driver_config scale ~rate =
+  let base = Workload.Driver.default_config in
+  match scale with
+  | Full ->
+      {
+        base with
+        Workload.Driver.rate_tps = rate;
+        duration = Sim_time.seconds 60.;
+        warmup = Sim_time.seconds 10.;
+        cooldown = Sim_time.seconds 10.;
+        drain = Sim_time.seconds 60.;
+      }
+  | Quick ->
+      let dur = if rate > 1200. then 4. else if rate > 400. then 6. else 16. in
+      {
+        base with
+        Workload.Driver.rate_tps = rate;
+        duration = Sim_time.seconds dur;
+        warmup = Sim_time.seconds (dur /. 4.);
+        cooldown = Sim_time.seconds (dur /. 4.);
+        drain = Sim_time.seconds 25.;
+      }
+
+let header figure caption =
+  Printf.printf "\n# %s — %s\n" figure caption;
+  Printf.printf
+    "figure,x_label,x,system,p95_high_ms,p95_high_ci,p95_low_ms,p95_low_ci,goodput_high_tps,goodput_low_tps,failed,aborts\n%!"
+
+let row figure x_label x system (s : Experiment.summary) =
+  Printf.printf "%s,%s,%s,%s,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%d,%d\n%!" figure x_label x system
+    s.Experiment.p95_high_ms s.Experiment.p95_high_ci s.Experiment.p95_low_ms
+    s.Experiment.p95_low_ci s.Experiment.goodput_high_tps s.Experiment.goodput_low_tps
+    s.Experiment.failed s.Experiment.aborts
+
+let sweep ~figure ~x_label ~setup_of ~gen_of ~xs ~systems ~scale ~show =
+  List.iter
+    (fun x ->
+      List.iter
+        (fun spec ->
+          let setup = setup_of x in
+          let gen = gen_of x in
+          let summary = Experiment.run_repeated setup spec ~gen ~seeds:(seeds scale) in
+          row figure x_label (show x) (Experiment.spec_name spec) summary)
+        systems)
+    xs
+
+let table1 () =
+  Printf.printf "\n# Table 1 — network roundtrip delays between datacenters (ms)\n";
+  Format.printf "%a@." Netsim.Topology.pp Netsim.Topology.azure5
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: input-rate sweeps *)
+
+let fig7_ycsbt scale =
+  header "fig7ab"
+    "YCSB+T (local cluster), 95P latency vs input rate; Fig 7(b)'s x-axis is the goodput \
+     column";
+  let gen = Workload.Ycsbt.gen () in
+  sweep ~figure:"fig7ab" ~x_label:"rate_tps"
+    ~setup_of:(fun rate ->
+      { Experiment.default_setup with Experiment.driver = driver_config scale ~rate })
+    ~gen_of:(fun _ -> gen)
+    ~xs:[ 50.; 150.; 250.; 350. ]
+    ~systems:Experiment.eleven_systems ~scale
+    ~show:(fun r -> string_of_float r)
+
+let fig7_retwis scale =
+  header "fig7cd" "Retwis (Azure), 95P latency vs input rate";
+  let gen = Workload.Retwis.gen () in
+  sweep ~figure:"fig7cd" ~x_label:"rate_tps"
+    ~setup_of:(fun rate ->
+      { Experiment.default_setup with Experiment.driver = driver_config scale ~rate })
+    ~gen_of:(fun _ -> gen)
+    ~xs:[ 100.; 500.; 1000.; 1500. ]
+    ~systems:Experiment.eight_systems ~scale
+    ~show:(fun r -> string_of_float r)
+
+let fig7_smallbank scale =
+  header "fig7ef" "SmallBank (Azure), 95P latency vs input rate";
+  let gen = Workload.Smallbank.gen () in
+  sweep ~figure:"fig7ef" ~x_label:"rate_tps"
+    ~setup_of:(fun rate ->
+      { Experiment.default_setup with Experiment.driver = driver_config scale ~rate })
+    ~gen_of:(fun _ -> gen)
+    ~xs:[ 500.; 1000.; 1500.; 2000. ]
+    ~systems:Experiment.eight_systems ~scale
+    ~show:(fun r -> string_of_float r)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8: contention (Zipf coefficient) sweeps *)
+
+let fig8_ycsbt scale =
+  header "fig8a" "YCSB+T @50 txn/s, 95P high-priority latency vs Zipf coefficient";
+  sweep ~figure:"fig8a" ~x_label:"zipf"
+    ~setup_of:(fun _ ->
+      { Experiment.default_setup with Experiment.driver = driver_config scale ~rate:50. })
+    ~gen_of:(fun theta -> Workload.Ycsbt.gen ~theta ())
+    ~xs:[ 0.65; 0.75; 0.85; 0.95 ]
+    ~systems:Experiment.eleven_systems ~scale ~show:string_of_float
+
+let fig8_retwis scale =
+  header "fig8b" "Retwis @100 txn/s, 95P high-priority latency vs Zipf coefficient";
+  sweep ~figure:"fig8b" ~x_label:"zipf"
+    ~setup_of:(fun _ ->
+      { Experiment.default_setup with Experiment.driver = driver_config scale ~rate:100. })
+    ~gen_of:(fun theta -> Workload.Retwis.gen ~theta ())
+    ~xs:[ 0.65; 0.75; 0.85; 0.95 ]
+    ~systems:Experiment.eight_systems ~scale ~show:string_of_float
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9: high-priority percentage sweep *)
+
+let fig9 scale =
+  header "fig9" "YCSB+T @350 txn/s, 95P high-priority latency vs high-priority percentage";
+  let gen = Workload.Ycsbt.gen () in
+  sweep ~figure:"fig9" ~x_label:"high_pct"
+    ~setup_of:(fun pct ->
+      let driver =
+        { (driver_config scale ~rate:350.) with Workload.Driver.high_fraction = pct /. 100. }
+      in
+      { Experiment.default_setup with Experiment.driver })
+    ~gen_of:(fun _ -> gen)
+    ~xs:[ 10.; 20.; 40.; 60.; 80.; 100. ]
+    ~systems:
+      [
+        Experiment.Twopl Twopl.Plain;
+        Experiment.Twopl Twopl.Preempt;
+        Experiment.Twopl Twopl.Preempt_on_wait;
+        Experiment.Natto Natto.Features.recsf;
+      ]
+    ~scale ~show:string_of_float
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 10: SmallBank with sendPayment as the high-priority class *)
+
+let fig10 scale =
+  header "fig10"
+    "SmallBank with sendPayment=high, 95P high-priority latency and its increase ratio vs \
+     the 100 txn/s baseline";
+  let gen = Workload.Smallbank.gen ~prioritize_send_payment:true () in
+  let systems =
+    [
+      Experiment.Twopl Twopl.Plain;
+      Experiment.Twopl Twopl.Preempt;
+      Experiment.Twopl Twopl.Preempt_on_wait;
+      Experiment.Natto Natto.Features.recsf;
+    ]
+  in
+  let rates = [ 100.; 1500.; 3500.; 6000. ] in
+  List.iter
+    (fun spec ->
+      let baseline = ref nan in
+      List.iter
+        (fun rate ->
+          let setup =
+            { Experiment.default_setup with Experiment.driver = driver_config scale ~rate }
+          in
+          let summary = Experiment.run_repeated setup spec ~gen ~seeds:(seeds scale) in
+          if Float.is_nan !baseline then baseline := summary.Experiment.p95_high_ms;
+          let increase_pct =
+            100. *. (summary.Experiment.p95_high_ms -. !baseline) /. !baseline
+          in
+          Printf.printf "fig10,rate_tps,%.0f,%s,%.1f,%.1f,increase_pct,%.1f\n%!" rate
+            (Experiment.spec_name spec) summary.Experiment.p95_high_ms
+            summary.Experiment.p95_high_ci increase_pct)
+        rates)
+    systems
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 11 and 12: network pathologies *)
+
+let fig11 scale =
+  header "fig11" "YCSB+T @350 txn/s, 95P high-priority latency vs network delay variance";
+  let gen = Workload.Ycsbt.gen () in
+  sweep ~figure:"fig11" ~x_label:"variance_pct"
+    ~setup_of:(fun pct ->
+      let net_config =
+        {
+          Netsim.Network.default_config with
+          Netsim.Network.cv_override = (if pct = 0. then None else Some (pct /. 100.));
+        }
+      in
+      {
+        Experiment.default_setup with
+        Experiment.net_config;
+        Experiment.driver = driver_config scale ~rate:350.;
+      })
+    ~gen_of:(fun _ -> gen)
+    ~xs:[ 0.; 5.; 15.; 25.; 40. ]
+    ~systems:Experiment.eight_systems ~scale ~show:string_of_float
+
+let fig12 scale =
+  header "fig12" "YCSB+T @100 txn/s, 95P high-priority latency vs packet loss";
+  let gen = Workload.Ycsbt.gen () in
+  sweep ~figure:"fig12" ~x_label:"loss_pct"
+    ~setup_of:(fun pct ->
+      let net_config =
+        { Netsim.Network.default_config with Netsim.Network.loss = pct /. 100. }
+      in
+      {
+        Experiment.default_setup with
+        Experiment.net_config;
+        Experiment.driver = driver_config scale ~rate:100.;
+      })
+    ~gen_of:(fun _ -> gen)
+    ~xs:[ 0.; 0.5; 1.0; 1.5; 2.0; 2.5; 3.0 ]
+    ~systems:Experiment.eight_systems ~scale ~show:string_of_float
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 13: hybrid cloud *)
+
+let fig13 scale =
+  header "fig13" "Retwis @1000 txn/s on hybrid AWS+Azure, 95P high-priority latency";
+  let gen = Workload.Retwis.gen () in
+  sweep ~figure:"fig13" ~x_label:"deployment"
+    ~setup_of:(fun _ ->
+      {
+        Experiment.default_setup with
+        Experiment.topo = Netsim.Topology.hybrid_aws_azure;
+        Experiment.driver = driver_config scale ~rate:1000.;
+      })
+    ~gen_of:(fun _ -> gen) ~xs:[ "hybrid" ] ~systems:Experiment.eight_systems ~scale
+    ~show:Fun.id
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 14: throughput scaling on the local cluster *)
+
+let fig14 scale =
+  header "fig14"
+    "Peak throughput (committed txn/s) vs number of partitions; uniform Retwis, 3 local DCs";
+  let gen = Workload.Retwis.gen ~theta:0.0 () in
+  let systems =
+    [
+      Experiment.Twopl Twopl.Plain;
+      Experiment.Twopl Twopl.Preempt;
+      Experiment.Twopl Twopl.Preempt_on_wait;
+      Experiment.Tapir;
+      Experiment.Carousel_basic;
+      Experiment.Carousel_fast;
+      Experiment.Natto Natto.Features.recsf;
+    ]
+  in
+  (* The local-cluster machines each host one leader and two followers
+     (§5.6), so the per-node station is given the full per-RPC cost. *)
+  let net_config =
+    { Netsim.Network.default_config with Netsim.Network.msg_cost = Sim_time.us 25 }
+  in
+  let partitions = match scale with Quick -> [ 2; 4; 8; 12 ] | Full -> [ 2; 4; 6; 8; 10; 12 ] in
+  let duration = match scale with Quick -> 3. | Full -> 10. in
+  List.iter
+    (fun n_partitions ->
+      List.iter
+        (fun spec ->
+          (* Ramp the offered load and report the best goodput achieved. *)
+          let rates =
+            let factors = match scale with Quick -> [ 700.; 1400. ] | Full -> [ 500.; 1000.; 1500.; 2000.; 2500. ] in
+            List.map (fun f -> f *. float_of_int n_partitions) factors
+          in
+          let best = ref 0.0 in
+          List.iter
+            (fun rate ->
+              let driver =
+                {
+                  (driver_config scale ~rate) with
+                  Workload.Driver.duration = Sim_time.seconds duration;
+                  warmup = Sim_time.seconds (duration /. 4.);
+                  cooldown = Sim_time.seconds (duration /. 4.);
+                  drain = Sim_time.seconds 10.;
+                }
+              in
+              let setup =
+                {
+                  Experiment.default_setup with
+                  Experiment.topo = Netsim.Topology.local3;
+                  Experiment.n_partitions;
+                  Experiment.net_config;
+                  Experiment.driver;
+                }
+              in
+              let r = Experiment.run setup spec ~gen ~seed:1 in
+              let goodput =
+                r.Workload.Driver.goodput_high_tps +. r.Workload.Driver.goodput_low_tps
+              in
+              if goodput > !best then best := goodput)
+            rates;
+          Printf.printf "fig14,partitions,%d,%s,peak_goodput_tps,%.0f\n%!" n_partitions
+            (Experiment.spec_name spec) !best)
+        systems)
+    partitions
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design knobs the paper mentions but does not sweep. *)
+
+let ablation scale =
+  header "ablation"
+    "Natto design knobs @350 txn/s YCSB+T zipf 0.75: completion-estimate refinement, \
+     starvation promotion, timestamp pad";
+  let gen = Workload.Ycsbt.gen ~theta:0.75 () in
+  let variants =
+    [
+      ("recsf-default", Natto.Features.recsf);
+      ( "recsf-no-completion-estimate",
+        { Natto.Features.recsf with Natto.Features.pa_completion_estimate = false } );
+      ( "recsf-promote-after-2-aborts",
+        { Natto.Features.recsf with Natto.Features.promote_after_aborts = Some 2 } );
+      ("recsf-pad-0ms", { Natto.Features.recsf with Natto.Features.ts_pad = Sim_time.zero });
+      ( "recsf-pad-10ms",
+        { Natto.Features.recsf with Natto.Features.ts_pad = Sim_time.ms 10. } );
+    ]
+  in
+  List.iter
+    (fun (label, features) ->
+      let setup =
+        { Experiment.default_setup with Experiment.driver = driver_config scale ~rate:350. }
+      in
+      let summary =
+        Experiment.run_repeated setup (Experiment.Natto features) ~gen ~seeds:(seeds scale)
+      in
+      row "ablation" "variant" label label summary)
+    variants
+
+let all scale =
+  table1 ();
+  fig7_ycsbt scale;
+  fig7_retwis scale;
+  fig7_smallbank scale;
+  fig8_ycsbt scale;
+  fig8_retwis scale;
+  fig9 scale;
+  fig10 scale;
+  fig11 scale;
+  fig12 scale;
+  fig13 scale;
+  fig14 scale;
+  ablation scale
+
+let names =
+  [
+    "table1"; "fig7ab"; "fig7cd"; "fig7ef"; "fig8a"; "fig8b"; "fig9"; "fig10"; "fig11";
+    "fig12"; "fig13"; "fig14"; "ablation";
+  ]
+
+let run_by_name name scale =
+  match name with
+  | "table1" -> table1 (); true
+  | "fig7ab" -> fig7_ycsbt scale; true
+  | "fig7cd" -> fig7_retwis scale; true
+  | "fig7ef" -> fig7_smallbank scale; true
+  | "fig8a" -> fig8_ycsbt scale; true
+  | "fig8b" -> fig8_retwis scale; true
+  | "fig9" -> fig9 scale; true
+  | "fig10" -> fig10 scale; true
+  | "fig11" -> fig11 scale; true
+  | "fig12" -> fig12 scale; true
+  | "fig13" -> fig13 scale; true
+  | "fig14" -> fig14 scale; true
+  | "ablation" -> ablation scale; true
+  | _ -> false

@@ -1,0 +1,62 @@
+(** One runner per table/figure of the paper's evaluation (§5).
+
+    Each runner prints a header naming the experiment and a CSV block with
+    one row per (x-value, system): the same series the paper plots. Scale is
+    controlled by {!scale}: [Quick] uses shortened runs and fewer
+    repetitions (the simulator is deterministic, so percentiles stabilize
+    fast); [Full] reproduces the paper's 60-second runs. *)
+
+type scale = Quick | Full
+
+val scale_of_env : unit -> scale
+(** [Full] when [NATTO_BENCH_FULL] is set, else [Quick]. *)
+
+val table1 : unit -> unit
+(** Prints the Table 1 RTT matrix the simulation uses. *)
+
+val fig7_ycsbt : scale -> unit
+(** Fig. 7(a)/(b): YCSB+T, input rate sweep 50-350 txn/s, 11 systems,
+    high-priority p95 vs rate and low-priority p95 vs goodput. *)
+
+val fig7_retwis : scale -> unit
+(** Fig. 7(c)/(d): Retwis, 100-1500 txn/s, 8 systems. *)
+
+val fig7_smallbank : scale -> unit
+(** Fig. 7(e)/(f): SmallBank, 500-2000 txn/s, 8 systems. *)
+
+val fig8_ycsbt : scale -> unit
+(** Fig. 8(a): YCSB+T @50 txn/s, Zipf 0.65-0.95, 11 systems. *)
+
+val fig8_retwis : scale -> unit
+(** Fig. 8(b): Retwis @100 txn/s, Zipf 0.65-0.95, 8 systems. *)
+
+val fig9 : scale -> unit
+(** Fig. 9: YCSB+T @350 txn/s, high-priority percentage 10-100%. *)
+
+val fig10 : scale -> unit
+(** Fig. 10: SmallBank with sendPayment=high, rate sweep, p95 latency
+    increase ratio relative to the lowest rate. *)
+
+val fig11 : scale -> unit
+(** Fig. 11: YCSB+T @350 txn/s, network delay variance 0-40% (Pareto). *)
+
+val fig12 : scale -> unit
+(** Fig. 12: YCSB+T @100 txn/s, packet loss 0-3%. *)
+
+val fig13 : scale -> unit
+(** Fig. 13: Retwis @1000 txn/s on the hybrid AWS+Azure topology. *)
+
+val fig14 : scale -> unit
+(** Fig. 14: peak throughput vs number of partitions (2-12), uniform
+    Retwis, 3-DC local cluster. *)
+
+val ablation : scale -> unit
+(** Design-knob ablations the paper mentions but does not sweep:
+    completion-estimate refinement on/off, starvation promotion, timestamp
+    pad sensitivity. *)
+
+val all : scale -> unit
+val run_by_name : string -> scale -> bool
+(** Dispatch "fig7ab" ... "fig14" | "table1"; [false] if unknown. *)
+
+val names : string list

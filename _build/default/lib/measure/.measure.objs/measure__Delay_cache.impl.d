@@ -1,0 +1,1 @@
+lib/measure/delay_cache.ml: Engine Hashtbl List Netsim Network Proxy Sim_time Simcore

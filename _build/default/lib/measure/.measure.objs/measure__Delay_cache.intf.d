@@ -1,0 +1,1 @@
+lib/measure/delay_cache.mli: Netsim Proxy Simcore

@@ -1,0 +1,1 @@
+lib/measure/proxy.ml: Array Clock Engine Hashtbl List Netsim Network Option Sim_time Simcore Window

@@ -1,0 +1,1 @@
+lib/measure/proxy.mli: Netsim Simcore

@@ -1,0 +1,1 @@
+lib/measure/window.ml: Array Float Queue Sim_time Simcore Stdlib

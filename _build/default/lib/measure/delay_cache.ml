@@ -1,0 +1,38 @@
+open Simcore
+open Netsim
+
+type t = {
+  engine : Engine.t;
+  net : Network.t;
+  node : int;
+  proxy : Proxy.t;
+  refresh : Sim_time.t;
+  cache : (int, float) Hashtbl.t;
+  mutable running : bool;
+}
+
+let fetch_bytes = 24
+
+let fetch t =
+  Network.send_isolated t.net ~src:t.node ~dst:(Proxy.node t.proxy) ~bytes:fetch_bytes
+    (fun () ->
+      let snapshot = Proxy.snapshot t.proxy in
+      let reply_bytes = 16 * List.length snapshot in
+      Network.send_isolated t.net ~src:(Proxy.node t.proxy) ~dst:t.node ~bytes:reply_bytes
+        (fun () ->
+          if t.running then
+            List.iter (fun (target, est) -> Hashtbl.replace t.cache target est) snapshot))
+
+let rec tick t =
+  if t.running then begin
+    fetch t;
+    ignore (Engine.schedule_after t.engine t.refresh (fun () -> tick t))
+  end
+
+let create ~engine ~net ~node ~proxy ?(refresh = Sim_time.ms 100.) () =
+  let t = { engine; net; node; proxy; refresh; cache = Hashtbl.create 16; running = true } in
+  tick t;
+  t
+
+let estimate_us t ~target = Hashtbl.find_opt t.cache target
+let stop t = t.running <- false

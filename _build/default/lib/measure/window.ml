@@ -1,0 +1,58 @@
+open Simcore
+
+type t = {
+  span : Sim_time.t;
+  samples : (Sim_time.t * float) Queue.t;
+}
+
+let create ~span = { span; samples = Queue.create () }
+
+let prune t ~now =
+  let cutoff = Sim_time.sub now t.span in
+  let rec go () =
+    match Queue.peek_opt t.samples with
+    | Some (time, _) when time < cutoff ->
+        ignore (Queue.pop t.samples);
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let add t ~now x =
+  prune t ~now;
+  Queue.push (now, x) t.samples
+
+let values t ~now =
+  prune t ~now;
+  let n = Queue.length t.samples in
+  if n = 0 then [||]
+  else begin
+    let a = Array.make n 0.0 in
+    let i = ref 0 in
+    Queue.iter
+      (fun (_, x) ->
+        a.(!i) <- x;
+        incr i)
+      t.samples;
+    a
+  end
+
+let percentile t ~now ~p =
+  let a = values t ~now in
+  let n = Array.length a in
+  if n = 0 then None
+  else begin
+    Array.sort compare a;
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+    let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
+    Some a.(idx)
+  end
+
+let count t ~now =
+  prune t ~now;
+  Queue.length t.samples
+
+let mean t ~now =
+  let a = values t ~now in
+  let n = Array.length a in
+  if n = 0 then None else Some (Array.fold_left ( +. ) 0.0 a /. float_of_int n)

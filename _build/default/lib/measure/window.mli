@@ -1,0 +1,18 @@
+(** A sliding time window of delay samples with percentile queries.
+
+    Domino-style estimation (paper §2.2): keep the samples observed over the
+    last [span] of (simulated) time and answer "the 95th percentile one-way
+    delay" queries. Pruning is lazy. *)
+
+type t
+
+val create : span:Simcore.Sim_time.t -> t
+
+val add : t -> now:Simcore.Sim_time.t -> float -> unit
+
+val percentile : t -> now:Simcore.Sim_time.t -> p:float -> float option
+(** [percentile t ~now ~p] with [p] in [\[0,1\]]; [None] when the window is
+    empty. Uses the nearest-rank method. *)
+
+val count : t -> now:Simcore.Sim_time.t -> int
+val mean : t -> now:Simcore.Sim_time.t -> float option

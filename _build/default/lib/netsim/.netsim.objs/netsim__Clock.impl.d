@@ -1,0 +1,1 @@
+lib/netsim/clock.ml: Array Engine Rng Sim_time Simcore

@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Array Cpu Engine Float Hashtbl Rng Sim_time Simcore Topology

@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Array Format List Printf

@@ -1,0 +1,15 @@
+open Simcore
+
+type t = { offsets : Sim_time.t array }
+
+let create ~rng ~max_skew ~n_nodes =
+  let skew = float_of_int (Sim_time.to_us max_skew) in
+  let offsets =
+    Array.init n_nodes (fun _ ->
+        Sim_time.us (int_of_float (Rng.uniform rng ~lo:(-.skew) ~hi:skew)))
+  in
+  { offsets }
+
+let offset t ~node = t.offsets.(node)
+let now t engine ~node = Sim_time.add (Engine.now engine) t.offsets.(node)
+let engine_time_of_local t ~node local = Sim_time.sub local t.offsets.(node)

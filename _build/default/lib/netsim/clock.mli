@@ -1,0 +1,20 @@
+(** Loosely synchronized per-node clocks.
+
+    Every node's clock is the true simulation time plus a fixed offset drawn
+    uniformly from [\[-max_skew, +max_skew\]], modelling NTP-synchronized
+    machines (paper §3.1). Natto's delay estimates are computed as
+    differences between timestamps from two different clocks, so skew flows
+    through the protocol exactly as it does in the real system. *)
+
+type t
+
+val create : rng:Simcore.Rng.t -> max_skew:Simcore.Sim_time.t -> n_nodes:int -> t
+
+val offset : t -> node:int -> Simcore.Sim_time.t
+
+val now : t -> Simcore.Engine.t -> node:int -> Simcore.Sim_time.t
+(** The node's local clock reading. *)
+
+val engine_time_of_local : t -> node:int -> Simcore.Sim_time.t -> Simcore.Sim_time.t
+(** True time at which [node]'s clock reads the given local time. Used to
+    schedule "wake me when my clock passes T" events. *)

@@ -1,0 +1,182 @@
+open Simcore
+
+type config = {
+  msg_cost : Sim_time.t;
+  cv_override : float option;
+  loss : float;
+  rto_floor : Sim_time.t;
+  wan_bandwidth_mbps : float;
+  mathis_flows : float;
+  header_bytes : int;
+  pareto_threshold : float;
+}
+
+let default_config =
+  {
+    (* ~25us of CPU per RPC spread over the 8-12 cores of the paper's
+       machines, modelled as a single faster queueing station. *)
+    msg_cost = Sim_time.us 3;
+    cv_override = None;
+    loss = 0.0;
+    rto_floor = Sim_time.ms 200.;
+    wan_bandwidth_mbps = 1000.;
+    mathis_flows = 16.;
+    header_bytes = 96;
+    pareto_threshold = 0.005;
+  }
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  topo : Topology.t;
+  node_dc : int array;
+  cpus : Cpu.t array;
+  config : config;
+  link_free_at : Sim_time.t array array;  (** directed DC pair queue *)
+  link_rate : float array array;  (** bytes per microsecond *)
+  fifo_last : (int * int, Sim_time.t) Hashtbl.t;
+      (** per (src, dst) connection: last scheduled delivery, for TCP-like
+          per-connection ordering *)
+  stall_until : (int * int, Sim_time.t) Hashtbl.t;
+      (** per connection: end of the current loss-recovery stall; a pipe is
+          stalled at most once per RTO (SACK repairs all losses in a
+          window together) *)
+  mutable messages : int;
+  mutable bytes : int;
+}
+
+let mss_bytes = 1460.
+let mathis_c = 1.22
+
+(* Effective capacity of a directed DC link in bytes per microsecond. *)
+let effective_rate config topo a b =
+  let base = config.wan_bandwidth_mbps *. 1e6 /. 8. /. 1e6 in
+  if config.loss <= 0.0 || a = b then base
+  else begin
+    let rtt_s = Topology.rtt_ms topo a b /. 1e3 in
+    let per_flow = mathis_c *. mss_bytes /. (rtt_s *. sqrt config.loss) in
+    let tcp = config.mathis_flows *. per_flow /. 1e6 in
+    Float.min base tcp
+  end
+
+let create ~engine ~rng ~topo ~node_dc ~cpus ?(config = default_config) () =
+  let n = Topology.n_dcs topo in
+  let link_rate =
+    Array.init n (fun a -> Array.init n (fun b -> effective_rate config topo a b))
+  in
+  {
+    engine;
+    rng;
+    topo;
+    node_dc;
+    cpus;
+    config;
+    link_free_at = Array.make_matrix n n Sim_time.zero;
+    link_rate;
+    fifo_last = Hashtbl.create 4096;
+    stall_until = Hashtbl.create 4096;
+    messages = 0;
+    bytes = 0;
+  }
+
+let engine t = t.engine
+let topology t = t.topo
+let dc_of t node = t.node_dc.(node)
+
+let sample_owd t ~src_dc ~dst_dc =
+  let mean = Topology.owd_ms t.topo src_dc dst_dc in
+  let cv =
+    match t.config.cv_override with
+    | Some cv when src_dc <> dst_dc -> cv
+    | _ ->
+        if src_dc = dst_dc then 0.001
+        else t.topo.Topology.link_cv.(src_dc).(dst_dc)
+  in
+  let sampled =
+    if cv <= 0.0 then mean
+    else if cv <= t.config.pareto_threshold then
+      Rng.normal t.rng ~mean ~stddev:(mean *. cv)
+    else Rng.pareto t.rng ~mean ~cv
+  in
+  (* A message can never beat light: floor at 80% of the topological mean. *)
+  let floored = Float.max sampled (0.8 *. mean) in
+  Sim_time.ms (Float.max floored 0.02)
+
+(* A message that loses a packet stalls its connection for one RTO; losses
+   during an ongoing stall are repaired within it (SACK-style), so a pipe
+   pays at most one RTO per recovery window and high-rate connections stay
+   stable under small loss rates. *)
+let retrans_delay t ~src ~dst ~src_dc ~dst_dc =
+  if t.config.loss <= 0.0 || src_dc = dst_dc then Sim_time.zero
+  else if not (Rng.bernoulli t.rng ~p:t.config.loss) then Sim_time.zero
+  else begin
+    let rtt = Sim_time.ms (Topology.rtt_ms t.topo src_dc dst_dc) in
+    let rto = Sim_time.max t.config.rto_floor (Sim_time.add rtt rtt) in
+    let now = Engine.now t.engine in
+    match Hashtbl.find_opt t.stall_until (src, dst) with
+    | Some until when until > now -> Sim_time.zero  (* repaired within the current stall *)
+    | _ ->
+        Hashtbl.replace t.stall_until (src, dst) (Sim_time.add now rto);
+        rto
+  end
+
+let transmission_depart t ~src_dc ~dst_dc ~bytes =
+  let now = Engine.now t.engine in
+  if src_dc = dst_dc then now
+  else begin
+    let rate = t.link_rate.(src_dc).(dst_dc) in
+    let tx = Sim_time.us (int_of_float (Float.ceil (float_of_int bytes /. rate))) in
+    let start = Sim_time.max now t.link_free_at.(src_dc).(dst_dc) in
+    let depart = Sim_time.add start tx in
+    t.link_free_at.(src_dc).(dst_dc) <- depart;
+    depart
+  end
+
+let deliver t ~src ~dst ~bytes ~to_cpu f =
+  let src_dc = t.node_dc.(src) and dst_dc = t.node_dc.(dst) in
+  let bytes = bytes + t.config.header_bytes in
+  t.messages <- t.messages + 1;
+  t.bytes <- t.bytes + bytes;
+  let arrival =
+    if src = dst then Sim_time.add (Engine.now t.engine) (Sim_time.us 20)
+    else begin
+      let depart = transmission_depart t ~src_dc ~dst_dc ~bytes in
+      let owd = sample_owd t ~src_dc ~dst_dc in
+      let retrans = retrans_delay t ~src ~dst ~src_dc ~dst_dc in
+      Sim_time.add depart (Sim_time.add owd retrans)
+    end
+  in
+  (* RPC transports (gRPC over TCP) deliver in order per connection; probes
+     (to_cpu = false) model UDP and may reorder. *)
+  let arrival =
+    if to_cpu && src <> dst then begin
+      let ordered =
+        match Hashtbl.find_opt t.fifo_last (src, dst) with
+        | Some last when last >= arrival -> Sim_time.add last (Sim_time.us 1)
+        | _ -> arrival
+      in
+      Hashtbl.replace t.fifo_last (src, dst) ordered;
+      ordered
+    end
+    else arrival
+  in
+  ignore
+    (Engine.schedule_at t.engine arrival (fun () ->
+         if to_cpu then Cpu.submit t.cpus.(dst) ~cost:t.config.msg_cost f
+         else f ()))
+
+let send t ~src ~dst ~bytes f = deliver t ~src ~dst ~bytes ~to_cpu:true f
+let send_isolated t ~src ~dst ~bytes f = deliver t ~src ~dst ~bytes ~to_cpu:false f
+
+let messages_sent t = t.messages
+let bytes_sent t = t.bytes
+
+let mean_owd t ~src ~dst =
+  Sim_time.ms (Topology.owd_ms t.topo t.node_dc.(src) t.node_dc.(dst))
+
+let max_fifo_last t = Hashtbl.fold (fun _ v acc -> Sim_time.max v acc) t.fifo_last Sim_time.zero
+
+let max_link_busy t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left Sim_time.max acc row)
+    Sim_time.zero t.link_free_at

@@ -1,0 +1,77 @@
+(** The message-passing network.
+
+    Messages are delivered as callbacks: [send t ~src ~dst ~bytes f] samples
+    a one-way delay for the (src DC, dst DC) link, applies loss-induced
+    retransmission delay and link-capacity queueing, and finally submits [f]
+    to the destination node's CPU station (so a saturated receiver delays
+    delivery further).
+
+    The model, and what each piece reproduces from the paper:
+
+    - {b Propagation}: one-way delay = RTT/2 from the topology, perturbed by
+      the link's variance coefficient. Variance below [pareto_threshold]
+      uses a truncated Gaussian (stable private WAN, §2.2); above it, a
+      Pareto distribution with matching mean, as the paper's §5.5 emulation
+      does.
+    - {b Loss} (§5.5, Fig. 12): each cross-DC message independently loses
+      its first [k] transmissions with probability [loss] each; every lost
+      transmission adds a TCP-like retransmission timeout
+      [max rto_floor (2 * rtt)].
+    - {b Capacity} (Fig. 12 saturation): each directed DC pair is a queueing
+      station whose rate is the smaller of the configured WAN bandwidth and
+      a Mathis-model TCP throughput [flows * MSS * 1.22 / (rtt * sqrt loss)]
+      when loss is non-zero. Systems that move more bytes (Carousel Basic
+      replicates transactional data twice) saturate at lower loss rates.
+    - {b CPU} (Fig. 7c, Fig. 14): the receiving node's CPU processes each
+      message for [msg_cost]; overloaded leaders queue. *)
+
+type config = {
+  msg_cost : Simcore.Sim_time.t;  (** CPU time to process one message *)
+  cv_override : float option;  (** replaces every link's variance coefficient *)
+  loss : float;  (** cross-DC packet loss probability, [0, 1) *)
+  rto_floor : Simcore.Sim_time.t;  (** minimum TCP retransmission timeout *)
+  wan_bandwidth_mbps : float;  (** loss-free capacity per directed DC pair *)
+  mathis_flows : float;  (** concurrent TCP flows sharing a DC pair *)
+  header_bytes : int;  (** added to every message's payload size *)
+  pareto_threshold : float;  (** cv above which delays turn Pareto *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  engine:Simcore.Engine.t ->
+  rng:Simcore.Rng.t ->
+  topo:Topology.t ->
+  node_dc:int array ->
+  cpus:Simcore.Cpu.t array ->
+  ?config:config ->
+  unit ->
+  t
+
+val engine : t -> Simcore.Engine.t
+val topology : t -> Topology.t
+val dc_of : t -> int -> int
+
+val send : t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
+(** Delivers [f] at the destination after network + CPU delays. Messages
+    between the same (src, dst) pair are NOT reordered relative to each
+    other when variance is low, but no global FIFO guarantee is given —
+    like TCP per-connection ordering, concurrent connections race. *)
+
+val send_isolated : t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
+(** Like {!send} but bypasses the destination CPU station; used for
+    measurement probes, which in the real system are tiny UDP packets
+    answered in the kernel fast path. Loss and capacity still apply. *)
+
+val messages_sent : t -> int
+val bytes_sent : t -> int
+
+val mean_owd : t -> src:int -> dst:int -> Simcore.Sim_time.t
+(** The topological (no-noise) one-way delay, for protocol-internal
+    estimates such as Natto's transaction-completion prediction. *)
+
+(* Diagnostics *)
+val max_fifo_last : t -> Simcore.Sim_time.t
+val max_link_busy : t -> Simcore.Sim_time.t

@@ -1,0 +1,106 @@
+type t = {
+  name : string;
+  dc_names : string array;
+  rtt_ms : float array array;
+  link_cv : float array array;
+  intra_dc_rtt_ms : float;
+}
+
+let n_dcs t = Array.length t.dc_names
+
+let rtt_ms t a b = if a = b then t.intra_dc_rtt_ms else t.rtt_ms.(a).(b)
+let owd_ms t a b = rtt_ms t a b /. 2.0
+
+let symmetric n entries =
+  let m = Array.make_matrix n n 0.0 in
+  List.iter
+    (fun (a, b, v) ->
+      m.(a).(b) <- v;
+      m.(b).(a) <- v)
+    entries;
+  m
+
+let const_matrix n v =
+  let m = Array.make_matrix n n v in
+  for i = 0 to n - 1 do
+    m.(i).(i) <- 0.0
+  done;
+  m
+
+(* Table 1 of the paper: average network roundtrip delays in ms. *)
+let azure5 =
+  let names = [| "VA"; "WA"; "PR"; "NSW"; "SG" |] in
+  let rtt =
+    symmetric 5
+      [
+        (0, 1, 67.); (0, 2, 80.); (0, 3, 196.); (0, 4, 214.);
+        (1, 2, 136.); (1, 3, 175.); (1, 4, 163.);
+        (2, 3, 234.); (2, 4, 149.);
+        (3, 4, 87.);
+      ]
+  in
+  {
+    name = "azure5";
+    dc_names = names;
+    rtt_ms = rtt;
+    link_cv = const_matrix 5 0.001;
+    intra_dc_rtt_ms = 0.5;
+  }
+
+let hybrid_aws_azure =
+  let names = [| "AWS-east"; "AWS-west"; "PR"; "NSW"; "SG" |] in
+  let rtt =
+    symmetric 5
+      [
+        (0, 1, 62.); (0, 2, 78.); (0, 3, 198.); (0, 4, 216.);
+        (1, 2, 140.); (1, 3, 160.); (1, 4, 170.);
+        (2, 3, 234.); (2, 4, 149.);
+        (3, 4, 87.);
+      ]
+  in
+  let cv = const_matrix 5 0.001 in
+  (* Cross-provider links (anything touching the two AWS DCs) traverse the
+     public internet and are noticeably more variable. *)
+  for i = 0 to 4 do
+    for j = 0 to 4 do
+      if i <> j && (i < 2 || j < 2) then cv.(i).(j) <- 0.05
+    done
+  done;
+  {
+    name = "hybrid-aws-azure";
+    dc_names = names;
+    rtt_ms = rtt;
+    link_cv = cv;
+    intra_dc_rtt_ms = 0.5;
+  }
+
+let local3 =
+  let names = [| "DC-A"; "DC-B"; "DC-C" |] in
+  let rtt = symmetric 3 [ (0, 1, 4.); (0, 2, 6.); (1, 2, 8.) ] in
+  {
+    name = "local3";
+    dc_names = names;
+    rtt_ms = rtt;
+    link_cv = const_matrix 3 0.001;
+    intra_dc_rtt_ms = 0.2;
+  }
+
+let with_cv t cv =
+  let n = n_dcs t in
+  { t with link_cv = const_matrix n cv; name = Printf.sprintf "%s+cv%.2f" t.name cv }
+
+let pp fmt t =
+  let n = n_dcs t in
+  Format.fprintf fmt "topology %s:@." t.name;
+  Format.fprintf fmt "%6s" "";
+  for j = 0 to n - 1 do
+    Format.fprintf fmt "%9s" t.dc_names.(j)
+  done;
+  Format.fprintf fmt "@.";
+  for i = 0 to n - 1 do
+    Format.fprintf fmt "%6s" t.dc_names.(i);
+    for j = 0 to n - 1 do
+      Format.fprintf fmt "%9.0f" t.rtt_ms.(i).(j)
+    done;
+    Format.fprintf fmt "@."
+  done

@@ -1,0 +1,44 @@
+(** Datacenter topologies.
+
+    A topology is a set of datacenters with a symmetric round-trip-delay
+    matrix and a per-link delay-variance coefficient (stddev / mean). The
+    presets mirror the deployments in the paper's evaluation (§5.1, §5.5,
+    §5.6). *)
+
+type t = {
+  name : string;
+  dc_names : string array;
+  rtt_ms : float array array;  (** symmetric; diagonal is 0 *)
+  link_cv : float array array;
+      (** per-link coefficient of variation of the one-way delay *)
+  intra_dc_rtt_ms : float;  (** RTT between two nodes in the same DC *)
+}
+
+val n_dcs : t -> int
+
+val rtt_ms : t -> int -> int -> float
+(** Round-trip delay between two DCs ([intra_dc_rtt_ms] when equal). *)
+
+val owd_ms : t -> int -> int -> float
+(** One-way delay: [rtt_ms / 2]. *)
+
+val azure5 : t
+(** The five Azure datacenters of Table 1: VA, WA, PR, NSW, SG, with the
+    paper's measured RTTs and the ~0.1% variance the paper reports for
+    Azure's private WAN. *)
+
+val hybrid_aws_azure : t
+(** §5.5 hybrid-cloud deployment: VA and WA replaced by AWS us-east and
+    us-west. The paper gives no RTT table for this setting; we use delays
+    close to the Azure ones for the same regions and a higher variance on
+    cross-provider links, which is the property the experiment exercises. *)
+
+val local3 : t
+(** §5.6 local cluster: three simulated DCs with 4/6/8 ms RTTs. *)
+
+val with_cv : t -> float -> t
+(** [with_cv t cv] overrides every inter-DC link's variance coefficient,
+    used by the Fig. 11 delay-variance sweep. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the RTT matrix in the style of Table 1. *)

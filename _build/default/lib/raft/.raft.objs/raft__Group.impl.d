@@ -1,0 +1,1 @@
+lib/raft/group.ml: Array List Netsim Node Simcore Types

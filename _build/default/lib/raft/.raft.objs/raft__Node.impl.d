@@ -1,0 +1,1 @@
+lib/raft/node.ml: Array Engine Hashtbl List Rng Sim_time Simcore Stdlib Types Vec

@@ -1,0 +1,1 @@
+lib/raft/node.mli: Simcore Types

@@ -1,0 +1,63 @@
+type t = {
+  nodes : (int * Node.t) list;  (** network node id -> raft node *)
+  member_ids : int array;
+  engine : Simcore.Engine.t;
+}
+
+let node t id =
+  try List.assoc id t.nodes with Not_found -> invalid_arg "Raft.Group.node: not a member"
+
+let create ~engine ~net ~rng ?(config = Node.default_config) ~members ?initial_leader () =
+  let nodes =
+    Array.to_list
+      (Array.map
+         (fun id ->
+           (id, Node.create ~engine ~rng:(Simcore.Rng.split rng) ~config ~id ~peers:members))
+         members)
+  in
+  let t = { nodes; member_ids = members; engine } in
+  List.iter
+    (fun (id, n) ->
+      Node.set_transport n (fun ~dst msg ->
+          let bytes = Types.message_bytes msg in
+          Netsim.Network.send net ~src:id ~dst ~bytes (fun () -> Node.receive (node t dst) msg)))
+    nodes;
+  (match initial_leader with
+  | Some leader ->
+      List.iter (fun (id, n) -> if id <> leader then Node.start n) nodes;
+      Node.force_leader (node t leader)
+  | None -> List.iter (fun (_, n) -> Node.start n) nodes);
+  t
+
+let members t = t.member_ids
+
+let leader_id t =
+  List.find_map (fun (id, n) -> if Node.role n = Leader && not (Node.is_stopped n) then Some id else None) t.nodes
+
+let replicate t ~size ?(tag = 0) ~on_committed () =
+  (* Leaderless windows (mid-election) buffer the request and retry, as a
+     client library would; after ~30 s of no leader the entry is dropped
+     (the group is considered failed). *)
+  let rec attempt tries =
+    match leader_id t with
+    | Some id -> ignore (Node.replicate (node t id) ~size ~tag ~on_committed)
+    | None ->
+        if tries < 150 then
+          ignore
+            (Simcore.Engine.schedule_after t.engine (Simcore.Sim_time.ms 200.) (fun () ->
+                 attempt (tries + 1)))
+  in
+  attempt 0
+
+let crash t id = Node.crash (node t id)
+let restart t id = Node.restart (node t id)
+
+let converged t =
+  let live = List.filter (fun (_, n) -> not (Node.is_stopped n)) t.nodes in
+  match live with
+  | [] -> true
+  | (_, first) :: rest ->
+      let reference = Node.log_entries first and commit = Node.commit_index first in
+      List.for_all
+        (fun (_, n) -> Node.log_entries n = reference && Node.commit_index n = commit)
+        rest

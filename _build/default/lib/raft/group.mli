@@ -1,0 +1,40 @@
+(** A replica group: Raft nodes wired over the simulated network.
+
+    Transaction systems call {!replicate} at the group's leader to make a
+    record durable; the callback fires when a majority of replicas hold the
+    entry (i.e. when a real system would acknowledge the write). *)
+
+type t
+
+val create :
+  engine:Simcore.Engine.t ->
+  net:Netsim.Network.t ->
+  rng:Simcore.Rng.t ->
+  ?config:Node.config ->
+  members:int array ->
+  ?initial_leader:int ->
+  unit ->
+  t
+(** [members] are network node ids. With [initial_leader] the group starts
+    with an installed term-1 leader and no cold-start election; without it,
+    all members start as followers and elect normally. *)
+
+val members : t -> int array
+
+val leader_id : t -> int option
+(** The node that currently believes it is leader, if any. *)
+
+val node : t -> int -> Node.t
+(** The Raft node living at the given network node id. *)
+
+val replicate : t -> size:int -> ?tag:int -> on_committed:(unit -> unit) -> unit -> unit
+(** Appends an entry at the current leader. During a leaderless window
+    (mid-election) the request is buffered and retried every 200 ms, like a
+    client library would; it is dropped if no leader emerges within ~30 s. *)
+
+val crash : t -> int -> unit
+val restart : t -> int -> unit
+
+val converged : t -> bool
+(** True when all live members have identical logs and commit indices —
+    used by tests to check replication convergence. *)

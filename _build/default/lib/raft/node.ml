@@ -1,0 +1,344 @@
+open Simcore
+
+type role = Follower | Candidate | Leader
+
+type config = {
+  election_timeout : Sim_time.t;
+  heartbeat_interval : Sim_time.t;
+}
+
+let default_config =
+  { election_timeout = Sim_time.ms 1500.; heartbeat_interval = Sim_time.ms 150. }
+
+type t = {
+  id : int;
+  peers : int array;
+  engine : Engine.t;
+  rng : Rng.t;
+  config : config;
+  mutable send : dst:int -> Types.message -> unit;
+  mutable term : int;
+  mutable voted_for : int option;
+  mutable role : role;
+  log : Types.entry Vec.t;
+  mutable commit_index : int;
+  next_index : (int, int) Hashtbl.t;
+  match_index : (int, int) Hashtbl.t;
+  callbacks : (int, unit -> unit) Hashtbl.t;
+  mutable votes_granted : int list;
+  mutable election_timer : Engine.handle option;
+  mutable heartbeat_timer : Engine.handle option;
+  mutable stopped : bool;
+  mutable leader_hint : int option;
+  mutable fired_up_to : int;  (** highest index whose commit callback ran *)
+}
+
+let create ~engine ~rng ~config ~id ~peers =
+  {
+    id;
+    peers;
+    engine;
+    rng;
+    config;
+    send = (fun ~dst:_ _ -> invalid_arg "Raft.Node: transport not set");
+    term = 0;
+    voted_for = None;
+    role = Follower;
+    log = Vec.create ();
+    commit_index = 0;
+    next_index = Hashtbl.create 7;
+    match_index = Hashtbl.create 7;
+    callbacks = Hashtbl.create 64;
+    votes_granted = [];
+    election_timer = None;
+    heartbeat_timer = None;
+    stopped = false;
+    leader_hint = None;
+    fired_up_to = 0;
+  }
+
+let set_transport t send = t.send <- send
+
+let majority t = (Array.length t.peers / 2) + 1
+let last_log_index t = Vec.length t.log
+let entry_term t i = if i = 0 then 0 else (Vec.get t.log (i - 1)).Types.term
+
+let cancel_timer = function Some h -> Engine.cancel h | None -> ()
+
+let broadcast t msg =
+  Array.iter (fun peer -> if peer <> t.id then t.send ~dst:peer msg) t.peers
+
+(* --- timers --- *)
+
+let rec reset_election_timer t =
+  cancel_timer t.election_timer;
+  let base = Sim_time.to_us t.config.election_timeout in
+  let delay = Sim_time.us (base + Rng.int t.rng base) in
+  t.election_timer <- Some (Engine.schedule_after t.engine delay (fun () -> on_election_timeout t))
+
+and on_election_timeout t =
+  if not t.stopped then begin
+    match t.role with
+    | Leader -> ()
+    | Follower | Candidate -> become_candidate t
+  end
+
+and become_candidate t =
+  t.term <- t.term + 1;
+  t.role <- Candidate;
+  t.voted_for <- Some t.id;
+  t.votes_granted <- [ t.id ];
+  t.leader_hint <- None;
+  reset_election_timer t;
+  broadcast t
+    (Types.Request_vote
+       {
+         term = t.term;
+         candidate = t.id;
+         last_log_index = last_log_index t;
+         last_log_term = entry_term t (last_log_index t);
+       });
+  if majority t = 1 then become_leader t
+
+and become_leader t =
+  t.role <- Leader;
+  t.leader_hint <- Some t.id;
+  cancel_timer t.election_timer;
+  t.election_timer <- None;
+  Array.iter
+    (fun peer ->
+      Hashtbl.replace t.next_index peer (last_log_index t + 1);
+      Hashtbl.replace t.match_index peer (if peer = t.id then last_log_index t else 0))
+    t.peers;
+  send_heartbeats t;
+  arm_heartbeat t
+
+and arm_heartbeat t =
+  cancel_timer t.heartbeat_timer;
+  t.heartbeat_timer <-
+    Some
+      (Engine.schedule_after t.engine t.config.heartbeat_interval (fun () ->
+           if (not t.stopped) && t.role = Leader then begin
+             send_heartbeats t;
+             arm_heartbeat t
+           end))
+
+and send_heartbeats t =
+  Array.iter (fun peer -> if peer <> t.id then send_append t peer) t.peers
+
+and send_append t peer =
+  let next = try Hashtbl.find t.next_index peer with Not_found -> last_log_index t + 1 in
+  let prev_index = next - 1 in
+  let entries =
+    let rec collect i acc =
+      if i > last_log_index t then List.rev acc
+      else collect (i + 1) (Vec.get t.log (i - 1) :: acc)
+    in
+    collect next []
+  in
+  t.send ~dst:peer
+    (Types.Append_entries
+       {
+         term = t.term;
+         leader = t.id;
+         prev_index;
+         prev_term = entry_term t prev_index;
+         entries;
+         leader_commit = t.commit_index;
+       });
+  (* Pipelining (as in etcd/raft): advance next_index optimistically so the
+     suffix is not resent on every subsequent append; a failure reply resets
+     it via the hint. *)
+  if entries <> [] then Hashtbl.replace t.next_index peer (last_log_index t + 1)
+
+(* --- state transitions --- *)
+
+let become_follower t ~term =
+  let was_leader = t.role = Leader in
+  t.term <- term;
+  t.role <- Follower;
+  t.voted_for <- None;
+  t.votes_granted <- [];
+  if was_leader then begin
+    cancel_timer t.heartbeat_timer;
+    t.heartbeat_timer <- None
+  end;
+  reset_election_timer t
+
+let fire_committed_callbacks t =
+  let rec fire i =
+    if i <= t.commit_index then begin
+      (match Hashtbl.find_opt t.callbacks i with
+      | Some cb ->
+          Hashtbl.remove t.callbacks i;
+          cb ()
+      | None -> ());
+      t.fired_up_to <- i;
+      fire (i + 1)
+    end
+  in
+  fire (t.fired_up_to + 1)
+
+let advance_commit t =
+  let n = last_log_index t in
+  let best = ref t.commit_index in
+  for candidate = t.commit_index + 1 to n do
+    if entry_term t candidate = t.term then begin
+      let acks =
+        Array.fold_left
+          (fun acc peer ->
+            let m = try Hashtbl.find t.match_index peer with Not_found -> 0 in
+            if m >= candidate then acc + 1 else acc)
+          0 t.peers
+      in
+      if acks >= majority t then best := candidate
+    end
+  done;
+  if !best > t.commit_index then begin
+    t.commit_index <- !best;
+    fire_committed_callbacks t
+  end
+
+(* --- message handling --- *)
+
+let handle_request_vote t ~term ~candidate ~last_log_index:cand_last_index
+    ~last_log_term:cand_last_term =
+  if term > t.term then become_follower t ~term;
+  let up_to_date =
+    let my_last = last_log_index t in
+    let my_term = entry_term t my_last in
+    cand_last_term > my_term || (cand_last_term = my_term && cand_last_index >= my_last)
+  in
+  let granted =
+    term = t.term && up_to_date
+    && (match t.voted_for with None -> true | Some v -> v = candidate)
+    && t.role = Follower
+  in
+  if granted then begin
+    t.voted_for <- Some candidate;
+    reset_election_timer t
+  end;
+  t.send ~dst:candidate (Types.Vote { term = t.term; from = t.id; granted })
+
+let handle_vote t ~term ~from ~granted =
+  if term > t.term then become_follower t ~term
+  else if t.role = Candidate && term = t.term && granted then begin
+    if not (List.mem from t.votes_granted) then t.votes_granted <- from :: t.votes_granted;
+    if List.length t.votes_granted >= majority t then become_leader t
+  end
+
+let handle_append_entries t ~term ~leader ~prev_index ~prev_term ~entries ~leader_commit =
+  if term > t.term || (term = t.term && t.role = Candidate) then become_follower t ~term;
+  if term < t.term then
+    t.send ~dst:leader
+      (Types.Append_reply
+         { term = t.term; from = t.id; success = false; match_index = 0; hint_index = 0 })
+  else begin
+    t.leader_hint <- Some leader;
+    reset_election_timer t;
+    let log_ok = prev_index = 0 || (prev_index <= last_log_index t && entry_term t prev_index = prev_term) in
+    if not log_ok then begin
+      let hint = Stdlib.min prev_index (last_log_index t + 1) in
+      t.send ~dst:leader
+        (Types.Append_reply
+           {
+             term = t.term;
+             from = t.id;
+             success = false;
+             match_index = 0;
+             hint_index = Stdlib.max 1 hint;
+           })
+    end
+    else begin
+      List.iter
+        (fun (e : Types.entry) ->
+          if e.index <= last_log_index t then begin
+            if entry_term t e.index <> e.term then begin
+              (* Conflict: truncate our log from this point and append. *)
+              Vec.truncate t.log (e.index - 1);
+              Vec.push t.log e
+            end
+          end
+          else begin
+            assert (e.index = last_log_index t + 1);
+            Vec.push t.log e
+          end)
+        entries;
+      let match_index = prev_index + List.length entries in
+      if leader_commit > t.commit_index then begin
+        t.commit_index <- Stdlib.min leader_commit (last_log_index t);
+        fire_committed_callbacks t
+      end;
+      t.send ~dst:leader
+        (Types.Append_reply
+           { term = t.term; from = t.id; success = true; match_index; hint_index = 0 })
+    end
+  end
+
+let handle_append_reply t ~term ~from ~success ~match_index ~hint_index =
+  if term > t.term then become_follower t ~term
+  else if t.role = Leader && term = t.term then begin
+    if success then begin
+      let prev = try Hashtbl.find t.match_index from with Not_found -> 0 in
+      if match_index > prev then Hashtbl.replace t.match_index from match_index;
+      Hashtbl.replace t.next_index from (Stdlib.max (match_index + 1) 1);
+      advance_commit t
+    end
+    else begin
+      Hashtbl.replace t.next_index from (Stdlib.max 1 hint_index);
+      send_append t from
+    end
+  end
+
+let receive t msg =
+  if not t.stopped then
+    match msg with
+    | Types.Request_vote { term; candidate; last_log_index; last_log_term } ->
+        handle_request_vote t ~term ~candidate ~last_log_index ~last_log_term
+    | Types.Vote { term; from; granted } -> handle_vote t ~term ~from ~granted
+    | Types.Append_entries { term; leader; prev_index; prev_term; entries; leader_commit } ->
+        handle_append_entries t ~term ~leader ~prev_index ~prev_term ~entries ~leader_commit
+    | Types.Append_reply { term; from; success; match_index; hint_index } ->
+        handle_append_reply t ~term ~from ~success ~match_index ~hint_index
+
+(* --- public API --- *)
+
+let start t = reset_election_timer t
+
+let force_leader t =
+  t.term <- 1;
+  become_leader t
+
+let replicate t ~size ~tag ~on_committed =
+  if t.role <> Leader then invalid_arg "Raft.Node.replicate: not the leader";
+  let index = last_log_index t + 1 in
+  Vec.push t.log { Types.term = t.term; index; size; tag };
+  Hashtbl.replace t.callbacks index on_committed;
+  Hashtbl.replace t.match_index t.id index;
+  Array.iter (fun peer -> if peer <> t.id then send_append t peer) t.peers;
+  (* Single-node groups commit immediately. *)
+  advance_commit t;
+  index
+
+let crash t =
+  t.stopped <- true;
+  cancel_timer t.election_timer;
+  cancel_timer t.heartbeat_timer;
+  t.election_timer <- None;
+  t.heartbeat_timer <- None
+
+let restart t =
+  t.stopped <- false;
+  t.role <- Follower;
+  t.votes_granted <- [];
+  t.leader_hint <- None;
+  reset_election_timer t
+
+let id t = t.id
+let role t = t.role
+let term t = t.term
+let commit_index t = t.commit_index
+let log_length t = last_log_index t
+let log_entries t = Vec.to_list t.log
+let leader_hint t = t.leader_hint
+let is_stopped t = t.stopped

@@ -1,0 +1,68 @@
+(** A single Raft participant.
+
+    Implements the full consensus algorithm of Ongaro & Ousterhout: randomized
+    election timeouts, leader election with up-to-date log checks, log
+    replication with consistency checks and conflict truncation, and commit
+    advancement restricted to the current term. Crash/restart preserves
+    persistent state (term, vote, log) and discards volatile state, modelling
+    a process with durable storage.
+
+    Nodes are wired together by {!Group}, which provides the [send]
+    transport over the simulated network. *)
+
+type role = Follower | Candidate | Leader
+
+type config = {
+  election_timeout : Simcore.Sim_time.t;
+      (** base timeout; actual timeouts are uniform in [\[base, 2*base\]] *)
+  heartbeat_interval : Simcore.Sim_time.t;
+}
+
+val default_config : config
+(** WAN-appropriate defaults: 1.5 s election timeout base, 150 ms
+    heartbeats. *)
+
+type t
+
+val create :
+  engine:Simcore.Engine.t ->
+  rng:Simcore.Rng.t ->
+  config:config ->
+  id:int ->
+  peers:int array ->
+  t
+(** [peers] includes the node itself. The node does nothing until
+    {!set_transport} is called and either {!start} or {!force_leader} runs. *)
+
+val set_transport : t -> (dst:int -> Types.message -> unit) -> unit
+
+val start : t -> unit
+(** Arms the election timer (normal cold start: an election will occur). *)
+
+val force_leader : t -> unit
+(** Installs the node as leader of term 1 without an election; its peers
+    must have been {!start}ed or left idle. Used by experiments to skip
+    startup elections, as a stable production deployment would have. *)
+
+val receive : t -> Types.message -> unit
+
+val replicate : t -> size:int -> tag:int -> on_committed:(unit -> unit) -> int
+(** Appends a client entry at the leader and returns its log index; the
+    callback fires when the entry's index is committed on this node.
+    Raises [Invalid_argument] when called on a non-leader. *)
+
+val crash : t -> unit
+(** Stops processing messages and timers. Persistent state survives. *)
+
+val restart : t -> unit
+
+(* Introspection (tests, metrics). *)
+
+val id : t -> int
+val role : t -> role
+val term : t -> int
+val commit_index : t -> int
+val log_length : t -> int
+val log_entries : t -> Types.entry list
+val leader_hint : t -> int option
+val is_stopped : t -> bool

@@ -1,0 +1,1 @@
+lib/simcore/vec.ml: Array List Printf Stdlib

@@ -1,0 +1,26 @@
+type t = {
+  engine : Engine.t;
+  mutable free_at : Sim_time.t;
+  mutable total_busy : Sim_time.t;
+  mutable jobs : int;
+}
+
+let create engine = { engine; free_at = Sim_time.zero; total_busy = Sim_time.zero; jobs = 0 }
+
+let submit t ~cost f =
+  let now = Engine.now t.engine in
+  let start = Sim_time.max now t.free_at in
+  let finish = Sim_time.add start cost in
+  t.free_at <- finish;
+  t.total_busy <- Sim_time.add t.total_busy cost;
+  t.jobs <- t.jobs + 1;
+  ignore (Engine.schedule_at t.engine finish f)
+
+let busy_until t = t.free_at
+let total_busy t = t.total_busy
+let jobs_processed t = t.jobs
+
+let utilization t ~since ~now =
+  let span = Sim_time.sub now since in
+  if span <= 0 then 0.0
+  else Float.min 1.0 (float_of_int t.total_busy /. float_of_int span)

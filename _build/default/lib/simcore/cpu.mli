@@ -1,0 +1,29 @@
+(** A single-server FIFO processing station.
+
+    Models the CPU of one simulated machine: each submitted job occupies the
+    processor for its cost, jobs queue behind each other, and the completion
+    callback runs when the job finishes. This is what makes partition
+    leaders saturate under load (paper Fig. 7c and Fig. 14): a node that
+    receives messages faster than it can process them builds up queueing
+    delay. *)
+
+type t
+
+val create : Engine.t -> t
+
+val submit : t -> cost:Sim_time.t -> (unit -> unit) -> unit
+(** Enqueues a job. The callback fires at
+    [max now (free time) + cost]. A zero-cost job on an idle CPU runs as a
+    separate event at the current time. *)
+
+val busy_until : t -> Sim_time.t
+(** Time at which the station drains, given current work. *)
+
+val total_busy : t -> Sim_time.t
+(** Accumulated processing time, for utilization accounting. *)
+
+val jobs_processed : t -> int
+
+val utilization : t -> since:Sim_time.t -> now:Sim_time.t -> float
+(** Fraction of [\[since, now\]] the station was busy (approximate: assumes
+    [total_busy] was sampled at [since] = 0 busy). *)

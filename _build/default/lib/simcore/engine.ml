@@ -1,0 +1,46 @@
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable clock : Sim_time.t;
+  mutable processed : int;
+}
+
+type handle = Event_queue.handle
+
+let create () = { queue = Event_queue.create (); clock = Sim_time.zero; processed = 0 }
+
+let now t = t.clock
+
+let schedule_at t time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %d is before now %d" time t.clock);
+  Event_queue.push t.queue ~time f
+
+let schedule_after t delay f = schedule_at t (Sim_time.add t.clock delay) f
+
+let cancel = Event_queue.cancel
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      t.processed <- t.processed + 1;
+      f ();
+      true
+
+let run t = while step t do () done
+
+let run_until t horizon =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= horizon ->
+        ignore (step t);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  if horizon > t.clock then t.clock <- horizon
+
+let events_processed t = t.processed
+let pending t = Event_queue.live_size t.queue

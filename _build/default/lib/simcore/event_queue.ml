@@ -1,0 +1,122 @@
+type entry = {
+  time : Sim_time.t;
+  seq : int;
+  mutable dead : bool;
+}
+
+type handle = entry
+
+type 'a t = {
+  mutable entries : entry array;
+  mutable payloads : 'a option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let initial_capacity = 256
+
+let dummy_entry = { time = 0; seq = -1; dead = true }
+
+let create () =
+  {
+    entries = Array.make initial_capacity dummy_entry;
+    payloads = Array.make initial_capacity None;
+    size = 0;
+    next_seq = 0;
+  }
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.entries in
+  let entries = Array.make (cap * 2) dummy_entry in
+  let payloads = Array.make (cap * 2) None in
+  Array.blit t.entries 0 entries 0 t.size;
+  Array.blit t.payloads 0 payloads 0 t.size;
+  t.entries <- entries;
+  t.payloads <- payloads
+
+let swap t i j =
+  let e = t.entries.(i) in
+  t.entries.(i) <- t.entries.(j);
+  t.entries.(j) <- e;
+  let p = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- p
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if precedes t.entries.(i) t.entries.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && precedes t.entries.(l) t.entries.(!smallest) then smallest := l;
+  if r < t.size && precedes t.entries.(r) t.entries.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~time payload =
+  if t.size = Array.length t.entries then grow t;
+  let entry = { time; seq = t.next_seq; dead = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.entries.(t.size) <- entry;
+  t.payloads.(t.size) <- Some payload;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  entry
+
+let cancel (h : handle) = h.dead <- true
+
+let remove_root t =
+  let entry = t.entries.(0) in
+  let payload = t.payloads.(0) in
+  t.size <- t.size - 1;
+  t.entries.(0) <- t.entries.(t.size);
+  t.payloads.(0) <- t.payloads.(t.size);
+  t.entries.(t.size) <- dummy_entry;
+  t.payloads.(t.size) <- None;
+  if t.size > 0 then sift_down t 0;
+  (entry, payload)
+
+let rec pop t =
+  if t.size = 0 then None
+  else begin
+    let entry, payload = remove_root t in
+    if entry.dead then pop t
+    else begin
+      (* Marked dead so that a late [cancel] on this handle is harmless. *)
+      entry.dead <- true;
+      match payload with
+      | Some p -> Some (entry.time, p)
+      | None -> assert false
+    end
+  end
+
+let rec drop_dead_root t =
+  if t.size > 0 && t.entries.(0).dead then begin
+    ignore (remove_root t);
+    drop_dead_root t
+  end
+
+let peek_time t =
+  drop_dead_root t;
+  if t.size = 0 then None else Some t.entries.(0).time
+
+let live_size t =
+  let count = ref 0 in
+  for i = 0 to t.size - 1 do
+    if not t.entries.(i).dead then incr count
+  done;
+  !count
+
+let is_empty t =
+  drop_dead_root t;
+  t.size = 0

@@ -1,0 +1,28 @@
+(** A cancellable min-heap of timed events.
+
+    Events with equal timestamps are delivered in insertion order, which
+    (together with {!Rng}) makes whole simulations deterministic.
+    Cancellation is O(1): the entry is marked dead and skipped on pop. *)
+
+type 'a t
+type handle
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:Sim_time.t -> 'a -> handle
+
+val cancel : handle -> unit
+(** Marks the entry dead. Cancelling twice, or after the event popped, is a
+    no-op. *)
+
+val pop : 'a t -> (Sim_time.t * 'a) option
+(** Removes and returns the earliest live event, skipping dead ones. *)
+
+val peek_time : 'a t -> Sim_time.t option
+(** Timestamp of the earliest live event. *)
+
+val live_size : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val is_empty : 'a t -> bool
+(** [true] iff there is no live event. *)

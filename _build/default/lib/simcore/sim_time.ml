@@ -1,0 +1,19 @@
+type t = int
+
+let zero = 0
+let us n = n
+let ms x = int_of_float (Float.round (x *. 1_000.))
+let seconds x = int_of_float (Float.round (x *. 1_000_000.))
+let to_us t = t
+let to_ms t = float_of_int t /. 1_000.
+let to_seconds t = float_of_int t /. 1_000_000.
+let add = ( + )
+let sub = ( - )
+let max = Stdlib.max
+let min = Stdlib.min
+let compare = Int.compare
+
+let pp fmt t =
+  if t >= 1_000_000 then Format.fprintf fmt "%.3fs" (to_seconds t)
+  else if t >= 1_000 then Format.fprintf fmt "%.3fms" (to_ms t)
+  else Format.fprintf fmt "%dus" t

@@ -1,0 +1,1 @@
+lib/simstats/histogram.ml: Array Float Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/simstats/percentile.ml: Array Float Stdlib

@@ -1,0 +1,21 @@
+let t_table =
+  (* Two-sided 95% critical values for df = 1..30. *)
+  [|
+    12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+    2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+    2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+  |]
+
+let t_critical ~df =
+  if df <= 0 then 0.0 else if df <= 30 then t_table.(df - 1) else 1.96
+
+let interval95 values =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Confidence.interval95: empty array";
+  let m = Percentile.mean values in
+  if n = 1 then (m, 0.0)
+  else begin
+    let s = Percentile.stddev values in
+    let half = t_critical ~df:(n - 1) *. s /. sqrt (float_of_int n) in
+    (m, half)
+  end

@@ -1,0 +1,25 @@
+let percentile a ~p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Percentile.percentile: empty array";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+  let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
+  sorted.(idx)
+
+let p95 a = percentile a ~p:0.95
+let p50 a = percentile a ~p:0.50
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Percentile.mean: empty array";
+  Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let stddev a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+    sqrt (ss /. float_of_int (n - 1))
+  end

@@ -1,0 +1,1 @@
+lib/store/occ.ml: Array Hashtbl List Option

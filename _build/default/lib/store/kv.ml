@@ -1,0 +1,17 @@
+type value = { data : int; version : int }
+
+type t = { table : (int, value) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 4096 }
+
+let get t key =
+  match Hashtbl.find_opt t.table key with
+  | Some v -> v
+  | None -> { data = 0; version = 0 }
+
+let put t ~key ~data =
+  let prev = get t key in
+  Hashtbl.replace t.table key { data; version = prev.version + 1 }
+
+let version t key = (get t key).version
+let keys_written t = Hashtbl.length t.table

@@ -1,0 +1,24 @@
+(** A versioned in-memory key-value store (one per partition replica).
+
+    Values are integers (the workloads treat them as counters, which lets
+    tests check serializability: under any serializable execution the final
+    counter equals the number of committed increments). Every write bumps
+    the key's version; versions let TAPIR and Carousel Fast detect stale
+    reads. *)
+
+type value = { data : int; version : int }
+
+type t
+
+val create : unit -> t
+
+val get : t -> int -> value
+(** Unwritten keys read as [{ data = 0; version = 0 }]. *)
+
+val put : t -> key:int -> data:int -> unit
+(** Stores [data] and increments the key's version. *)
+
+val version : t -> int -> int
+
+val keys_written : t -> int
+(** Number of distinct keys ever written. *)

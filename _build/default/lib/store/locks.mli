@@ -1,0 +1,56 @@
+(** A lock table for the 2PL+2PC baseline.
+
+    Shared/exclusive locks with a wait queue per key. Deadlocks are
+    prevented with wound-wait [Rosenkrantz et al.]: an older requester
+    (smaller timestamp) aborts ("wounds") younger conflicting holders; a
+    younger requester waits. Two priority-preemption policies from the
+    paper's §4 are layered on top:
+
+    - {!policy} [Preempt] (the paper's "2PL+2PC(P)"): a high-priority
+      requester additionally aborts conflicting low-priority lock holders,
+      and aborts low-priority waiters queued ahead of it.
+    - {!policy} [Preempt_on_wait] (the paper's "2PL+2PC(POW)", McWherter et
+      al.): a high-priority requester aborts a conflicting low-priority
+      holder only if that holder is itself waiting for some other lock.
+
+    Transactions that have voted in 2PC are {!pin}ned: they can no longer be
+    wounded or preempted (a participant cannot unilaterally abort a prepared
+    transaction), so conflicting requesters wait instead.
+
+    The abort handler is invoked once per wounded transaction and must
+    (synchronously or later) call {!release_all} for it. *)
+
+type policy = Wound_wait | Preempt | Preempt_on_wait
+
+type t
+
+val create : policy:policy -> unit -> t
+
+val set_abort_handler : t -> (int -> unit) -> unit
+
+val acquire :
+  t ->
+  txn:int ->
+  ts:int ->
+  high:bool ->
+  key:int ->
+  exclusive:bool ->
+  on_granted:(unit -> unit) ->
+  unit
+(** Requests one lock; [on_granted] fires when (and if) it is granted —
+    possibly synchronously. A wounded transaction's pending requests are
+    discarded, and its [on_granted] callbacks never fire afterwards.
+    Re-acquiring a held key (including shared-to-exclusive upgrade when the
+    transaction is the sole holder) is supported. *)
+
+val pin : t -> txn:int -> unit
+(** Marks the transaction as prepared: immune to wounding/preemption. *)
+
+val release_all : t -> txn:int -> unit
+(** Releases all locks held by the transaction, cancels its waits, and
+    grants newly compatible waiters. *)
+
+val holds : t -> txn:int -> key:int -> bool
+val is_waiting : t -> txn:int -> bool
+val held_count : t -> txn:int -> int
+val waiters_on : t -> key:int -> int list

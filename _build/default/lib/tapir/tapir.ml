@@ -1,0 +1,165 @@
+open Txnkit
+
+type replica = {
+  node : int;
+  occ : Store.Occ.t;
+  kv : Store.Kv.t;
+}
+
+let make (cluster : Cluster.t) : System.t =
+  let net = cluster.Cluster.net in
+  let topo = cluster.Cluster.topo in
+  let send ~src ~dst ~bytes f = Netsim.Network.send net ~src ~dst ~bytes f in
+  let replicas =
+    Array.init cluster.Cluster.n_partitions (fun p ->
+        Array.map
+          (fun node -> { node; occ = Store.Occ.create (); kv = Store.Kv.create () })
+          cluster.Cluster.replicas.(p))
+  in
+  let nearest_replica ~client p =
+    let client_dc = Cluster.dc_of cluster client in
+    let best = ref replicas.(p).(0) and best_rtt = ref infinity in
+    Array.iter
+      (fun r ->
+        let rtt = Netsim.Topology.rtt_ms topo client_dc (Cluster.dc_of cluster r.node) in
+        if rtt < !best_rtt then begin
+          best := r;
+          best_rtt := rtt
+        end)
+      replicas.(p);
+    !best
+  in
+  let submit (txn : Txn.t) ~on_done =
+    let plan = Exec.plan_of cluster txn in
+    let participants = plan.Exec.participants in
+    let client = txn.Txn.client in
+    (* ---- round 1: read from the nearest replica of each partition ---- *)
+    let reads_pending = ref (List.length participants) in
+    let read_results : (int * (int * int * int) list) list ref = ref [] in
+    let round_two () =
+      let per_partition = List.map snd !read_results in
+      let reads = Exec.assemble_reads txn per_partition in
+      let pairs = Exec.write_pairs txn reads in
+      (* ---- round 2: timestamped prepare at every replica ---- *)
+      let expected =
+        List.fold_left (fun acc p -> acc + Array.length replicas.(p)) 0 participants
+      in
+      let votes : (int * bool) list ref = ref [] in
+      let pending = ref expected in
+      let release_everywhere () =
+        List.iter
+          (fun p ->
+            Array.iter
+              (fun r ->
+                send ~src:client ~dst:r.node ~bytes:Wire.control_bytes (fun () ->
+                    Store.Occ.release r.occ ~txn:txn.Txn.id))
+              replicas.(p))
+          participants
+      in
+      let commit_everywhere () =
+        List.iter
+          (fun p ->
+            let local = Exec.pairs_on_partition cluster ~partition:p pairs in
+            Array.iter
+              (fun r ->
+                send ~src:client ~dst:r.node
+                  ~bytes:(Wire.decision_bytes ~writes:(List.length local))
+                  (fun () ->
+                    List.iter (fun (key, data) -> Store.Kv.put r.kv ~key ~data) local;
+                    Store.Occ.release r.occ ~txn:txn.Txn.id))
+              replicas.(p))
+          participants
+      in
+      let decide () =
+        let partition_votes p = List.filter_map (fun (p', ok) -> if p' = p then Some ok else None) !votes in
+        let unanimous p = List.for_all Fun.id (partition_votes p) in
+        let majority_ok p =
+          let vs = partition_votes p in
+          2 * List.length (List.filter Fun.id vs) > List.length vs
+        in
+        if List.for_all unanimous participants then begin
+          (* Fast path: consensus on prepare at every replica. *)
+          on_done ~committed:true;
+          commit_everywhere ()
+        end
+        else begin
+          (* Slow path: adopt the majority result per partition and persist
+             the decision at the replicas (one extra round to a majority). *)
+          let ok = List.for_all majority_ok participants in
+          let acks_needed =
+            List.fold_left (fun acc p -> acc + ((Array.length replicas.(p) / 2) + 1)) 0 participants
+          in
+          let acks = ref 0 in
+          let finalized = ref false in
+          List.iter
+            (fun p ->
+              Array.iter
+                (fun r ->
+                  send ~src:client ~dst:r.node ~bytes:Wire.control_bytes (fun () ->
+                      (* Replica records the decision durably. *)
+                      send ~src:r.node ~dst:client ~bytes:Wire.control_bytes (fun () ->
+                          incr acks;
+                          if (not !finalized) && !acks >= acks_needed then begin
+                            finalized := true;
+                            if ok then begin
+                              on_done ~committed:true;
+                              commit_everywhere ()
+                            end
+                            else begin
+                              release_everywhere ();
+                              on_done ~committed:false
+                            end
+                          end)))
+                replicas.(p))
+            participants
+        end
+      in
+      List.iter
+        (fun p ->
+          let reads_p = plan.Exec.reads_of p and writes_p = plan.Exec.writes_of p in
+          let read_versions =
+            List.assoc p !read_results |> List.map (fun (k, _, v) -> (k, v))
+          in
+          Array.iter
+            (fun r ->
+              send ~src:client ~dst:r.node
+                ~bytes:
+                  (Wire.read_and_prepare_bytes ~reads:(Array.length reads_p)
+                     ~writes:(Array.length writes_p))
+                (fun () ->
+                  (* TAPIR validation: reads must still be current here, and
+                     the footprint must not conflict with a prepared txn. *)
+                  let stale =
+                    List.exists
+                      (fun (key, version) -> Store.Kv.version r.kv key <> version)
+                      read_versions
+                  in
+                  let conflicted =
+                    Store.Occ.conflicts r.occ ~reads:reads_p ~writes:writes_p <> []
+                  in
+                  let ok = (not stale) && not conflicted in
+                  if ok then Store.Occ.prepare r.occ ~txn:txn.Txn.id ~reads:reads_p ~writes:writes_p;
+                  send ~src:r.node ~dst:client ~bytes:Wire.vote_bytes (fun () ->
+                      votes := (p, ok) :: !votes;
+                      decr pending;
+                      if !pending = 0 then decide ())))
+            replicas.(p))
+        participants
+    in
+    List.iter
+      (fun p ->
+        let r = nearest_replica ~client p in
+        let keys = plan.Exec.reads_of p in
+        send ~src:client ~dst:r.node
+          ~bytes:(Wire.read_and_prepare_bytes ~reads:(Array.length keys) ~writes:0)
+          (fun () ->
+            let values = Exec.read_values r.kv keys in
+            send ~src:r.node ~dst:client
+              ~bytes:(Wire.read_reply_bytes ~reads:(Array.length keys))
+              (fun () ->
+                read_results := (p, values) :: !read_results;
+                decr reads_pending;
+                if !reads_pending = 0 then round_two ())))
+      participants
+  in
+  System.make ~name:"TAPIR" ~submit

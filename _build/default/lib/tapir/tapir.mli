@@ -1,0 +1,18 @@
+(** TAPIR [Zhang et al., SOSP'15]: transactions over inconsistent
+    replication, client-coordinated.
+
+    Round 1 reads each key from the {e nearest} replica of its partition.
+    At commit the client sends a timestamped prepare to {e every} replica of
+    every participant; each replica independently validates with OCC
+    (version checks against the reads, conflicts against its prepared set).
+    If all replicas of every participant vote prepare-OK the transaction
+    commits on this fast path in a single wide-area round trip. Otherwise
+    the client falls back to the slow path immediately (as the paper's
+    §4 prototype does, rather than waiting out a 500 ms timeout): the
+    majority result per partition is taken as the partition's decision and
+    persisted at a majority of replicas with one extra round.
+
+    There is no Raft here — inconsistent replication is the point of TAPIR;
+    replicas converge via the commit/abort stream. *)
+
+val make : Txnkit.Cluster.t -> Txnkit.System.t

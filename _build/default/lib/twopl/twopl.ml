@@ -1,0 +1,273 @@
+open Txnkit
+
+type variant = Plain | Preempt | Preempt_on_wait
+
+let policy_of = function
+  | Plain -> Store.Locks.Wound_wait
+  | Preempt -> Store.Locks.Preempt
+  | Preempt_on_wait -> Store.Locks.Preempt_on_wait
+
+let name_of = function
+  | Plain -> "2PL+2PC"
+  | Preempt -> "2PL+2PC(P)"
+  | Preempt_on_wait -> "2PL+2PC(POW)"
+
+type live_rec = {
+  txn : Txn.t;
+  deliver_abort : unit -> unit;
+  mutable gone : bool;
+}
+
+type server = {
+  partition : int;
+  node : int;
+  locks : Store.Locks.t;
+  kv : Store.Kv.t;
+  live : (int, live_rec) Hashtbl.t;
+  tombstones : (int, unit) Hashtbl.t;
+}
+
+type coord = {
+  client : int;
+  n_participants : int;
+  mutable ok_votes : int;
+  mutable decided : bool;
+}
+
+let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) (cluster : Cluster.t) ~variant :
+    System.t =
+  let net = cluster.Cluster.net in
+  let engine = cluster.Cluster.engine in
+  let send ~src ~dst ~bytes f = Netsim.Network.send net ~src ~dst ~bytes f in
+  let abort_locally server txn_id =
+    match Hashtbl.find_opt server.live txn_id with
+    | None -> ()
+    | Some r ->
+        r.gone <- true;
+        Hashtbl.remove server.live txn_id;
+        Hashtbl.replace server.tombstones txn_id ();
+        Store.Locks.release_all server.locks ~txn:txn_id;
+        (* Tell the aborted transaction's client. *)
+        send ~src:server.node ~dst:r.txn.Txn.client ~bytes:Wire.control_bytes (fun () ->
+            r.deliver_abort ())
+  in
+  let servers =
+    Array.init cluster.Cluster.n_partitions (fun p ->
+        let s =
+          {
+            partition = p;
+            node = Cluster.leader cluster p;
+            locks = Store.Locks.create ~policy:(policy_of variant) ();
+            kv = Store.Kv.create ();
+            live = Hashtbl.create 256;
+            tombstones = Hashtbl.create 256;
+          }
+        in
+        Store.Locks.set_abort_handler s.locks (fun txn_id -> abort_locally s txn_id);
+        s)
+  in
+  (* Wound-wait cannot resolve cycles through prepared (pinned)
+     transactions — one can be prepared at a server where it holds locks and
+     waiting at another. Like production systems, waits carry a timeout; a
+     transaction stuck past it aborts and retries with its original
+     wound-wait timestamp. *)
+  let acquire_with_timeout server (r : live_rec) ~high ~key ~exclusive ~on_granted =
+    let granted = ref false in
+    Store.Locks.acquire server.locks ~txn:r.txn.Txn.id ~ts:r.txn.Txn.wound_ts ~high ~key
+      ~exclusive ~on_granted:(fun () ->
+        granted := true;
+        on_granted ());
+    if not !granted then
+      ignore
+        (Simcore.Engine.schedule_after engine lock_timeout (fun () ->
+             if (not !granted) && not r.gone then abort_locally server r.txn.Txn.id))
+  in
+  let coords : (int, coord) Hashtbl.t = Hashtbl.create 4096 in
+  let coord_state ~txn_id ~client ~n_participants =
+    match Hashtbl.find_opt coords txn_id with
+    | Some c -> c
+    | None ->
+        let c = { client; n_participants; ok_votes = 0; decided = false } in
+        Hashtbl.replace coords txn_id c;
+        c
+  in
+  let server_release server txn_id =
+    (* Tombstone unconditionally: attempt ids are never reused, and a late
+       Prepare for a finished transaction must not re-acquire locks. *)
+    Hashtbl.replace server.tombstones txn_id ();
+    (match Hashtbl.find_opt server.live txn_id with
+    | Some r ->
+        r.gone <- true;
+        Hashtbl.remove server.live txn_id
+    | None -> ());
+    Store.Locks.release_all server.locks ~txn:txn_id
+  in
+  let submit (txn : Txn.t) ~on_done =
+    let plan = Exec.plan_of cluster txn in
+    let participants = plan.Exec.participants in
+    let n = List.length participants in
+    let client = txn.Txn.client in
+    let coordinator = Cluster.coordinator_for cluster ~client in
+    let high = Txn.is_high txn in
+    let finished = ref false in
+    let abort_attempt () =
+      if not !finished then begin
+        finished := true;
+        List.iter
+          (fun p ->
+            let server = servers.(p) in
+            send ~src:client ~dst:server.node ~bytes:Wire.control_bytes (fun () ->
+                server_release server txn.Txn.id))
+          participants;
+        send ~src:client ~dst:coordinator ~bytes:Wire.control_bytes (fun () ->
+            let c = coord_state ~txn_id:txn.Txn.id ~client ~n_participants:n in
+            c.decided <- true);
+        on_done ~committed:false
+      end
+    in
+    let deliver_abort () = abort_attempt () in
+    (* ---- phase 3: coordinator decision ---- *)
+    let coord_commit pairs =
+      let c = coord_state ~txn_id:txn.Txn.id ~client ~n_participants:n in
+      if not c.decided then begin
+        c.decided <- true;
+        Raft.Group.replicate
+          (Cluster.coordinator_group cluster ~client)
+          ~size:(Wire.write_record_bytes ~writes:(List.length pairs))
+          ~tag:txn.Txn.id
+          ~on_committed:(fun () ->
+            send ~src:coordinator ~dst:client ~bytes:Wire.control_bytes (fun () ->
+                if not !finished then begin
+                  finished := true;
+                  on_done ~committed:true
+                end);
+            List.iter
+              (fun p ->
+                let server = servers.(p) in
+                let local = Exec.pairs_on_partition cluster ~partition:p pairs in
+                send ~src:coordinator ~dst:server.node
+                  ~bytes:(Wire.decision_bytes ~writes:(List.length local))
+                  (fun () ->
+                    (* The decision is already durable at the coordinator;
+                       the participant applies at the commit point and
+                       replicates the write data in the background (as
+                       Spanner leaders apply at the commit timestamp). *)
+                    Raft.Group.replicate cluster.Cluster.groups.(p)
+                      ~size:(Wire.write_record_bytes ~writes:(List.length local))
+                      ~tag:txn.Txn.id
+                      ~on_committed:(fun () -> ())
+                      ();
+                    List.iter (fun (key, data) -> Store.Kv.put server.kv ~key ~data) local;
+                    server_release server txn.Txn.id))
+              participants)
+          ()
+      end
+    in
+    (* ---- phase 2: 2PC prepare driven by the coordinator ---- *)
+    let start_prepare pairs =
+      let c = coord_state ~txn_id:txn.Txn.id ~client ~n_participants:n in
+      List.iter
+        (fun p ->
+          let server = servers.(p) in
+          let local = Exec.pairs_on_partition cluster ~partition:p pairs in
+          let write_keys = List.map fst local in
+          send ~src:coordinator ~dst:server.node
+            ~bytes:(Wire.read_and_prepare_bytes ~reads:0 ~writes:(List.length write_keys))
+            (fun () ->
+              if Hashtbl.mem server.tombstones txn.Txn.id then ()
+              else begin
+                let r =
+                  match Hashtbl.find_opt server.live txn.Txn.id with
+                  | Some r -> r
+                  | None ->
+                      let r = { txn; deliver_abort; gone = false } in
+                      Hashtbl.replace server.live txn.Txn.id r;
+                      r
+                in
+                let needed = List.length write_keys in
+                let granted = ref 0 in
+                let vote () =
+                  Store.Locks.pin server.locks ~txn:txn.Txn.id;
+                  Raft.Group.replicate cluster.Cluster.groups.(p)
+                    ~size:(Wire.prepare_record_bytes ~reads:0 ~writes:needed)
+                    ~tag:txn.Txn.id
+                    ~on_committed:(fun () ->
+                      send ~src:server.node ~dst:coordinator ~bytes:Wire.vote_bytes
+                        (fun () ->
+                          if not c.decided then begin
+                            c.ok_votes <- c.ok_votes + 1;
+                            if c.ok_votes = n then coord_commit pairs
+                          end))
+                    ()
+                in
+                if needed = 0 then vote ()
+                else
+                  List.iter
+                    (fun key ->
+                      acquire_with_timeout server r ~high ~key ~exclusive:true
+                        ~on_granted:(fun () ->
+                          if not r.gone then begin
+                            incr granted;
+                            if !granted = needed then vote ()
+                          end))
+                    write_keys
+              end))
+        participants
+    in
+    (* ---- phase 1: read locks and reads at participant leaders ---- *)
+    let read_partitions =
+      List.filter (fun p -> Array.length (plan.Exec.reads_of p) > 0) participants
+    in
+    let reads_pending = ref (List.length read_partitions) in
+    let read_replies : (int * int * int) list list ref = ref [] in
+    let phase_one_done () =
+      let reads = Exec.assemble_reads txn !read_replies in
+      let pairs = Exec.write_pairs txn reads in
+      send ~src:client ~dst:coordinator
+        ~bytes:(Wire.commit_request_bytes ~writes:(List.length pairs))
+        (fun () -> start_prepare pairs)
+    in
+    if read_partitions = [] then phase_one_done ()
+    else
+      List.iter
+        (fun p ->
+          let server = servers.(p) in
+          let keys = plan.Exec.reads_of p in
+          send ~src:client ~dst:server.node
+            ~bytes:(Wire.read_and_prepare_bytes ~reads:(Array.length keys) ~writes:0)
+            (fun () ->
+              if Hashtbl.mem server.tombstones txn.Txn.id then ()
+              else begin
+                let r =
+                  match Hashtbl.find_opt server.live txn.Txn.id with
+                  | Some r -> r
+                  | None ->
+                      let r = { txn; deliver_abort; gone = false } in
+                      Hashtbl.replace server.live txn.Txn.id r;
+                      r
+                in
+                let needed = Array.length keys in
+                let granted = ref 0 in
+                Array.iter
+                  (fun key ->
+                    acquire_with_timeout server r ~high ~key ~exclusive:false
+                      ~on_granted:(fun () ->
+                        if not r.gone then begin
+                          incr granted;
+                          if !granted = needed then begin
+                            let values = Exec.read_values server.kv keys in
+                            send ~src:server.node ~dst:client
+                              ~bytes:(Wire.read_reply_bytes ~reads:needed)
+                              (fun () ->
+                                if not !finished then begin
+                                  read_replies := values :: !read_replies;
+                                  decr reads_pending;
+                                  if !reads_pending = 0 then phase_one_done ()
+                                end)
+                          end
+                        end))
+                  keys
+              end))
+        read_partitions
+  in
+  System.make ~name:(name_of variant) ~submit

@@ -1,0 +1,1 @@
+lib/txnkit/cluster.ml: Array Clock Cpu Engine Fun List Measure Netsim Network Raft Rng Sim_time Simcore Topology Txn

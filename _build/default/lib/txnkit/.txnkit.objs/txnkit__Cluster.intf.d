@@ -1,0 +1,1 @@
+lib/txnkit/cluster.mli: Measure Netsim Raft Simcore Txn

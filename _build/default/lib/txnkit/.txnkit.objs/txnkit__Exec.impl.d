@@ -1,0 +1,1 @@
+lib/txnkit/exec.ml: Array Cluster Hashtbl List Option Store Txn

@@ -1,0 +1,1 @@
+lib/txnkit/exec.mli: Cluster Store Txn

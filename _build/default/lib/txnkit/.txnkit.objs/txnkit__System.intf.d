@@ -1,0 +1,1 @@
+lib/txnkit/system.mli: Txn

@@ -1,0 +1,1 @@
+lib/txnkit/txn.ml: Array Format List Simcore

@@ -1,0 +1,1 @@
+lib/txnkit/txn.mli: Format Simcore

@@ -1,0 +1,154 @@
+open Simcore
+open Netsim
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  topo : Topology.t;
+  net : Network.t;
+  clock : Clock.t;
+  cpus : Cpu.t array;
+  n_partitions : int;
+  replicas : int array array;
+  node_dc : int array;
+  clients : int array;
+  proxies : Measure.Proxy.t array;
+  caches : Measure.Delay_cache.t array;
+  groups : Raft.Group.t array;
+  coordinator_partition : int array;
+}
+
+let build ?(topo = Topology.azure5) ?(n_partitions = 5) ?(replication = 3)
+    ?(clients_per_dc = 2) ?(net_config = Network.default_config)
+    ?(raft_config = Raft.Node.default_config) ?(max_clock_skew = Sim_time.ms 1.)
+    ?(with_raft = true) ?(with_proxies = true) ~seed () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed in
+  let n_dcs = Topology.n_dcs topo in
+  let n_servers = n_partitions * replication in
+  let n_clients = n_dcs * clients_per_dc in
+  let n_nodes = n_servers + n_clients + n_dcs (* proxies *) in
+  (* Node layout: partition p's replicas are nodes [p*r .. p*r+r-1]. The
+     leader lives in DC (p mod n_dcs) — one partition leader per datacenter,
+     as in §5.1 — and the followers in the closest other DCs (a deployment
+     minimizes replication latency; at most one replica per DC). Then
+     clients, then proxies. *)
+  let node_dc = Array.make n_nodes 0 in
+  let follower_dcs leader_dc =
+    let others = List.init n_dcs Fun.id |> List.filter (fun d -> d <> leader_dc) in
+    let sorted =
+      List.sort
+        (fun a b -> compare (Topology.rtt_ms topo leader_dc a) (Topology.rtt_ms topo leader_dc b))
+        others
+    in
+    Array.of_list sorted
+  in
+  let replicas =
+    Array.init n_partitions (fun p ->
+        let leader_dc = p mod n_dcs in
+        let followers = follower_dcs leader_dc in
+        Array.init replication (fun i ->
+            let node = (p * replication) + i in
+            node_dc.(node) <- (if i = 0 then leader_dc else followers.((i - 1) mod Array.length followers));
+            node))
+  in
+  let clients =
+    Array.init n_clients (fun c ->
+        let node = n_servers + c in
+        node_dc.(node) <- c mod n_dcs;
+        node)
+  in
+  let proxy_nodes =
+    Array.init n_dcs (fun dc ->
+        let node = n_servers + n_clients + dc in
+        node_dc.(node) <- dc;
+        node)
+  in
+  let cpus = Array.init n_nodes (fun _ -> Cpu.create engine) in
+  let net = Network.create ~engine ~rng:(Rng.split rng) ~topo ~node_dc ~cpus ~config:net_config () in
+  let clock = Clock.create ~rng:(Rng.split rng) ~max_skew:max_clock_skew ~n_nodes in
+  let groups =
+    if with_raft then
+      Array.init n_partitions (fun p ->
+          Raft.Group.create ~engine ~net ~rng:(Rng.split rng) ~config:raft_config
+            ~members:replicas.(p) ~initial_leader:replicas.(p).(0) ())
+    else [||]
+  in
+  let leaders = Array.init n_partitions (fun p -> replicas.(p).(0)) in
+  let proxies =
+    if with_proxies then
+      Array.init n_dcs (fun dc ->
+          Measure.Proxy.create ~engine ~net ~clock ~node:proxy_nodes.(dc) ~targets:leaders ())
+    else [||]
+  in
+  let caches =
+    if with_proxies then
+      Array.map
+        (fun client ->
+          Measure.Delay_cache.create ~engine ~net ~node:client
+            ~proxy:proxies.(node_dc.(client)) ())
+        clients
+    else [||]
+  in
+  let coordinator_partition =
+    Array.init n_dcs (fun dc ->
+        (* Prefer a partition whose leader lives in this DC. *)
+        let rec find p = if p >= n_partitions then -1 else if node_dc.(leaders.(p)) = dc then p else find (p + 1) in
+        match find 0 with
+        | -1 ->
+            (* No local leader: pick the partition with the nearest leader. *)
+            let best = ref 0 and best_rtt = ref infinity in
+            for p = 0 to n_partitions - 1 do
+              let rtt = Topology.rtt_ms topo dc node_dc.(leaders.(p)) in
+              if rtt < !best_rtt then begin
+                best := p;
+                best_rtt := rtt
+              end
+            done;
+            !best
+        | p -> p)
+  in
+  {
+    engine;
+    rng;
+    topo;
+    net;
+    clock;
+    cpus;
+    n_partitions;
+    replicas;
+    node_dc;
+    clients;
+    proxies;
+    caches;
+    groups;
+    coordinator_partition;
+  }
+
+let partition_of_key t key = ((key mod t.n_partitions) + t.n_partitions) mod t.n_partitions
+let leader t p = t.replicas.(p).(0)
+let dc_of t node = t.node_dc.(node)
+
+let participants t (txn : Txn.t) =
+  Array.to_list (Txn.all_keys txn)
+  |> List.map (partition_of_key t)
+  |> List.sort_uniq compare
+
+let keys_on_partition t ~partition keys =
+  Array.of_list (List.filter (fun k -> partition_of_key t k = partition) (Array.to_list keys))
+
+let coordinator_for t ~client = leader t t.coordinator_partition.(dc_of t client)
+
+let coordinator_group t ~client = t.groups.(t.coordinator_partition.(dc_of t client))
+
+let group t ~partition = t.groups.(partition)
+
+let cache_for t ~client =
+  let rec find i =
+    if i >= Array.length t.clients then invalid_arg "Cluster.cache_for: not a client"
+    else if t.clients.(i) = client then t.caches.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let proxy_for_dc t ~dc = t.proxies.(dc)

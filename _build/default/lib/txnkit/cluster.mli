@@ -1,0 +1,68 @@
+(** Cluster construction: the simulated deployment every system runs on.
+
+    Mirrors the paper's §5.1 setting: [n_partitions] partitions, three
+    replicas each, leaders spread round-robin over the datacenters (the
+    deployment has "one partition leader at each datacenter"), followers in
+    the next datacenters around the ring, [clients_per_dc] client machines
+    and one measurement proxy per datacenter. Keys map to partitions by
+    modulo.
+
+    Each experiment builds a fresh cluster per system under test, so systems
+    never share simulator state. *)
+
+type t = {
+  engine : Simcore.Engine.t;
+  rng : Simcore.Rng.t;
+  topo : Netsim.Topology.t;
+  net : Netsim.Network.t;
+  clock : Netsim.Clock.t;
+  cpus : Simcore.Cpu.t array;
+  n_partitions : int;
+  replicas : int array array;  (** partition -> replica node ids; [(0)] is the leader *)
+  node_dc : int array;
+  clients : int array;  (** client node ids *)
+  proxies : Measure.Proxy.t array;  (** one per DC, probing all leaders *)
+  caches : Measure.Delay_cache.t array;  (** aligned with [clients] *)
+  groups : Raft.Group.t array;  (** per partition; empty when [with_raft:false] *)
+  coordinator_partition : int array;  (** per DC: partition whose leader lives there *)
+}
+
+val build :
+  ?topo:Netsim.Topology.t ->
+  ?n_partitions:int ->
+  ?replication:int ->
+  ?clients_per_dc:int ->
+  ?net_config:Netsim.Network.config ->
+  ?raft_config:Raft.Node.config ->
+  ?max_clock_skew:Simcore.Sim_time.t ->
+  ?with_raft:bool ->
+  ?with_proxies:bool ->
+  seed:int ->
+  unit ->
+  t
+(** Defaults follow §5.1: [azure5] topology, 5 partitions, 3 replicas,
+    2 clients per DC, 1 ms max clock skew. *)
+
+val partition_of_key : t -> int -> int
+val leader : t -> int -> int
+(** Leader node of a partition. *)
+
+val dc_of : t -> int -> int
+
+val participants : t -> Txn.t -> int list
+(** Sorted partitions touched by a transaction's read or write set. *)
+
+val keys_on_partition : t -> partition:int -> int array -> int array
+(** Restriction of a key array to one partition. *)
+
+val coordinator_for : t -> client:int -> int
+(** The coordinator node for a client: the leader of a partition co-located
+    in the client's DC (falling back to the nearest leader). *)
+
+val coordinator_group : t -> client:int -> Raft.Group.t
+(** The Raft group the coordinator uses to make its state fault-tolerant. *)
+
+val group : t -> partition:int -> Raft.Group.t
+
+val cache_for : t -> client:int -> Measure.Delay_cache.t
+val proxy_for_dc : t -> dc:int -> Measure.Proxy.t

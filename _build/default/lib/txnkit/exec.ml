@@ -1,0 +1,34 @@
+
+
+type plan = {
+  participants : int list;
+  reads_of : int -> int array;
+  writes_of : int -> int array;
+}
+
+let plan_of cluster (txn : Txn.t) =
+  {
+    participants = Cluster.participants cluster txn;
+    reads_of = (fun p -> Cluster.keys_on_partition cluster ~partition:p txn.Txn.read_set);
+    writes_of = (fun p -> Cluster.keys_on_partition cluster ~partition:p txn.Txn.write_set);
+  }
+
+let read_values kv keys =
+  Array.to_list keys
+  |> List.map (fun key ->
+         let v = Store.Kv.get kv key in
+         (key, v.Store.Kv.data, v.Store.Kv.version))
+
+let assemble_reads (txn : Txn.t) per_partition =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun entries -> List.iter (fun (key, data, _) -> Hashtbl.replace table key data) entries)
+    per_partition;
+  Array.map (fun key -> Option.value ~default:0 (Hashtbl.find_opt table key)) txn.Txn.read_set
+
+let write_pairs (txn : Txn.t) read_values =
+  let values = txn.Txn.compute read_values in
+  Array.to_list (Array.mapi (fun i key -> (key, values.(i))) txn.Txn.write_set)
+
+let pairs_on_partition cluster ~partition pairs =
+  List.filter (fun (key, _) -> Cluster.partition_of_key cluster key = partition) pairs

@@ -1,0 +1,23 @@
+(** Per-transaction execution plumbing shared by all protocols: partition
+    plans, read-result assembly, and write-value computation. *)
+
+type plan = {
+  participants : int list;  (** partitions, sorted *)
+  reads_of : int -> int array;  (** partition -> read keys there *)
+  writes_of : int -> int array;
+}
+
+val plan_of : Cluster.t -> Txn.t -> plan
+
+val read_values : Store.Kv.t -> int array -> (int * int * int) list
+(** [(key, data, version)] for each key, from a replica's store. *)
+
+val assemble_reads : Txn.t -> (int * int * int) list list -> int array
+(** Merges per-partition [(key, data, version)] lists into values aligned
+    with the transaction's read set. Missing keys read as 0. *)
+
+val write_pairs : Txn.t -> int array -> (int * int) list
+(** [(key, value)] pairs from the transaction's write set and computed
+    write values. *)
+
+val pairs_on_partition : Cluster.t -> partition:int -> (int * int) list -> (int * int) list

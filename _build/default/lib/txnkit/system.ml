@@ -1,0 +1,6 @@
+type t = {
+  name : string;
+  submit : Txn.t -> on_done:(committed:bool -> unit) -> unit;
+}
+
+let make ~name ~submit = { name; submit }

@@ -1,0 +1,12 @@
+(** The interface every transaction system exposes to the workload driver.
+
+    A system is a record of closures over a live cluster. [submit] runs one
+    {e attempt} of a transaction; the driver handles retries and latency
+    accounting. *)
+
+type t = {
+  name : string;
+  submit : Txn.t -> on_done:(committed:bool -> unit) -> unit;
+}
+
+val make : name:string -> submit:(Txn.t -> on_done:(committed:bool -> unit) -> unit) -> t

@@ -1,0 +1,48 @@
+type priority = Low | High
+
+type t = {
+  id : int;
+  client : int;
+  priority : priority;
+  read_set : int array;
+  write_set : int array;
+  compute : int array -> int array;
+  born : Simcore.Sim_time.t;
+  wound_ts : int;
+}
+
+let normalize keys = List.sort_uniq compare keys |> Array.of_list
+
+let default_compute ~read_set ~write_set read_values =
+  Array.map
+    (fun key ->
+      (* Read value of this key if it was read, else 0 — then increment. *)
+      let rec find i =
+        if i >= Array.length read_set then 0
+        else if read_set.(i) = key then read_values.(i)
+        else find (i + 1)
+      in
+      find 0 + 1)
+    write_set
+
+let make ~id ~client ~priority ~read_set ~write_set ?compute ~born ~wound_ts () =
+  let read_set = normalize read_set and write_set = normalize write_set in
+  let compute =
+    match compute with Some f -> f | None -> default_compute ~read_set ~write_set
+  in
+  { id; client; priority; read_set; write_set; compute; born; wound_ts }
+
+let is_high t = t.priority = High
+let n_keys t = Array.length t.read_set + Array.length t.write_set
+
+let all_keys t =
+  Array.to_list t.read_set @ Array.to_list t.write_set |> List.sort_uniq compare |> Array.of_list
+
+let footprints_intersect a b =
+  let kb = all_keys b in
+  Array.exists (fun k -> Array.exists (fun k' -> k = k') kb) (all_keys a)
+
+let pp fmt t =
+  Format.fprintf fmt "txn#%d(%s, r=%d, w=%d)" t.id
+    (match t.priority with High -> "high" | Low -> "low")
+    (Array.length t.read_set) (Array.length t.write_set)

@@ -1,0 +1,49 @@
+(** The 2-round Fixed-set Interactive (2FI) transaction model (paper §2.1).
+
+    A transaction's read and write key sets are fixed at creation; write
+    {e values} are computed interactively from the read results by
+    [compute]. The workloads use counter-style computations, which gives
+    tests a serializability oracle: under any serializable execution, a
+    key's final value equals the number of committed increments applied to
+    it. *)
+
+type priority = Low | High
+
+type t = {
+  id : int;  (** globally unique *)
+  client : int;  (** issuing client's network node *)
+  priority : priority;
+  read_set : int array;  (** sorted, unique *)
+  write_set : int array;  (** sorted, unique; may overlap [read_set] *)
+  compute : int array -> int array;
+      (** read values (aligned with [read_set]) -> write values (aligned
+          with [write_set]) *)
+  born : Simcore.Sim_time.t;  (** first submission time (true time) *)
+  wound_ts : int;  (** stable wound-wait timestamp, preserved across retries *)
+}
+
+val make :
+  id:int ->
+  client:int ->
+  priority:priority ->
+  read_set:int list ->
+  write_set:int list ->
+  ?compute:(int array -> int array) ->
+  born:Simcore.Sim_time.t ->
+  wound_ts:int ->
+  unit ->
+  t
+(** Normalizes the key sets (sort, dedup). The default [compute] is
+    increment: each written key gets (its read value if it was read,
+    else 0) + 1. *)
+
+val is_high : t -> bool
+val n_keys : t -> int
+
+val all_keys : t -> int array
+(** Union of read and write sets (sorted, unique). *)
+
+val footprints_intersect : t -> t -> bool
+(** Any-overlap conflict test on union footprints (Natto's rule). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,11 @@
+let key_bytes = 64
+let value_bytes = 64
+
+let read_and_prepare_bytes ~reads ~writes = ((reads + writes) * key_bytes) + 32
+let read_reply_bytes ~reads = (reads * (key_bytes + value_bytes)) + 16
+let commit_request_bytes ~writes = (writes * (key_bytes + value_bytes)) + 16
+let vote_bytes = 24
+let decision_bytes ~writes = (writes * (key_bytes + value_bytes)) + 24
+let prepare_record_bytes ~reads ~writes = ((reads + writes) * key_bytes) + 24
+let write_record_bytes ~writes = (writes * (key_bytes + value_bytes)) + 24
+let control_bytes = 24

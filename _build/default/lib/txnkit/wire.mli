@@ -1,0 +1,31 @@
+(** Message-size conventions shared by all protocols.
+
+    The paper's data set uses 64-byte keys and 64-byte values (§5.1); wire
+    sizes are derived from key/value counts so that the network byte
+    accounting (loss experiments, Fig. 12) reflects each protocol's actual
+    data movement. *)
+
+val key_bytes : int
+val value_bytes : int
+
+val read_and_prepare_bytes : reads:int -> writes:int -> int
+(** Round-1 request: read keys + write keys (+ for Natto, piggybacked
+    per-participant arrival estimates — a few bytes each, folded into the
+    header). *)
+
+val read_reply_bytes : reads:int -> int
+val commit_request_bytes : writes:int -> int
+(** Client -> coordinator: write keys and values. *)
+
+val vote_bytes : int
+val decision_bytes : writes:int -> int
+(** Coordinator -> participant commit/abort, carrying write data on commit. *)
+
+val prepare_record_bytes : reads:int -> writes:int -> int
+(** Replicated prepare entry (keys only). *)
+
+val write_record_bytes : writes:int -> int
+(** Replicated write-data entry (keys + values). *)
+
+val control_bytes : int
+(** Small control message (abort notices, condition resolutions, ...). *)

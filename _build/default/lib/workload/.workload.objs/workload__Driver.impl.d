@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Array Cluster Engine Gen Rng Sim_time Simcore Simstats System Txn Txnkit Vec

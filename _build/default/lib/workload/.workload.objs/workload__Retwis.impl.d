@@ -1,0 +1,1 @@
+lib/workload/retwis.ml: Gen Printf Rng Simcore Txnkit Zipf

@@ -1,0 +1,1 @@
+lib/workload/smallbank.ml: Gen Rng Simcore Txnkit

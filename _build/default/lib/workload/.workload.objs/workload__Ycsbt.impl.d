@@ -1,0 +1,1 @@
+lib/workload/ycsbt.ml: Gen Printf Txnkit Zipf

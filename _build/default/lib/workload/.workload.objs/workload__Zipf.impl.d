@@ -1,0 +1,1 @@
+lib/workload/zipf.ml: List Rng Simcore Stdlib

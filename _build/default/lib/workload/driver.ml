@@ -1,0 +1,157 @@
+open Simcore
+open Txnkit
+
+type config = {
+  rate_tps : float;
+  duration : Sim_time.t;
+  warmup : Sim_time.t;
+  cooldown : Sim_time.t;
+  high_fraction : float;
+  max_retries : int;
+  drain : Sim_time.t;
+  seed : int;
+}
+
+let default_config =
+  {
+    rate_tps = 50.;
+    duration = Sim_time.seconds 20.;
+    warmup = Sim_time.seconds 5.;
+    cooldown = Sim_time.seconds 5.;
+    high_fraction = 0.1;
+    max_retries = 100;
+    drain = Sim_time.seconds 40.;
+    seed = 1;
+  }
+
+type result = {
+  high_latencies_ms : float array;
+  low_latencies_ms : float array;
+  committed_high : int;
+  committed_low : int;
+  failed : int;
+  unfinished : int;
+  total_attempts : int;
+  total_aborts : int;
+  goodput_high_tps : float;
+  goodput_low_tps : float;
+  window_seconds : float;
+}
+
+type state = {
+  mutable next_id : int;
+  mutable attempts : int;
+  mutable aborts : int;
+  mutable failed : int;
+  mutable inflight : int;
+  high : float Vec.t;
+  low : float Vec.t;
+  mutable committed_high : int;
+  mutable committed_low : int;
+}
+
+let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
+  let engine = cluster.Cluster.engine in
+  let rng = Rng.create ~seed:(config.seed * 7919) in
+  let st =
+    {
+      next_id = 1;
+      attempts = 0;
+      aborts = 0;
+      failed = 0;
+      inflight = 0;
+      high = Vec.create ();
+      low = Vec.create ();
+      committed_high = 0;
+      committed_low = 0;
+    }
+  in
+  let window_start = config.warmup in
+  let window_end = Sim_time.sub config.duration config.cooldown in
+  let in_window born = born >= window_start && born < window_end in
+  let fresh_id () =
+    let id = st.next_id in
+    st.next_id <- id + 1;
+    id
+  in
+  let n_clients = Array.length cluster.Cluster.clients in
+  let client_cursor = ref 0 in
+  let record_commit (txn : Txn.t) =
+    let latency_ms = Sim_time.to_ms (Sim_time.sub (Engine.now engine) txn.Txn.born) in
+    if in_window txn.Txn.born then begin
+      match txn.Txn.priority with
+      | Txn.High ->
+          Vec.push st.high latency_ms;
+          st.committed_high <- st.committed_high + 1
+      | Txn.Low ->
+          Vec.push st.low latency_ms;
+          st.committed_low <- st.committed_low + 1
+    end
+  in
+  let rec attempt (txn : Txn.t) ~tries =
+    st.attempts <- st.attempts + 1;
+    system.System.submit txn ~on_done:(fun ~committed ->
+        if committed then begin
+          st.inflight <- st.inflight - 1;
+          record_commit txn
+        end
+        else begin
+          st.aborts <- st.aborts + 1;
+          if tries + 1 >= config.max_retries then begin
+            st.inflight <- st.inflight - 1;
+            if in_window txn.Txn.born then st.failed <- st.failed + 1
+          end
+          else begin
+            (* Immediate retry with a fresh attempt id; keys, priority, birth
+               time and wound timestamp are preserved. *)
+            let retry = { txn with Txn.id = fresh_id () } in
+            attempt retry ~tries:(tries + 1)
+          end
+        end)
+  in
+  let spawn () =
+    let client = cluster.Cluster.clients.(!client_cursor) in
+    client_cursor := (!client_cursor + 1) mod n_clients;
+    let born = Engine.now engine in
+    let id = fresh_id () in
+    let priority = if Rng.bernoulli rng ~p:config.high_fraction then Txn.High else Txn.Low in
+    let txn =
+      gen.Gen.make ~rng ~id ~client ~born ~wound_ts:((Sim_time.to_us born * 1024) + (id land 1023))
+        ~priority
+    in
+    st.inflight <- st.inflight + 1;
+    attempt txn ~tries:0
+  in
+  let rec arrival_loop () =
+    let gap = Rng.exponential rng ~mean:(1e6 /. config.rate_tps) in
+    let next = Sim_time.add (Engine.now engine) (Sim_time.us (int_of_float gap)) in
+    if next < config.duration then
+      ignore
+        (Engine.schedule_at engine next (fun () ->
+             spawn ();
+             arrival_loop ()))
+  in
+  arrival_loop ();
+  Engine.run_until engine (Sim_time.add config.duration config.drain);
+  let window_seconds = Sim_time.to_seconds (Sim_time.sub window_end window_start) in
+  {
+    high_latencies_ms = Vec.to_array st.high;
+    low_latencies_ms = Vec.to_array st.low;
+    committed_high = st.committed_high;
+    committed_low = st.committed_low;
+    failed = st.failed;
+    unfinished = st.inflight;
+    total_attempts = st.attempts;
+    total_aborts = st.aborts;
+    goodput_high_tps = float_of_int st.committed_high /. window_seconds;
+    goodput_low_tps = float_of_int st.committed_low /. window_seconds;
+    window_seconds;
+  }
+
+let p95_high r =
+  if Array.length r.high_latencies_ms = 0 then nan
+  else Simstats.Percentile.p95 r.high_latencies_ms
+
+let p95_low r =
+  if Array.length r.low_latencies_ms = 0 then nan
+  else Simstats.Percentile.p95 r.low_latencies_ms

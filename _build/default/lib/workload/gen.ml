@@ -1,0 +1,13 @@
+type t = {
+  name : string;
+  make :
+    rng:Simcore.Rng.t ->
+    id:int ->
+    client:int ->
+    born:Simcore.Sim_time.t ->
+    wound_ts:int ->
+    priority:Txnkit.Txn.priority ->
+    Txnkit.Txn.t;
+  overrides_priority : bool;
+  key_space : int;
+}

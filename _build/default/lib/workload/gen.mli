@@ -1,0 +1,18 @@
+(** Workload generator interface. *)
+
+type t = {
+  name : string;
+  make :
+    rng:Simcore.Rng.t ->
+    id:int ->
+    client:int ->
+    born:Simcore.Sim_time.t ->
+    wound_ts:int ->
+    priority:Txnkit.Txn.priority ->
+    Txnkit.Txn.t;
+      (** Builds one transaction. [priority] is the driver's coin flip;
+          generators with [overrides_priority] ignore it (Fig. 10's modified
+          SmallBank assigns priority by transaction type). *)
+  overrides_priority : bool;
+  key_space : int;  (** number of distinct keys the generator can touch *)
+}

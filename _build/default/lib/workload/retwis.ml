@@ -1,0 +1,42 @@
+open Simcore
+
+let gen ?(n_keys = 1_000_000) ?(theta = 0.65) () =
+  let zipf = Zipf.create ~n:n_keys ~theta in
+  let make ~rng ~id ~client ~born ~wound_ts ~priority =
+    let p = Rng.float rng in
+    let read_set, write_set =
+      if p < 0.05 then begin
+        (* add_user: read 1 key, write 3 (the read key plus two fresh). *)
+        let keys = Zipf.sample_distinct zipf rng 3 in
+        match keys with
+        | first :: _ -> ([ first ], keys)
+        | [] -> assert false
+      end
+      else if p < 0.20 then begin
+        (* follow: read and write the two users' follow lists. *)
+        let keys = Zipf.sample_distinct zipf rng 2 in
+        (keys, keys)
+      end
+      else if p < 0.50 then begin
+        (* post_tweet: read 3 keys, write those plus 2 more. *)
+        let keys = Zipf.sample_distinct zipf rng 5 in
+        let rec take n = function
+          | [] -> []
+          | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+        in
+        (take 3 keys, keys)
+      end
+      else begin
+        (* load_timeline: read 1..10 keys, no writes. *)
+        let k = 1 + Rng.int rng 10 in
+        (Zipf.sample_distinct zipf rng k, [])
+      end
+    in
+    Txnkit.Txn.make ~id ~client ~priority ~read_set ~write_set ~born ~wound_ts ()
+  in
+  {
+    Gen.name = Printf.sprintf "retwis(theta=%.2f)" theta;
+    make;
+    overrides_priority = false;
+    key_space = n_keys;
+  }

@@ -1,0 +1,6 @@
+(** The Retwis workload (paper §5.2.2), with the transaction profile used by
+    TAPIR and the paper: 5% add-user (1 read / 3 writes), 15% follow
+    (2 reads / 2 writes), 30% post-tweet (3 reads / 5 writes), 50% load
+    timeline (1-10 reads, no writes). *)
+
+val gen : ?n_keys:int -> ?theta:float -> unit -> Gen.t

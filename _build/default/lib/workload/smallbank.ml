@@ -1,0 +1,59 @@
+open Simcore
+
+let gen ?(n_users = 1_000_000) ?(hot_users = 1_000) ?(hot_fraction = 0.9)
+    ?(prioritize_send_payment = false) () =
+  let checking u = 2 * u and savings u = (2 * u) + 1 in
+  let pick_user rng =
+    if Rng.float rng < hot_fraction then Rng.int rng hot_users
+    else hot_users + Rng.int rng (n_users - hot_users)
+  in
+  let pick_two_users rng =
+    let u1 = pick_user rng in
+    let rec other () =
+      let u2 = pick_user rng in
+      if u2 = u1 then other () else u2
+    in
+    (u1, other ())
+  in
+  let make ~rng ~id ~client ~born ~wound_ts ~priority =
+    let kind = Rng.int rng 6 in
+    let read_set, write_set =
+      match kind with
+      | 0 ->
+          (* balance: read both accounts. *)
+          let u = pick_user rng in
+          ([ checking u; savings u ], [])
+      | 1 ->
+          (* depositChecking *)
+          let u = pick_user rng in
+          ([ checking u ], [ checking u ])
+      | 2 ->
+          (* transactSavings *)
+          let u = pick_user rng in
+          ([ savings u ], [ savings u ])
+      | 3 ->
+          (* amalgamate: move u1's funds into u2's checking. *)
+          let u1, u2 = pick_two_users rng in
+          ([ checking u1; savings u1; checking u2 ], [ checking u1; savings u1; checking u2 ])
+      | 4 ->
+          (* writeCheck *)
+          let u = pick_user rng in
+          ([ checking u; savings u ], [ checking u ])
+      | _ ->
+          (* sendPayment: transfer between two checking accounts. *)
+          let u1, u2 = pick_two_users rng in
+          ([ checking u1; checking u2 ], [ checking u1; checking u2 ])
+    in
+    let priority =
+      if prioritize_send_payment then if kind = 5 then Txnkit.Txn.High else Txnkit.Txn.Low
+      else priority
+    in
+    Txnkit.Txn.make ~id ~client ~priority ~read_set ~write_set ~born ~wound_ts ()
+  in
+  {
+    Gen.name =
+      (if prioritize_send_payment then "smallbank(sendPayment=high)" else "smallbank");
+    make;
+    overrides_priority = prioritize_send_payment;
+    key_space = 2 * n_users;
+  }

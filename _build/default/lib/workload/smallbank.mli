@@ -1,0 +1,21 @@
+(** The SmallBank workload (paper §5.2.3), in the OLTP-Bench variant that
+    adds sendPayment transfers. Each user has a checking account (key [2u])
+    and a savings account (key [2u+1]). A configurable hot set of users
+    absorbs most accesses: the paper uses 1M users, 1K of them hot,
+    receiving 90% of transactions.
+
+    Transaction mix (uniform over the six types):
+    balance, depositChecking, transactSavings, amalgamate, writeCheck,
+    sendPayment.
+
+    With [prioritize_send_payment] the generator assigns priorities itself
+    (sendPayment = high, everything else low), as in the Fig. 10
+    experiment. *)
+
+val gen :
+  ?n_users:int ->
+  ?hot_users:int ->
+  ?hot_fraction:float ->
+  ?prioritize_send_payment:bool ->
+  unit ->
+  Gen.t

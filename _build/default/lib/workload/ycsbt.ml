@@ -1,0 +1,12 @@
+let gen ?(n_keys = 1_000_000) ?(theta = 0.65) ?(ops = 6) () =
+  let zipf = Zipf.create ~n:n_keys ~theta in
+  let make ~rng ~id ~client ~born ~wound_ts ~priority =
+    let keys = Zipf.sample_distinct zipf rng ops in
+    Txnkit.Txn.make ~id ~client ~priority ~read_set:keys ~write_set:keys ~born ~wound_ts ()
+  in
+  {
+    Gen.name = Printf.sprintf "ycsbt(theta=%.2f)" theta;
+    make;
+    overrides_priority = false;
+    key_space = n_keys;
+  }

@@ -1,0 +1,5 @@
+(** YCSB+T (paper §5.2.1): each transaction performs [ops] (default 6)
+    read-modify-write operations on distinct Zipf-distributed keys. *)
+
+val gen : ?n_keys:int -> ?theta:float -> ?ops:int -> unit -> Gen.t
+(** Defaults follow §5.1: 1M keys, Zipf coefficient 0.65. *)

@@ -1,0 +1,73 @@
+open Simcore
+
+type t = {
+  n : int;
+  theta : float;
+  zetan : float;
+  zeta2 : float;
+  alpha : float;
+  scramble : bool;
+}
+
+let zeta n theta =
+  let acc = ref 0.0 in
+  for i = 1 to n do
+    acc := !acc +. (1.0 /. (float_of_int i ** theta))
+  done;
+  !acc
+
+(* Knuth's multiplicative constant; coprime with any n not divisible by it,
+   we additionally fall back to identity if the stride shares factors. *)
+let stride = 2654435761
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let create ~n ~theta =
+  assert (n > 0 && theta >= 0.0 && theta < 1.0);
+  let zetan = if theta = 0.0 then float_of_int n else zeta n theta in
+  let zeta2 = if theta = 0.0 then 2.0 else zeta 2 theta in
+  let alpha = if theta = 0.0 then 1.0 else 1.0 /. (1.0 -. theta) in
+  { n; theta; zetan; zeta2; alpha; scramble = gcd stride n = 1 }
+
+let scramble_key t rank = if t.scramble then rank * stride mod t.n else rank
+
+let sample t rng =
+  if t.theta = 0.0 then Rng.int rng t.n
+  else begin
+    let u = Rng.float rng in
+    let uz = u *. t.zetan in
+    let rank =
+      if uz < 1.0 then 1
+      else if uz < 1.0 +. (0.5 ** t.theta) then 2
+      else begin
+        let eta =
+          (1.0 -. ((2.0 /. float_of_int t.n) ** (1.0 -. t.theta)))
+          /. (1.0 -. (t.zeta2 /. t.zetan))
+        in
+        1 + int_of_float (float_of_int t.n *. (((eta *. u) -. eta +. 1.0) ** t.alpha))
+      end
+    in
+    let rank = Stdlib.min t.n (Stdlib.max 1 rank) in
+    scramble_key t (rank - 1)
+  end
+
+let sample_distinct t rng k =
+  assert (k <= t.n);
+  let rec go acc remaining guard =
+    if remaining = 0 then acc
+    else begin
+      let key = sample t rng in
+      if List.mem key acc then
+        (* Heavy skew can make distinct sampling slow; after many collisions
+           fall back to stepping to a neighbouring key. *)
+        if guard > 64 then
+          let rec probe k = if List.mem k acc then probe ((k + 1) mod t.n) else k in
+          go (probe key :: acc) (remaining - 1) 0
+        else go acc remaining (guard + 1)
+      else go (key :: acc) (remaining - 1) 0
+    end
+  in
+  go [] k 0
+
+let n t = t.n
+let theta t = t.theta

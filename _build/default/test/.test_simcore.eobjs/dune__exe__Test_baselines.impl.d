@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Carousel Cluster Float List Natto Simcore System Tapir Twopl Txn Txnkit

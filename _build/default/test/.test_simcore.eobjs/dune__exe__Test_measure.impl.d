@@ -1,0 +1,1 @@
+test/test_measure.ml: Alcotest Array Clock Cpu Engine Float Measure Netsim Network Option Rng Sim_time Simcore Topology

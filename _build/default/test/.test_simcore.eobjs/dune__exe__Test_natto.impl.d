@@ -1,0 +1,1 @@
+test/test_natto.ml: Alcotest Array Cluster Fun List Natto Netsim QCheck QCheck_alcotest Simcore Txnkit Unix Workload

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Carousel Cluster Fun Hashtbl List Natto Option Raft Simcore String System Tapir Twopl Txn Txnkit Workload

@@ -1,0 +1,1 @@
+test/test_raft.ml: Alcotest Array Cpu Engine List Netsim Network Raft Rng Sim_time Simcore Topology

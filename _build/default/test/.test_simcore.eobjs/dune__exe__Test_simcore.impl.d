@@ -1,0 +1,1 @@
+test/test_simcore.ml: Alcotest Array Clock Cpu Engine Event_queue Float Format Fun List Netsim Network Option Printf QCheck QCheck_alcotest Rng Sim_time Simcore Stdlib Topology Vec

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Kv List Locks Occ QCheck QCheck_alcotest Store

@@ -1,0 +1,1 @@
+test/test_txnkit.ml: Alcotest Array Cluster Exec List Printf Store Txn Txnkit Wire

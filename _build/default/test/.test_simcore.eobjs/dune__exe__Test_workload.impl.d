@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Gen Hashtbl List Option QCheck QCheck_alcotest Rng Simcore Simstats Stdlib String Txnkit Workload

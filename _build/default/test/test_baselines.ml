@@ -1,0 +1,193 @@
+(* Behavioral tests for the baseline protocols: a single transaction's
+   latency must reflect each protocol's round structure, and conflicts must
+   be resolved the way each protocol specifies.
+
+   Deployment geometry (azure5, nearest-follower placement): a client in VA
+   issuing a transaction to partitions led from VA..SG sees
+   - one-way delay to the furthest leader (SG) = 107 ms,
+   - coordinator (VA) replication commit = 67 ms (nearest follower WA). *)
+
+open Txnkit
+
+let build ~seed = Cluster.build ~with_raft:true ~with_proxies:true ~seed ()
+
+(* One transaction touching all five partitions, from a VA client. *)
+let run_single make ~seed =
+  let cluster = build ~seed in
+  let engine = cluster.Cluster.engine in
+  let system = make cluster in
+  Simcore.Engine.run_until engine (Simcore.Sim_time.seconds 2.);
+  let client = cluster.Cluster.clients.(0) in
+  let born = Simcore.Engine.now engine in
+  let txn =
+    Txn.make ~id:900001 ~client ~priority:Txn.Low ~read_set:[ 0; 1; 2; 3; 4 ]
+      ~write_set:[ 0; 1; 2; 3; 4 ] ~born ~wound_ts:1 ()
+  in
+  let latency = ref None in
+  system.System.submit txn ~on_done:(fun ~committed ->
+      if committed then
+        latency := Some (Simcore.Sim_time.to_ms (Simcore.Sim_time.sub (Simcore.Engine.now engine) born)));
+  Simcore.Engine.run_until engine (Simcore.Sim_time.seconds 10.);
+  match !latency with Some l -> l | None -> Alcotest.fail "single txn did not commit"
+
+let expect_range name lo hi l =
+  if l < lo || l > hi then Alcotest.failf "%s latency %.1fms outside [%.0f, %.0f]" name l lo hi
+
+let test_carousel_basic_two_rounds () =
+  (* Reads to furthest leader (214ms RTT) overlapped with 2PC; commit waits
+     for the slowest vote path: 2 WAN round trips, under 450 ms. *)
+  expect_range "carousel basic" 280. 450. (run_single Carousel.Basic.make ~seed:3)
+
+let test_carousel_fast_one_round () =
+  (* Fast path commits at the end of round 1: one WAN round trip to the
+     furthest replica (~214 ms), distinctly below Basic. *)
+  expect_range "carousel fast" 200. 260. (run_single Carousel.Fast.make ~seed:3)
+
+let test_tapir_read_plus_prepare () =
+  (* Read from nearest replicas (<= 80ms RTT from VA) then prepare at every
+     replica (214ms RTT): between Fast and 2PL. *)
+  expect_range "tapir" 240. 420. (run_single Tapir.make ~seed:3)
+
+let test_twopl_three_rounds () =
+  (* Sequential lock+read, prepare, commit: the slowest protocol. *)
+  let l = run_single (fun c -> Twopl.make c ~variant:Twopl.Plain) ~seed:3 in
+  expect_range "2pl" 450. 800. l;
+  let fast = run_single Carousel.Fast.make ~seed:3 in
+  Alcotest.(check bool) "2pl slowest" true (l > fast)
+
+let test_natto_matches_basic () =
+  (* §5.2.1: at low contention Natto-TS ~ Carousel Basic (the timestamp
+     wait costs little because the furthest participant dominates). *)
+  let natto = run_single (fun c -> Natto.Protocol.make c ~features:Natto.Features.ts) ~seed:3 in
+  let basic = run_single Carousel.Basic.make ~seed:3 in
+  if Float.abs (natto -. basic) > 60. then
+    Alcotest.failf "Natto-TS %.1fms should track Carousel Basic %.1fms" natto basic
+
+(* ------------------------------------------------------------------ *)
+(* Conflict behavior *)
+
+let test_carousel_conflict_aborts_second () =
+  let cluster = build ~seed:5 in
+  let engine = cluster.Cluster.engine in
+  let system = Carousel.Basic.make cluster in
+  Simcore.Engine.run_until engine (Simcore.Sim_time.seconds 1.);
+  let client0 = cluster.Cluster.clients.(0) and client1 = cluster.Cluster.clients.(1) in
+  let outcomes = ref [] in
+  let submit ~id ~client =
+    let txn =
+      Txn.make ~id ~client ~priority:Txn.Low ~read_set:[ 42 ] ~write_set:[ 42 ]
+        ~born:(Simcore.Engine.now engine) ~wound_ts:id ()
+    in
+    system.System.submit txn ~on_done:(fun ~committed -> outcomes := (id, committed) :: !outcomes)
+  in
+  submit ~id:1 ~client:client0;
+  (* Second conflicting transaction 5ms later: lands while the first is
+     prepared, so OCC aborts it. *)
+  ignore
+    (Simcore.Engine.schedule_after engine (Simcore.Sim_time.ms 5.) (fun () ->
+         submit ~id:2 ~client:client1));
+  Simcore.Engine.run_until engine (Simcore.Sim_time.seconds 10.);
+  Alcotest.(check (list (pair int bool)))
+    "first commits, second aborts"
+    [ (1, true); (2, false) ]
+    (List.sort compare !outcomes)
+
+let test_twopl_conflict_queues_not_aborts () =
+  let cluster = build ~seed:5 in
+  let engine = cluster.Cluster.engine in
+  let system = Twopl.make cluster ~variant:Twopl.Plain in
+  Simcore.Engine.run_until engine (Simcore.Sim_time.seconds 1.);
+  let outcomes = ref [] in
+  let submit ~id ~client =
+    let txn =
+      Txn.make ~id ~client ~priority:Txn.Low ~read_set:[ 42 ] ~write_set:[ 42 ]
+        ~born:(Simcore.Engine.now engine) ~wound_ts:id ()
+    in
+    system.System.submit txn ~on_done:(fun ~committed -> outcomes := (id, committed) :: !outcomes)
+  in
+  let retried = ref false in
+  let submit_retryable ~id ~client =
+    let rec go attempt_id =
+      let txn =
+        Txn.make ~id:attempt_id ~client ~priority:Txn.Low ~read_set:[ 42 ] ~write_set:[ 42 ]
+          ~born:(Simcore.Engine.now engine) ~wound_ts:id ()
+      in
+      system.System.submit txn ~on_done:(fun ~committed ->
+          if committed then outcomes := (id, true) :: !outcomes
+          else begin
+            retried := true;
+            go (attempt_id + 1000)
+          end)
+    in
+    go id
+  in
+  submit ~id:1 ~client:cluster.Cluster.clients.(0);
+  ignore
+    (Simcore.Engine.schedule_after engine (Simcore.Sim_time.ms 5.) (fun () ->
+         submit_retryable ~id:2 ~client:cluster.Cluster.clients.(1)));
+  Simcore.Engine.run_until engine (Simcore.Sim_time.seconds 20.);
+  (* Both read-lock the key; the older transaction wounds the younger at
+     exclusive upgrade (wound-wait), and the younger's retry — carrying its
+     original wound-wait timestamp — then commits. *)
+  Alcotest.(check (list (pair int bool)))
+    "both eventually commit" [ (1, true); (2, true) ] (List.sort compare !outcomes);
+  Alcotest.(check bool) "younger was wounded once" true !retried
+
+let test_natto_priority_beats_conflicting_low () =
+  (* A high-priority transaction arriving during a conflicting low-priority
+     transaction's abort window commits; the low-priority one is priority
+     aborted (§3.3.1, Fig. 3). *)
+  let cluster = build ~seed:5 in
+  let engine = cluster.Cluster.engine in
+  (* Disable the completion-time refinement so the abort is not suppressed
+     (the low-priority transaction here would be predicted to finish in
+     time). *)
+  let features =
+    { Natto.Features.pa with Natto.Features.pa_completion_estimate = false }
+  in
+  let system, stats = Natto.Protocol.make_with_stats cluster ~features in
+  Simcore.Engine.run_until engine (Simcore.Sim_time.seconds 2.);
+  let outcomes = ref [] in
+  let submit ~id ~client ~priority =
+    let txn =
+      Txn.make ~id ~client ~priority ~read_set:[ 0; 4 ] ~write_set:[ 0; 4 ]
+        ~born:(Simcore.Engine.now engine) ~wound_ts:id ()
+    in
+    system.System.submit txn ~on_done:(fun ~committed -> outcomes := (id, committed, priority) :: !outcomes)
+  in
+  (* Fig. 3's geometry from a VA client: the low-priority transaction spans
+     VA and SG, so its timestamp is ~110ms out and it sits in VA's queue for
+     that long (the abort window). The high-priority transaction follows
+     30ms later on the same partitions: a larger timestamp, but it reaches
+     the VA leader while the low-priority one is still buffered there. *)
+  submit ~id:1 ~client:cluster.Cluster.clients.(0) ~priority:Txn.Low;
+  ignore
+    (Simcore.Engine.schedule_after engine (Simcore.Sim_time.ms 30.) (fun () ->
+         submit ~id:2 ~client:cluster.Cluster.clients.(0) ~priority:Txn.High));
+  Simcore.Engine.run_until engine (Simcore.Sim_time.seconds 10.);
+  Alcotest.(check bool) "high committed" true
+    (List.exists (fun (id, c, _) -> id = 2 && c) !outcomes);
+  Alcotest.(check bool) "low priority-aborted" true
+    (List.exists (fun (id, c, _) -> id = 1 && not c) !outcomes);
+  Alcotest.(check bool) "priority abort fired" true (stats.Natto.Protocol.priority_aborts >= 1)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "round structure",
+        [
+          Alcotest.test_case "carousel basic = 2 WAN rounds" `Quick test_carousel_basic_two_rounds;
+          Alcotest.test_case "carousel fast = 1 WAN round" `Quick test_carousel_fast_one_round;
+          Alcotest.test_case "tapir = read + prepare" `Quick test_tapir_read_plus_prepare;
+          Alcotest.test_case "2pl = 3 sequential rounds" `Quick test_twopl_three_rounds;
+          Alcotest.test_case "natto-ts tracks carousel basic" `Quick test_natto_matches_basic;
+        ] );
+      ( "conflicts",
+        [
+          Alcotest.test_case "carousel aborts the second" `Quick
+            test_carousel_conflict_aborts_second;
+          Alcotest.test_case "2pl queues instead" `Quick test_twopl_conflict_queues_not_aborts;
+          Alcotest.test_case "natto priority abort wins" `Quick
+            test_natto_priority_beats_conflicting_low;
+        ] );
+    ]

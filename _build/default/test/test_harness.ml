@@ -1,0 +1,82 @@
+(* Harness tests: experiment runner and figure dispatch. *)
+
+let tiny_driver =
+  {
+    Workload.Driver.default_config with
+    Workload.Driver.rate_tps = 30.;
+    duration = Simcore.Sim_time.seconds 6.;
+    warmup = Simcore.Sim_time.seconds 1.;
+    cooldown = Simcore.Sim_time.seconds 1.;
+    drain = Simcore.Sim_time.seconds 20.;
+  }
+
+let tiny_setup = { Harness.Experiment.default_setup with Harness.Experiment.driver = tiny_driver }
+
+let test_spec_names () =
+  Alcotest.(check string) "carousel" "Carousel Basic"
+    (Harness.Experiment.spec_name Harness.Experiment.Carousel_basic);
+  Alcotest.(check string) "twopl" "2PL+2PC(POW)"
+    (Harness.Experiment.spec_name (Harness.Experiment.Twopl Twopl.Preempt_on_wait));
+  Alcotest.(check string) "natto" "Natto-RECSF"
+    (Harness.Experiment.spec_name (Harness.Experiment.Natto Natto.Features.recsf));
+  Alcotest.(check int) "eleven systems" 11 (List.length Harness.Experiment.eleven_systems);
+  Alcotest.(check int) "eight systems" 8 (List.length Harness.Experiment.eight_systems);
+  Alcotest.(check int) "five natto variants" 5
+    (List.length Harness.Experiment.all_natto_variants)
+
+let test_run_deterministic () =
+  let gen = Workload.Ycsbt.gen () in
+  let r1 = Harness.Experiment.run tiny_setup Harness.Experiment.Carousel_basic ~gen ~seed:9 in
+  let r2 = Harness.Experiment.run tiny_setup Harness.Experiment.Carousel_basic ~gen ~seed:9 in
+  Alcotest.(check int) "same commits" r1.Workload.Driver.committed_low
+    r2.Workload.Driver.committed_low;
+  Alcotest.(check (float 0.0001)) "same p95" (Workload.Driver.p95_low r1)
+    (Workload.Driver.p95_low r2)
+
+let test_run_seeds_differ () =
+  let gen = Workload.Ycsbt.gen () in
+  let r1 = Harness.Experiment.run tiny_setup Harness.Experiment.Carousel_basic ~gen ~seed:1 in
+  let r2 = Harness.Experiment.run tiny_setup Harness.Experiment.Carousel_basic ~gen ~seed:2 in
+  Alcotest.(check bool) "different latencies" true
+    (Workload.Driver.p95_low r1 <> Workload.Driver.p95_low r2)
+
+let test_run_repeated_summary () =
+  let gen = Workload.Ycsbt.gen () in
+  let s =
+    Harness.Experiment.run_repeated tiny_setup
+      (Harness.Experiment.Natto Natto.Features.ts)
+      ~gen ~seeds:[ 1; 2; 3 ]
+  in
+  Alcotest.(check bool) "p95 present" true (not (Float.is_nan s.Harness.Experiment.p95_high_ms));
+  Alcotest.(check bool) "ci non-negative" true (s.Harness.Experiment.p95_high_ci >= 0.0);
+  Alcotest.(check bool) "commits accumulated" true (s.Harness.Experiment.commits > 200);
+  Alcotest.(check int) "nothing unfinished" 0 s.Harness.Experiment.unfinished
+
+let test_figures_dispatch () =
+  Alcotest.(check bool) "unknown rejected" false
+    (Harness.Figures.run_by_name "nope" Harness.Figures.Quick);
+  Alcotest.(check bool) "names include every figure" true
+    (List.for_all
+       (fun n -> List.mem n Harness.Figures.names)
+       [ "table1"; "fig7ab"; "fig9"; "fig12"; "fig14"; "ablation" ])
+
+let test_scale_env () =
+  Alcotest.(check bool) "quick by default" true
+    (Harness.Figures.scale_of_env () = Harness.Figures.Quick)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "experiment",
+        [
+          Alcotest.test_case "spec names" `Quick test_spec_names;
+          Alcotest.test_case "deterministic per seed" `Slow test_run_deterministic;
+          Alcotest.test_case "seeds differ" `Slow test_run_seeds_differ;
+          Alcotest.test_case "repeated summary" `Slow test_run_repeated_summary;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "dispatch" `Quick test_figures_dispatch;
+          Alcotest.test_case "scale env" `Quick test_scale_env;
+        ] );
+    ]

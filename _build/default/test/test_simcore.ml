@@ -1,0 +1,536 @@
+(* Tests for the simcore library: time, RNG, event queue, engine, CPU. *)
+
+open Simcore
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Sim_time *)
+
+let test_time_conversions () =
+  Alcotest.(check int) "ms" 1_500 (Sim_time.ms 1.5);
+  Alcotest.(check int) "s" 2_000_000 (Sim_time.seconds 2.0);
+  check_float "to_ms" 1.5 (Sim_time.to_ms 1_500);
+  check_float "to_s" 2.0 (Sim_time.to_seconds 2_000_000);
+  Alcotest.(check int) "add" 30 (Sim_time.add 10 20);
+  Alcotest.(check int) "sub" 5 (Sim_time.sub 15 10)
+
+let test_time_pp () =
+  let s t = Format.asprintf "%a" Sim_time.pp t in
+  Alcotest.(check string) "us" "42us" (s 42);
+  Alcotest.(check string) "ms" "1.500ms" (s 1_500);
+  Alcotest.(check string) "s" "2.000s" (s 2_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_float_range () =
+  let r = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float r in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of range: %f" x
+  done
+
+let test_rng_int_range () =
+  let r = Rng.create ~seed:4 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int r 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "int out of range: %d" x
+  done
+
+let mean_of samples = Array.fold_left ( +. ) 0.0 samples /. float_of_int (Array.length samples)
+
+let test_exponential_mean () =
+  let r = Rng.create ~seed:5 in
+  let samples = Array.init 50_000 (fun _ -> Rng.exponential r ~mean:10.0) in
+  let m = mean_of samples in
+  if Float.abs (m -. 10.0) > 0.3 then Alcotest.failf "exponential mean off: %f" m
+
+let test_normal_moments () =
+  let r = Rng.create ~seed:6 in
+  let samples = Array.init 50_000 (fun _ -> Rng.normal r ~mean:5.0 ~stddev:2.0) in
+  let m = mean_of samples in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 samples
+    /. float_of_int (Array.length samples)
+  in
+  if Float.abs (m -. 5.0) > 0.1 then Alcotest.failf "normal mean off: %f" m;
+  if Float.abs (sqrt var -. 2.0) > 0.1 then Alcotest.failf "normal stddev off: %f" (sqrt var)
+
+let test_pareto_mean_cv () =
+  let r = Rng.create ~seed:7 in
+  let mean = 40.0 and cv = 0.3 in
+  let samples = Array.init 200_000 (fun _ -> Rng.pareto r ~mean ~cv) in
+  let m = mean_of samples in
+  if Float.abs (m -. mean) /. mean > 0.05 then Alcotest.failf "pareto mean off: %f" m;
+  (* All samples are above the scale parameter, hence positive. *)
+  Array.iter (fun x -> if x <= 0.0 then Alcotest.fail "pareto sample <= 0") samples
+
+let test_bernoulli_rate () =
+  let r = Rng.create ~seed:8 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli r ~p:0.25 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  if Float.abs (rate -. 0.25) > 0.01 then Alcotest.failf "bernoulli rate off: %f" rate
+
+let test_shuffle_permutes () =
+  let r = Rng.create ~seed:9 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Event_queue *)
+
+let test_queue_ordering () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:30 "c");
+  ignore (Event_queue.push q ~time:10 "a");
+  ignore (Event_queue.push q ~time:20 "b");
+  Alcotest.(check (option (pair int string))) "a" (Some (10, "a")) (Event_queue.pop q);
+  Alcotest.(check (option (pair int string))) "b" (Some (20, "b")) (Event_queue.pop q);
+  Alcotest.(check (option (pair int string))) "c" (Some (30, "c")) (Event_queue.pop q);
+  Alcotest.(check (option (pair int string))) "empty" None (Event_queue.pop q)
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:5 "first");
+  ignore (Event_queue.push q ~time:5 "second");
+  ignore (Event_queue.push q ~time:5 "third");
+  let order = List.init 3 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list string)) "insertion order" [ "first"; "second"; "third" ] order
+
+let test_queue_cancel () =
+  let q = Event_queue.create () in
+  let h = Event_queue.push q ~time:10 "dead" in
+  ignore (Event_queue.push q ~time:20 "alive");
+  Event_queue.cancel h;
+  Alcotest.(check (option (pair int string))) "skips" (Some (20, "alive")) (Event_queue.pop q);
+  (* double cancel is harmless *)
+  Event_queue.cancel h
+
+let test_queue_peek_and_size () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+  let h = Event_queue.push q ~time:7 () in
+  ignore (Event_queue.push q ~time:3 ());
+  Alcotest.(check (option int)) "peek" (Some 3) (Event_queue.peek_time q);
+  Alcotest.(check int) "live 2" 2 (Event_queue.live_size q);
+  Event_queue.cancel h;
+  Alcotest.(check int) "live 1" 1 (Event_queue.live_size q);
+  ignore (Event_queue.pop q);
+  Alcotest.(check bool) "empty again" true (Event_queue.is_empty q)
+
+let prop_queue_sorted =
+  QCheck.Test.make ~name:"event_queue pops sorted" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iteri (fun i time -> ignore (Event_queue.push q ~time i)) times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (time, _) -> drain (time :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare times)
+
+let prop_queue_cancel_subset =
+  QCheck.Test.make ~name:"cancelled events never pop" ~count:200
+    QCheck.(list (pair (int_bound 1000) bool))
+    (fun spec ->
+      let q = Event_queue.create () in
+      let kept = ref [] in
+      List.iter
+        (fun (time, cancelled) ->
+          let h = Event_queue.push q ~time (time, cancelled) in
+          if cancelled then Event_queue.cancel h else kept := time :: !kept)
+        spec;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (_, (time, cancelled)) ->
+            if cancelled then raise Exit;
+            drain (time :: acc)
+      in
+      match drain [] with
+      | popped -> popped = List.sort compare !kept
+      | exception Exit -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let test_vec_basics () =
+  let v = Vec.create () in
+  Alcotest.(check int) "empty" 0 (Vec.length v);
+  Alcotest.(check (option int)) "no last" None (Vec.last v);
+  for i = 1 to 100 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 41);
+  Alcotest.(check (option int)) "last" (Some 100) (Vec.last v);
+  Vec.set v 0 999;
+  Alcotest.(check int) "set" 999 (Vec.get v 0);
+  Vec.truncate v 10;
+  Alcotest.(check int) "truncated" 10 (Vec.length v);
+  Alcotest.(check int) "fold" 1053 (Vec.fold_left ( + ) 0 v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get out of range" (Invalid_argument "Vec: index 3 out of [0,3)")
+    (fun () -> ignore (Vec.get v 3));
+  Alcotest.check_raises "negative" (Invalid_argument "Vec: index -1 out of [0,3)") (fun () ->
+      ignore (Vec.get v (-1)))
+
+let prop_vec_model =
+  QCheck.Test.make ~name:"vec behaves like a list" ~count:300
+    QCheck.(list (int_bound 100))
+    (fun xs ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) xs;
+      Vec.to_list v = xs
+      && Vec.length v = List.length xs
+      && Array.to_list (Vec.to_array v) = xs)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_runs_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule_at e 30 (fun () -> log := (30, Engine.now e) :: !log));
+  ignore (Engine.schedule_at e 10 (fun () -> log := (10, Engine.now e) :: !log));
+  Engine.run e;
+  Alcotest.(check (list (pair int int))) "order and clock" [ (10, 10); (30, 30) ] (List.rev !log)
+
+let test_engine_schedule_from_callback () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore
+    (Engine.schedule_at e 10 (fun () ->
+         ignore (Engine.schedule_after e 5 (fun () -> fired := Engine.now e))));
+  Engine.run e;
+  Alcotest.(check int) "chained" 15 !fired
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e 10 (fun () -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time 5 is before now 10")
+    (fun () -> ignore (Engine.schedule_at e 5 (fun () -> ())))
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  List.iter (fun t -> ignore (Engine.schedule_at e t (fun () -> fired := t :: !fired))) [ 10; 20; 30 ];
+  Engine.run_until e 20;
+  Alcotest.(check (list int)) "up to horizon" [ 10; 20 ] (List.rev !fired);
+  Alcotest.(check int) "clock at horizon" 20 (Engine.now e);
+  Alcotest.(check int) "one pending" 1 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check (list int)) "rest" [ 10; 20; 30 ] (List.rev !fired)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule_at e 10 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  Alcotest.(check bool) "not fired" false !fired
+
+(* ------------------------------------------------------------------ *)
+(* Cpu *)
+
+let test_cpu_fifo () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e in
+  let log = ref [] in
+  ignore
+    (Engine.schedule_at e 100 (fun () ->
+         Cpu.submit cpu ~cost:10 (fun () -> log := ("a", Engine.now e) :: !log);
+         Cpu.submit cpu ~cost:5 (fun () -> log := ("b", Engine.now e) :: !log)));
+  Engine.run e;
+  Alcotest.(check (list (pair string int)))
+    "fifo with queueing" [ ("a", 110); ("b", 115) ] (List.rev !log)
+
+let test_cpu_idle_gap () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e in
+  let done_at = ref [] in
+  ignore (Engine.schedule_at e 0 (fun () -> Cpu.submit cpu ~cost:10 (fun () -> done_at := Engine.now e :: !done_at)));
+  ignore (Engine.schedule_at e 100 (fun () -> Cpu.submit cpu ~cost:10 (fun () -> done_at := Engine.now e :: !done_at)));
+  Engine.run e;
+  Alcotest.(check (list int)) "idle resets" [ 10; 110 ] (List.rev !done_at);
+  Alcotest.(check int) "busy total" 20 (Cpu.total_busy cpu);
+  Alcotest.(check int) "jobs" 2 (Cpu.jobs_processed cpu)
+
+let test_cpu_utilization () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e in
+  ignore (Engine.schedule_at e 0 (fun () -> Cpu.submit cpu ~cost:50 (fun () -> ())));
+  Engine.run e;
+  check_float "utilization" 0.5 (Cpu.utilization cpu ~since:0 ~now:100)
+
+(* ------------------------------------------------------------------ *)
+(* netsim: topology, clock, network *)
+
+open Netsim
+
+let test_topology_symmetric () =
+  List.iter
+    (fun topo ->
+      let n = Topology.n_dcs topo in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          check_float
+            (Printf.sprintf "%s %d-%d" topo.Topology.name i j)
+            (Topology.rtt_ms topo i j) (Topology.rtt_ms topo j i)
+        done
+      done)
+    [ Topology.azure5; Topology.hybrid_aws_azure; Topology.local3 ]
+
+let test_topology_table1 () =
+  let t = Topology.azure5 in
+  check_float "VA-WA" 67. (Topology.rtt_ms t 0 1);
+  check_float "VA-SG" 214. (Topology.rtt_ms t 0 4);
+  check_float "PR-NSW" 234. (Topology.rtt_ms t 2 3);
+  check_float "NSW-SG" 87. (Topology.rtt_ms t 3 4);
+  check_float "owd" 33.5 (Topology.owd_ms t 0 1)
+
+let test_clock_skew_bounds () =
+  let rng = Rng.create ~seed:11 in
+  let c = Clock.create ~rng ~max_skew:(Sim_time.ms 2.) ~n_nodes:50 in
+  for node = 0 to 49 do
+    let off = Clock.offset c ~node in
+    if abs off > Sim_time.ms 2. then Alcotest.failf "skew out of bounds: %d" off
+  done
+
+let test_clock_roundtrip () =
+  let rng = Rng.create ~seed:12 in
+  let c = Clock.create ~rng ~max_skew:(Sim_time.ms 5.) ~n_nodes:3 in
+  let e = Engine.create () in
+  ignore
+    (Engine.schedule_at e 1000 (fun () ->
+         let local = Clock.now c e ~node:1 in
+         Alcotest.(check int) "roundtrip" 1000 (Clock.engine_time_of_local c ~node:1 local)));
+  Engine.run e
+
+let make_net ?(config = Network.default_config) () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:99 in
+  let topo = Topology.azure5 in
+  (* two nodes per DC *)
+  let node_dc = Array.init 10 (fun i -> i / 2) in
+  let cpus = Array.init 10 (fun _ -> Cpu.create engine) in
+  let net = Network.create ~engine ~rng ~topo ~node_dc ~cpus ~config () in
+  (engine, net)
+
+let test_network_delay_close_to_owd () =
+  let engine, net = make_net () in
+  (* VA node 0 -> SG node 8: owd = 107ms *)
+  let arrival = ref 0 in
+  Network.send net ~src:0 ~dst:8 ~bytes:100 (fun () -> arrival := Engine.now engine);
+  Engine.run engine;
+  let ms = Sim_time.to_ms !arrival in
+  if ms < 95. || ms > 125. then Alcotest.failf "VA->SG delay unexpected: %.2fms" ms
+
+let test_network_same_node_fast () =
+  let engine, net = make_net () in
+  let arrival = ref 0 in
+  Network.send net ~src:0 ~dst:0 ~bytes:100 (fun () -> arrival := Engine.now engine);
+  Engine.run engine;
+  if Sim_time.to_ms !arrival > 1.0 then
+    Alcotest.failf "same-node delay too large: %dus" !arrival
+
+let test_network_intra_dc_fast () =
+  let engine, net = make_net () in
+  let arrival = ref 0 in
+  Network.send net ~src:0 ~dst:1 ~bytes:100 (fun () -> arrival := Engine.now engine);
+  Engine.run engine;
+  let ms = Sim_time.to_ms !arrival in
+  if ms > 2.0 then Alcotest.failf "intra-DC delay too large: %.2fms" ms
+
+let test_network_loss_adds_rto () =
+  let config = { Network.default_config with loss = 0.9 } in
+  let engine, net = make_net ~config () in
+  let arrival = ref 0 in
+  Network.send net ~src:0 ~dst:8 ~bytes:100 (fun () -> arrival := Engine.now engine);
+  Engine.run engine;
+  (* With 90% loss, at least one retransmission is nearly certain; each adds
+     >= max(200ms, 2*RTT=428ms). *)
+  if Sim_time.to_ms !arrival < 400. then
+    Alcotest.failf "loss did not delay message: %.2fms" (Sim_time.to_ms !arrival)
+
+let test_network_cpu_queueing () =
+  let config = { Network.default_config with msg_cost = Sim_time.ms 10. } in
+  let engine, net = make_net ~config () in
+  let arrivals = ref [] in
+  for _ = 1 to 3 do
+    Network.send net ~src:0 ~dst:1 ~bytes:10 (fun () -> arrivals := Engine.now engine :: !arrivals)
+  done;
+  Engine.run engine;
+  (match List.rev !arrivals with
+  | [ a; b; c ] ->
+      (* Each message occupies the CPU for 10ms, so completions are spaced. *)
+      if b - a < Sim_time.ms 9. || c - b < Sim_time.ms 9. then
+        Alcotest.failf "CPU queueing not applied: %d %d %d" a b c
+  | _ -> Alcotest.fail "expected 3 arrivals")
+
+let test_network_capacity_under_loss () =
+  (* With loss, the Mathis model limits the link rate; a big burst of large
+     messages must be spread out by transmission queueing. *)
+  let config = { Network.default_config with loss = 0.02; rto_floor = Sim_time.zero } in
+  let engine, net = make_net ~config () in
+  let last = ref 0 in
+  for _ = 1 to 50 do
+    Network.send net ~src:0 ~dst:8 ~bytes:50_000 (fun () -> last := Stdlib.max !last (Engine.now engine))
+  done;
+  Engine.run engine;
+  let no_loss_engine, no_loss_net = make_net () in
+  let last_no_loss = ref 0 in
+  for _ = 1 to 50 do
+    Network.send no_loss_net ~src:0 ~dst:8 ~bytes:50_000 (fun () ->
+        last_no_loss := Stdlib.max !last_no_loss (Engine.now no_loss_engine))
+  done;
+  Engine.run no_loss_engine;
+  if !last <= !last_no_loss then
+    Alcotest.failf "lossy link not slower: %d vs %d" !last !last_no_loss
+
+let test_network_loss_stall_bounded () =
+  (* A high-rate connection must stay stable under small loss: stalls pay at
+     most one RTO per recovery window, so the total delay added over a burst
+     is bounded, and FIFO backlog drains. *)
+  let config = { Network.default_config with loss = 0.01 } in
+  let engine, net = make_net ~config () in
+  let n = 2_000 in
+  let last_arrival = ref 0 in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    ignore
+      (Engine.schedule_at engine (Sim_time.us (i * 500)) (fun () ->
+           (* 2000 msgs/s on one VA->WA connection. *)
+           Network.send net ~src:0 ~dst:2 ~bytes:200 (fun () ->
+               incr count;
+               last_arrival := Stdlib.max !last_arrival (Engine.now engine))))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all delivered" n !count;
+  (* Send window is 1s; base delay 33.5ms. Unbounded per-message RTO would
+     push the tail out by tens of seconds; the stall model keeps the last
+     delivery within a few stall windows of the send window. *)
+  if Sim_time.to_ms !last_arrival > 2_500. then
+    Alcotest.failf "connection collapsed under loss: last arrival %.0fms"
+      (Sim_time.to_ms !last_arrival)
+
+let test_network_fifo_per_connection () =
+  let engine, net = make_net () in
+  let order = ref [] in
+  for i = 1 to 20 do
+    Network.send net ~src:0 ~dst:8 ~bytes:100 (fun () -> order := i :: !order)
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "in order" (List.init 20 (fun i -> i + 1)) (List.rev !order)
+
+let test_network_stats () =
+  let engine, net = make_net () in
+  Network.send net ~src:0 ~dst:2 ~bytes:100 (fun () -> ());
+  Network.send net ~src:0 ~dst:2 ~bytes:100 (fun () -> ());
+  Engine.run engine;
+  Alcotest.(check int) "messages" 2 (Network.messages_sent net);
+  Alcotest.(check bool) "bytes include header" true (Network.bytes_sent net > 200)
+
+let () =
+  Alcotest.run "simcore"
+    [
+      ( "sim_time",
+        [
+          Alcotest.test_case "conversions" `Quick test_time_conversions;
+          Alcotest.test_case "pp" `Quick test_time_pp;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "normal moments" `Quick test_normal_moments;
+          Alcotest.test_case "pareto mean" `Quick test_pareto_mean_cv;
+          Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+        ] );
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_queue_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_queue_cancel;
+          Alcotest.test_case "peek and size" `Quick test_queue_peek_and_size;
+          QCheck_alcotest.to_alcotest prop_queue_sorted;
+          QCheck_alcotest.to_alcotest prop_queue_cancel_subset;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick test_vec_basics;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          QCheck_alcotest.to_alcotest prop_vec_model;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+          Alcotest.test_case "schedule from callback" `Quick test_engine_schedule_from_callback;
+          Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "fifo" `Quick test_cpu_fifo;
+          Alcotest.test_case "idle gap" `Quick test_cpu_idle_gap;
+          Alcotest.test_case "utilization" `Quick test_cpu_utilization;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "symmetric" `Quick test_topology_symmetric;
+          Alcotest.test_case "table1 values" `Quick test_topology_table1;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "skew bounds" `Quick test_clock_skew_bounds;
+          Alcotest.test_case "roundtrip" `Quick test_clock_roundtrip;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "delay close to owd" `Quick test_network_delay_close_to_owd;
+          Alcotest.test_case "same node fast" `Quick test_network_same_node_fast;
+          Alcotest.test_case "intra-dc fast" `Quick test_network_intra_dc_fast;
+          Alcotest.test_case "loss adds rto" `Quick test_network_loss_adds_rto;
+          Alcotest.test_case "cpu queueing" `Quick test_network_cpu_queueing;
+          Alcotest.test_case "capacity under loss" `Quick test_network_capacity_under_loss;
+          Alcotest.test_case "loss stall bounded" `Quick test_network_loss_stall_bounded;
+          Alcotest.test_case "fifo per connection" `Quick test_network_fifo_per_connection;
+          Alcotest.test_case "stats" `Quick test_network_stats;
+        ] );
+    ]

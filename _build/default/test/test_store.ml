@@ -1,0 +1,303 @@
+(* Tests for the store library: versioned KV, OCC tracking, lock table. *)
+
+open Store
+
+(* ------------------------------------------------------------------ *)
+(* Kv *)
+
+let test_kv_default () =
+  let kv = Kv.create () in
+  Alcotest.(check int) "data" 0 (Kv.get kv 7).Kv.data;
+  Alcotest.(check int) "version" 0 (Kv.get kv 7).Kv.version
+
+let test_kv_put_bumps_version () =
+  let kv = Kv.create () in
+  Kv.put kv ~key:1 ~data:10;
+  Kv.put kv ~key:1 ~data:20;
+  Alcotest.(check int) "data" 20 (Kv.get kv 1).Kv.data;
+  Alcotest.(check int) "version" 2 (Kv.get kv 1).Kv.version;
+  Alcotest.(check int) "keys" 1 (Kv.keys_written kv)
+
+(* ------------------------------------------------------------------ *)
+(* Occ *)
+
+let ids = Alcotest.slist Alcotest.int compare
+
+let test_occ_rw_conflict () =
+  let occ = Occ.create () in
+  Occ.prepare occ ~txn:1 ~reads:[| 1; 2 |] ~writes:[| 3 |];
+  (* read-read: no conflict *)
+  Alcotest.(check ids) "rr" [] (Occ.conflicts occ ~reads:[| 1 |] ~writes:[||]);
+  (* read vs their write *)
+  Alcotest.(check ids) "r-w" [ 1 ] (Occ.conflicts occ ~reads:[| 3 |] ~writes:[||]);
+  (* write vs their read *)
+  Alcotest.(check ids) "w-r" [ 1 ] (Occ.conflicts occ ~reads:[||] ~writes:[| 2 |]);
+  (* write vs their write *)
+  Alcotest.(check ids) "w-w" [ 1 ] (Occ.conflicts occ ~reads:[||] ~writes:[| 3 |]);
+  (* disjoint *)
+  Alcotest.(check ids) "none" [] (Occ.conflicts occ ~reads:[| 9 |] ~writes:[| 8 |])
+
+let test_occ_any_rule () =
+  let occ = Occ.create () in
+  Occ.prepare occ ~txn:5 ~reads:[| 1 |] ~writes:[||];
+  (* Natto's lock rule: even read-read overlap counts. *)
+  Alcotest.(check ids) "any" [ 5 ] (Occ.conflicts_any occ ~keys:[| 1 |]);
+  Alcotest.(check ids) "none" [] (Occ.conflicts_any occ ~keys:[| 2 |])
+
+let test_occ_release () =
+  let occ = Occ.create () in
+  Occ.prepare occ ~txn:1 ~reads:[| 1 |] ~writes:[| 2 |];
+  Alcotest.(check bool) "prepared" true (Occ.is_prepared occ ~txn:1);
+  Occ.release occ ~txn:1;
+  Alcotest.(check bool) "released" false (Occ.is_prepared occ ~txn:1);
+  Alcotest.(check ids) "no conflicts" [] (Occ.conflicts occ ~reads:[| 1 |] ~writes:[| 2 |]);
+  (* releasing twice is fine *)
+  Occ.release occ ~txn:1
+
+let test_occ_multiple () =
+  let occ = Occ.create () in
+  Occ.prepare occ ~txn:1 ~reads:[||] ~writes:[| 7 |];
+  Occ.prepare occ ~txn:2 ~reads:[||] ~writes:[| 7 |];
+  Alcotest.(check ids) "both" [ 1; 2 ] (Occ.conflicts occ ~reads:[| 7 |] ~writes:[||]);
+  Alcotest.(check int) "count" 2 (Occ.prepared_count occ);
+  Alcotest.(check (option (pair (array int) (array int))))
+    "footprint" (Some ([||], [| 7 |])) (Occ.footprint occ ~txn:1)
+
+let prop_occ_prepare_release_inverse =
+  QCheck.Test.make ~name:"occ release restores no-conflict" ~count:200
+    QCheck.(pair (list (int_bound 20)) (list (int_bound 20)))
+    (fun (reads, writes) ->
+      let occ = Occ.create () in
+      let reads = Array.of_list reads and writes = Array.of_list writes in
+      Occ.prepare occ ~txn:1 ~reads ~writes;
+      Occ.release occ ~txn:1;
+      Occ.conflicts occ ~reads ~writes = [] && Occ.prepared_count occ = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Locks *)
+
+let make_locks ?(policy = Locks.Wound_wait) () =
+  let locks = Locks.create ~policy () in
+  let wounded = ref [] in
+  Locks.set_abort_handler locks (fun txn ->
+      wounded := txn :: !wounded;
+      Locks.release_all locks ~txn);
+  (locks, wounded)
+
+let acquire locks ~txn ~ts ?(high = false) ~key ~exclusive granted =
+  Locks.acquire locks ~txn ~ts ~high ~key ~exclusive ~on_granted:(fun () ->
+      granted := txn :: !granted)
+
+let test_locks_shared_compatible () =
+  let locks, _ = make_locks () in
+  let granted = ref [] in
+  acquire locks ~txn:1 ~ts:1 ~key:5 ~exclusive:false granted;
+  acquire locks ~txn:2 ~ts:2 ~key:5 ~exclusive:false granted;
+  Alcotest.(check (list int)) "both shared" [ 2; 1 ] !granted
+
+let test_locks_exclusive_blocks () =
+  let locks, wounded = make_locks () in
+  let granted = ref [] in
+  acquire locks ~txn:1 ~ts:1 ~key:5 ~exclusive:true granted;
+  (* Younger requester waits (wound-wait). *)
+  acquire locks ~txn:2 ~ts:2 ~key:5 ~exclusive:true granted;
+  Alcotest.(check (list int)) "only older" [ 1 ] !granted;
+  Alcotest.(check (list int)) "no wound" [] !wounded;
+  Alcotest.(check bool) "waiting" true (Locks.is_waiting locks ~txn:2);
+  Locks.release_all locks ~txn:1;
+  Alcotest.(check (list int)) "granted after release" [ 2; 1 ] !granted
+
+let test_locks_wound_wait () =
+  let locks, wounded = make_locks () in
+  let granted = ref [] in
+  acquire locks ~txn:2 ~ts:2 ~key:5 ~exclusive:true granted;
+  (* Older requester wounds the younger holder. *)
+  acquire locks ~txn:1 ~ts:1 ~key:5 ~exclusive:true granted;
+  Alcotest.(check (list int)) "younger wounded" [ 2 ] !wounded;
+  Alcotest.(check (list int)) "older granted" [ 1; 2 ] !granted
+
+let test_locks_pin_prevents_wound () =
+  let locks, wounded = make_locks () in
+  let granted = ref [] in
+  acquire locks ~txn:2 ~ts:2 ~key:5 ~exclusive:true granted;
+  Locks.pin locks ~txn:2;
+  acquire locks ~txn:1 ~ts:1 ~key:5 ~exclusive:true granted;
+  Alcotest.(check (list int)) "pinned survives" [] !wounded;
+  Alcotest.(check bool) "older waits" true (Locks.is_waiting locks ~txn:1)
+
+let test_locks_upgrade () =
+  let locks, _ = make_locks () in
+  let granted = ref [] in
+  acquire locks ~txn:1 ~ts:1 ~key:5 ~exclusive:false granted;
+  acquire locks ~txn:1 ~ts:1 ~key:5 ~exclusive:true granted;
+  Alcotest.(check (list int)) "sole holder upgrades" [ 1; 1 ] !granted;
+  Alcotest.(check bool) "holds" true (Locks.holds locks ~txn:1 ~key:5)
+
+let test_locks_preempt_low_holder () =
+  let locks, wounded = make_locks ~policy:Locks.Preempt () in
+  let granted = ref [] in
+  (* Low-priority, OLDER holder... *)
+  acquire locks ~txn:1 ~ts:1 ~high:false ~key:5 ~exclusive:true granted;
+  (* ...still preempted by a younger high-priority requester under (P). *)
+  acquire locks ~txn:2 ~ts:2 ~high:true ~key:5 ~exclusive:true granted;
+  Alcotest.(check (list int)) "low holder preempted" [ 1 ] !wounded;
+  Alcotest.(check (list int)) "high granted" [ 2; 1 ] !granted
+
+let test_locks_preempt_low_waiters () =
+  let locks, wounded = make_locks ~policy:Locks.Preempt () in
+  let granted = ref [] in
+  acquire locks ~txn:1 ~ts:1 ~high:true ~key:5 ~exclusive:true granted;
+  (* Low-priority waiter with a smaller timestamp than the next high... *)
+  acquire locks ~txn:2 ~ts:2 ~high:false ~key:5 ~exclusive:true granted;
+  acquire locks ~txn:3 ~ts:3 ~high:true ~key:5 ~exclusive:true granted;
+  (* (P) policy: the low waiter ahead of the high requester is aborted. *)
+  Alcotest.(check (list int)) "low waiter preempted" [ 2 ] !wounded;
+  Locks.release_all locks ~txn:1;
+  Alcotest.(check (list int)) "high next" [ 3; 1 ] !granted
+
+let test_locks_pow_requires_waiting_holder () =
+  let locks, wounded = make_locks ~policy:Locks.Preempt_on_wait () in
+  let granted = ref [] in
+  (* Low holder of key 5 (older), not waiting on anything. *)
+  acquire locks ~txn:1 ~ts:1 ~high:false ~key:5 ~exclusive:true granted;
+  (* POW: a younger high-priority requester must NOT preempt it. *)
+  acquire locks ~txn:2 ~ts:2 ~high:true ~key:5 ~exclusive:true granted;
+  Alcotest.(check (list int)) "no wound while not waiting" [] !wounded;
+  (* Now make the low holder wait on key 6 (held exclusively by txn 0 which is older). *)
+  acquire locks ~txn:0 ~ts:0 ~high:false ~key:6 ~exclusive:true granted;
+  acquire locks ~txn:1 ~ts:1 ~high:false ~key:6 ~exclusive:true granted;
+  Alcotest.(check bool) "low now waiting" true (Locks.is_waiting locks ~txn:1);
+  (* A high-priority request against key 5 now preempts it. *)
+  acquire locks ~txn:3 ~ts:3 ~high:true ~key:5 ~exclusive:true granted;
+  Alcotest.(check (list int)) "wounded when waiting" [ 1 ] !wounded
+
+let test_locks_release_grants_waiters_in_order () =
+  let locks, _ = make_locks () in
+  let granted = ref [] in
+  acquire locks ~txn:1 ~ts:1 ~key:5 ~exclusive:true granted;
+  acquire locks ~txn:3 ~ts:3 ~key:5 ~exclusive:true granted;
+  acquire locks ~txn:2 ~ts:2 ~key:5 ~exclusive:true granted;
+  (* Queue is ordered by timestamp: txn 2 before txn 3. *)
+  Alcotest.(check (list int)) "ts order" [ 2; 3 ] (Locks.waiters_on locks ~key:5);
+  Locks.release_all locks ~txn:1;
+  (* Only the next exclusive waiter is granted; txn 3 keeps waiting. *)
+  Alcotest.(check (list int)) "grant order" [ 2; 1 ] !granted;
+  Alcotest.(check (list int)) "txn 3 still queued" [ 3 ] (Locks.waiters_on locks ~key:5);
+  Locks.release_all locks ~txn:2;
+  Alcotest.(check (list int)) "txn 3 last" [ 3; 2; 1 ] !granted
+
+let test_locks_no_deadlock_two_txns () =
+  (* Classic 2-key deadlock shape: wound-wait must resolve it. *)
+  let locks, wounded = make_locks () in
+  let granted = ref [] in
+  acquire locks ~txn:1 ~ts:1 ~key:1 ~exclusive:true granted;
+  acquire locks ~txn:2 ~ts:2 ~key:2 ~exclusive:true granted;
+  acquire locks ~txn:1 ~ts:1 ~key:2 ~exclusive:true granted;
+  (* txn 1 (older) wounds txn 2 and takes key 2. *)
+  Alcotest.(check (list int)) "wounded" [ 2 ] !wounded;
+  Alcotest.(check bool) "t1 has both" true
+    (Locks.holds locks ~txn:1 ~key:1 && Locks.holds locks ~txn:1 ~key:2)
+
+let prop_locks_drain_clean =
+  QCheck.Test.make ~name:"lock table drains clean after release_all" ~count:300
+    QCheck.(list (triple (int_bound 5) (int_bound 3) bool))
+    (fun ops ->
+      let locks, _ = make_locks () in
+      List.iteri
+        (fun i (txn, key, exclusive) ->
+          let txn = txn + 1 in
+          if i mod 7 = 6 then Locks.release_all locks ~txn
+          else
+            Locks.acquire locks ~txn ~ts:txn ~high:false ~key ~exclusive
+              ~on_granted:(fun () -> ()))
+        ops;
+      List.iter (fun txn -> Locks.release_all locks ~txn) [ 1; 2; 3; 4; 5; 6 ];
+      (* Once everything is released, a fresh transaction can take every key
+         exclusively and immediately. *)
+      let fresh = 1000 in
+      let granted = ref 0 in
+      List.iter
+        (fun key ->
+          Locks.acquire locks ~txn:fresh ~ts:fresh ~high:false ~key ~exclusive:true
+            ~on_granted:(fun () -> incr granted))
+        [ 0; 1; 2; 3 ];
+      !granted = 4)
+
+let prop_locks_exclusive_never_shared =
+  (* Model-based: track grants/releases through the public callbacks and
+     assert no key is ever held exclusively by two transactions, nor
+     exclusively and shared at once. *)
+  QCheck.Test.make ~name:"exclusive grants never overlap" ~count:300
+    QCheck.(list (triple (int_bound 4) (int_bound 2) bool))
+    (fun ops ->
+      let locks = Locks.create ~policy:Locks.Wound_wait () in
+      let holds : (int * int * bool) list ref = ref [] in
+      let ok = ref true in
+      Locks.set_abort_handler locks (fun txn ->
+          holds := List.filter (fun (t, _, _) -> t <> txn) !holds;
+          Locks.release_all locks ~txn);
+      let release txn = holds := List.filter (fun (t, _, _) -> t <> txn) !holds in
+      let check key =
+        let on_key = List.filter (fun (_, k, _) -> k = key) !holds in
+        let exclusive = List.filter (fun (_, _, e) -> e) on_key in
+        let distinct = List.sort_uniq compare (List.map (fun (t, _, _) -> t) exclusive) in
+        if List.length distinct > 1 then ok := false;
+        if distinct <> [] && List.exists (fun (_, _, e) -> not e) on_key then begin
+          (* exclusive + shared by another txn *)
+          let others =
+            List.filter (fun (t, _, e) -> (not e) && not (List.mem t distinct)) on_key
+          in
+          if others <> [] then ok := false
+        end
+      in
+      List.iteri
+        (fun i (txn, key, exclusive) ->
+          let txn = txn + 1 in
+          if i mod 5 = 4 then begin
+            release txn;
+            Locks.release_all locks ~txn
+          end
+          else begin
+            Locks.acquire locks ~txn ~ts:txn ~high:false ~key ~exclusive
+              ~on_granted:(fun () ->
+                holds := (txn, key, exclusive) :: !holds;
+                check key);
+            check key
+          end)
+        ops;
+      !ok)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "kv",
+        [
+          Alcotest.test_case "default" `Quick test_kv_default;
+          Alcotest.test_case "put bumps version" `Quick test_kv_put_bumps_version;
+        ] );
+      ( "occ",
+        [
+          Alcotest.test_case "rw conflict matrix" `Quick test_occ_rw_conflict;
+          Alcotest.test_case "any-overlap rule" `Quick test_occ_any_rule;
+          Alcotest.test_case "release" `Quick test_occ_release;
+          Alcotest.test_case "multiple prepared" `Quick test_occ_multiple;
+          QCheck_alcotest.to_alcotest prop_occ_prepare_release_inverse;
+        ] );
+      ( "locks",
+        [
+          Alcotest.test_case "shared compatible" `Quick test_locks_shared_compatible;
+          Alcotest.test_case "exclusive blocks" `Quick test_locks_exclusive_blocks;
+          Alcotest.test_case "wound-wait" `Quick test_locks_wound_wait;
+          Alcotest.test_case "pin prevents wound" `Quick test_locks_pin_prevents_wound;
+          Alcotest.test_case "upgrade" `Quick test_locks_upgrade;
+          Alcotest.test_case "preempt low holder" `Quick test_locks_preempt_low_holder;
+          Alcotest.test_case "preempt low waiters" `Quick test_locks_preempt_low_waiters;
+          Alcotest.test_case "POW requires waiting holder" `Quick
+            test_locks_pow_requires_waiting_holder;
+          Alcotest.test_case "grant order on release" `Quick
+            test_locks_release_grants_waiters_in_order;
+          Alcotest.test_case "no deadlock" `Quick test_locks_no_deadlock_two_txns;
+          QCheck_alcotest.to_alcotest prop_locks_drain_clean;
+          QCheck_alcotest.to_alcotest prop_locks_exclusive_never_shared;
+        ] );
+    ]
