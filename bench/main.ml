@@ -83,9 +83,23 @@ let run_micro () =
   in
   List.iter (fun (name, ns) -> Printf.printf "%-40s %12.1f ns/call\n%!" name ns) rows
 
+let print_trace_summary () =
+  Printf.printf "\n# Message traffic by kind (all runs)\n";
+  List.iter
+    (fun (kind, n, bytes) -> Printf.printf "%-20s %12d msgs %16d bytes\n%!" kind n bytes)
+    (Harness.Experiment.trace_totals ());
+  Printf.printf "\n# Message traffic by DC link\n";
+  List.iter
+    (fun ((src, dst), n) -> Printf.printf "dc%d -> dc%d %12d msgs\n%!" src dst n)
+    (Harness.Experiment.trace_link_totals ())
+
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
   let scale = Harness.Figures.scale_of_env () in
+  (* NATTO_TRACE_SUMMARY=1 appends per-kind / per-link message totals to the
+     run; counters-only tracing, so figure numbers are unchanged. *)
+  let trace_summary = Sys.getenv_opt "NATTO_TRACE_SUMMARY" <> None in
+  if trace_summary then Harness.Experiment.set_trace_counters true;
   let t0 = Unix.gettimeofday () in
   let run_all () =
     Harness.Figures.all scale;
@@ -103,4 +117,5 @@ let () =
             exit 1
           end)
         names);
+  if trace_summary then print_trace_summary ();
   Printf.printf "\n# bench wall time: %.1fs\n%!" (Unix.gettimeofday () -. t0)

@@ -24,7 +24,7 @@ let topo_names =
   ]
 
 let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo ~variance
-    ~loss ~partitions ~histograms =
+    ~loss ~partitions ~histograms ~trace_file =
   let gen =
     match workload with
     | "ycsbt" -> Workload.Ycsbt.gen ~theta:zipf ()
@@ -93,7 +93,31 @@ let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
         Printf.printf "%-15s %s\n%!" (Harness.Experiment.spec_name spec)
           (Simstats.Histogram.render merged))
       systems
-  end
+  end;
+  match trace_file with
+  | None -> ()
+  | Some file ->
+      (* One extra fully-traced run (first system, first seed) whose Chrome
+         trace JSON goes to [file]. *)
+      let name = List.hd systems in
+      let spec = List.assoc name system_names in
+      let seed = List.hd seeds in
+      let t =
+        try Harness.Experiment.run_traced setup spec ~gen ~seed ~file
+        with Sys_error e ->
+          Printf.eprintf "natto_sim: cannot write trace file: %s\n%!" e;
+          exit 1
+      in
+      Printf.printf "\n# trace: %s (%s, seed %d) — load at chrome://tracing\n" file
+        (Harness.Experiment.spec_name spec)
+        seed;
+      Printf.printf "# %d trace events; messages by kind:\n" (Trace.event_count t.Harness.Experiment.trace);
+      List.iter
+        (fun (kind, n) -> Printf.printf "#   %-20s %10d\n" kind n)
+        (Trace.kind_counts t.Harness.Experiment.trace);
+      Printf.printf "#   %-20s %10d (network total: %d)\n%!" "sum"
+        (Trace.total_messages t.Harness.Experiment.trace)
+        t.Harness.Experiment.messages_sent
 
 open Cmdliner
 
@@ -133,6 +157,13 @@ let partitions_arg = Arg.(value & opt int 5 & info [ "p"; "partitions" ] ~doc:"P
 let histograms_arg =
   Arg.(value & flag & info [ "histograms" ] ~doc:"Also print latency distribution sketches.")
 
+let trace_arg =
+  let doc =
+    "Also run the first system/seed with full tracing and write Chrome trace-viewer JSON \
+     to $(docv) (open at chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
 let figure_arg =
   let doc =
     Printf.sprintf "Regenerate a figure instead (%s)."
@@ -141,7 +172,7 @@ let figure_arg =
   Arg.(value & opt (some string) None & info [ "figure" ] ~doc)
 
 let main systems workload rate zipf duration seeds high_fraction topo variance loss partitions
-    histograms figure =
+    histograms trace_file figure =
   match figure with
   | Some name ->
       if Harness.Figures.run_by_name name (Harness.Figures.scale_of_env ()) then `Ok ()
@@ -157,7 +188,7 @@ let main systems workload rate zipf duration seeds high_fraction topo variance l
             `Error (false, Printf.sprintf "unknown topology %S" topo)
           else begin
             run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
-              ~variance ~loss ~partitions ~histograms;
+              ~variance ~loss ~partitions ~histograms ~trace_file;
             `Ok ()
           end)
 
@@ -169,6 +200,6 @@ let cmd =
       ret
         (const main $ systems_arg $ workload_arg $ rate_arg $ zipf_arg $ duration_arg
        $ seeds_arg $ high_arg $ topo_arg $ variance_arg $ loss_arg $ partitions_arg
-       $ histograms_arg $ figure_arg))
+       $ histograms_arg $ trace_arg $ figure_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 gate: full build, full test suite, and a traced smoke run.
+# Run from the repo root; exits non-zero on any failure.
+set -eu
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== trace smoke run =="
+trace_out="${TMPDIR:-/tmp}/natto_ci_trace.json"
+dune exec bin/natto_sim.exe -- -s natto-ts -d 2 --seeds 1 -r 50 \
+  --trace "$trace_out" >/dev/null
+grep -q '"traceEvents"' "$trace_out"
+rm -f "$trace_out"
+
+echo "== OK =="

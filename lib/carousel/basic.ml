@@ -1,4 +1,5 @@
 open Txnkit
+module Msg = Rpc.Msg
 
 type server = {
   partition : int;
@@ -26,7 +27,7 @@ type client_attempt = {
 
 let make (cluster : Cluster.t) : System.t =
   let net = cluster.Cluster.net in
-  let send ~src ~dst ~bytes f = Netsim.Network.send net ~src ~dst ~bytes f in
+  let send ~src ~dst ~msg f = Rpc.send net ~src ~dst ~msg f in
   let servers =
     Array.init cluster.Cluster.n_partitions (fun p ->
         {
@@ -61,7 +62,7 @@ let make (cluster : Cluster.t) : System.t =
     (* Write data becomes visible only after it is replicated to the
        partition's followers (paper §3.4: Carousel's rule, relaxed by
        Natto's ECSF). *)
-    let bytes = Wire.write_record_bytes ~writes:(List.length pairs) in
+    let bytes = Msg.write_record_bytes ~writes:(List.length pairs) in
     Raft.Group.replicate cluster.Cluster.groups.(server.partition) ~size:bytes ~tag:txn_id
       ~on_committed:(fun () ->
         List.iter (fun (key, data) -> Store.Kv.put server.kv ~key ~data) pairs;
@@ -76,13 +77,13 @@ let make (cluster : Cluster.t) : System.t =
     let pairs = Option.value ~default:[] c.commit_pairs in
     let me = coord_node ~client:c.client in
     (* Notify the client, then distribute write data asynchronously. *)
-    send ~src:me ~dst:c.client ~bytes:Wire.control_bytes (fun () -> ());
+    send ~src:me ~dst:c.client ~msg:(Msg.control ~txn:txn_id Msg.Commit_notify) (fun () -> ());
     List.iter
       (fun p ->
         let server = servers.(p) in
         let local = Txnkit.Exec.pairs_on_partition cluster ~partition:p pairs in
         send ~src:me ~dst:server.node
-          ~bytes:(Wire.decision_bytes ~writes:(List.length local))
+          ~msg:(Msg.decision ~txn:txn_id ~writes:(List.length local) ())
           (fun () -> apply_commit server txn_id local))
       (Cluster.participants cluster txn)
   in
@@ -92,7 +93,7 @@ let make (cluster : Cluster.t) : System.t =
     List.iter
       (fun p ->
         let server = servers.(p) in
-        send ~src:me ~dst:server.node ~bytes:Wire.control_bytes (fun () ->
+        send ~src:me ~dst:server.node ~msg:(Msg.decision ~txn:txn_id ~writes:0 ()) (fun () ->
             abort_at_participant server txn_id))
       (Cluster.participants cluster txn)
   in
@@ -113,8 +114,8 @@ let make (cluster : Cluster.t) : System.t =
     (* Client-side commit notification: the coordinator replies over the
        network; latency to the client is the intra-DC hop. *)
     let notify_client_commit () =
-      send ~src:coordinator ~dst:client ~bytes:Wire.control_bytes (fun () ->
-          on_done ~committed:true)
+      send ~src:coordinator ~dst:client ~msg:(Msg.control ~txn:txn.Txn.id Msg.Commit_notify)
+        (fun () -> on_done ~committed:true)
     in
     let on_vote ~ok =
       let c = coord_state ~txn_id:txn.Txn.id ~client ~n_participants:n in
@@ -131,7 +132,7 @@ let make (cluster : Cluster.t) : System.t =
         c.commit_pairs <- Some pairs;
         Raft.Group.replicate
           (Cluster.coordinator_group cluster ~client)
-          ~size:(Wire.write_record_bytes ~writes:(List.length pairs))
+          ~size:(Msg.write_record_bytes ~writes:(List.length pairs))
           ~tag:txn.Txn.id
           ~on_committed:(fun () ->
             c.writes_replicated <- true;
@@ -152,17 +153,19 @@ let make (cluster : Cluster.t) : System.t =
         List.iter
           (fun p ->
             let server = servers.(p) in
-            send ~src:client ~dst:server.node ~bytes:Wire.control_bytes (fun () ->
-                abort_at_participant server txn.Txn.id))
+            send ~src:client ~dst:server.node ~msg:(Msg.control ~txn:txn.Txn.id Msg.Release)
+              (fun () -> abort_at_participant server txn.Txn.id))
           plan.Txnkit.Exec.participants;
-        send ~src:client ~dst:coordinator ~bytes:Wire.control_bytes on_abort_notice;
+        send ~src:client ~dst:coordinator
+          ~msg:(Msg.control ~txn:txn.Txn.id Msg.Abort_notice)
+          on_abort_notice;
         on_done ~committed:false
       end
       else begin
         let reads = Txnkit.Exec.assemble_reads txn attempt.replies in
         let pairs = Txnkit.Exec.write_pairs txn reads in
         send ~src:client ~dst:coordinator
-          ~bytes:(Wire.commit_request_bytes ~writes:(List.length pairs))
+          ~msg:(Msg.commit_request ~txn:txn.Txn.id ~writes:(List.length pairs) ())
           (fun () -> on_commit_request pairs)
       end
     in
@@ -177,30 +180,33 @@ let make (cluster : Cluster.t) : System.t =
         let server = servers.(p) in
         let reads = plan.Txnkit.Exec.reads_of p and writes = plan.Txnkit.Exec.writes_of p in
         send ~src:client ~dst:server.node
-          ~bytes:(Wire.read_and_prepare_bytes ~reads:(Array.length reads) ~writes:(Array.length writes))
+          ~msg:
+            (Msg.read_prepare ~txn:txn.Txn.id ~reads:(Array.length reads)
+               ~writes:(Array.length writes) ())
           (fun () ->
             let conflicting = Store.Occ.conflicts server.occ ~reads ~writes in
             if conflicting <> [] then begin
-              send ~src:server.node ~dst:client ~bytes:Wire.control_bytes (fun () ->
-                  on_read_reply ~ok:false []);
-              send ~src:server.node ~dst:coordinator ~bytes:Wire.vote_bytes (fun () ->
-                  on_vote ~ok:false)
+              send ~src:server.node ~dst:client
+                ~msg:(Msg.control ~txn:txn.Txn.id Msg.Abort_notice)
+                (fun () -> on_read_reply ~ok:false []);
+              send ~src:server.node ~dst:coordinator ~msg:(Msg.vote ~txn:txn.Txn.id ())
+                (fun () -> on_vote ~ok:false)
             end
             else begin
               Store.Occ.prepare server.occ ~txn:txn.Txn.id ~reads ~writes;
               let values = Txnkit.Exec.read_values server.kv reads in
               send ~src:server.node ~dst:client
-                ~bytes:(Wire.read_reply_bytes ~reads:(Array.length reads))
+                ~msg:(Msg.read_reply ~txn:txn.Txn.id ~reads:(Array.length reads) ())
                 (fun () -> on_read_reply ~ok:true values);
               (* Replicate the prepare record, then vote. *)
               Raft.Group.replicate cluster.Cluster.groups.(p)
                 ~size:
-                  (Wire.prepare_record_bytes ~reads:(Array.length reads)
+                  (Msg.prepare_record_bytes ~reads:(Array.length reads)
                      ~writes:(Array.length writes))
                 ~tag:txn.Txn.id
                 ~on_committed:(fun () ->
-                  send ~src:server.node ~dst:coordinator ~bytes:Wire.vote_bytes (fun () ->
-                      on_vote ~ok:true))
+                  send ~src:server.node ~dst:coordinator ~msg:(Msg.vote ~txn:txn.Txn.id ())
+                    (fun () -> on_vote ~ok:true))
                 ()
             end))
       plan.Txnkit.Exec.participants

@@ -1,4 +1,5 @@
 open Txnkit
+module Msg = Rpc.Msg
 
 type replica = {
   partition : int;
@@ -17,7 +18,7 @@ type reply = {
 
 let make (cluster : Cluster.t) : System.t =
   let net = cluster.Cluster.net in
-  let send ~src ~dst ~bytes f = Netsim.Network.send net ~src ~dst ~bytes f in
+  let send ~src ~dst ~msg f = Rpc.send net ~src ~dst ~msg f in
   let replicas =
     Array.init cluster.Cluster.n_partitions (fun p ->
         Array.mapi
@@ -48,8 +49,8 @@ let make (cluster : Cluster.t) : System.t =
         (fun p ->
           Array.iter
             (fun r ->
-              send ~src:client ~dst:r.node ~bytes:Wire.control_bytes (fun () ->
-                  Store.Occ.release r.occ ~txn:txn.Txn.id))
+              send ~src:client ~dst:r.node ~msg:(Msg.control ~txn:txn.Txn.id Msg.Release)
+                (fun () -> Store.Occ.release r.occ ~txn:txn.Txn.id))
             replicas.(p))
         participants
     in
@@ -57,21 +58,22 @@ let make (cluster : Cluster.t) : System.t =
       (* [after_durable] fires at the coordinator once the decision can be
          made; used by the slow path to wait for participant votes. *)
       send ~src:client ~dst:coordinator
-        ~bytes:(Wire.commit_request_bytes ~writes:(List.length pairs))
+        ~msg:(Msg.commit_request ~txn:txn.Txn.id ~writes:(List.length pairs) ())
         (fun () ->
           let write_replicated = ref false and votes_ok = ref false in
           let try_finish () =
             if !write_replicated && !votes_ok then begin
               if not already_committed then
-                send ~src:coordinator ~dst:client ~bytes:Wire.control_bytes (fun () ->
-                    on_done ~committed:true);
+                send ~src:coordinator ~dst:client
+                  ~msg:(Msg.control ~txn:txn.Txn.id Msg.Commit_notify)
+                  (fun () -> on_done ~committed:true);
               List.iter
                 (fun p ->
                   let local = Txnkit.Exec.pairs_on_partition cluster ~partition:p pairs in
                   Array.iter
                     (fun r ->
                       send ~src:coordinator ~dst:r.node
-                        ~bytes:(Wire.decision_bytes ~writes:(List.length local))
+                        ~msg:(Msg.decision ~txn:txn.Txn.id ~writes:(List.length local) ())
                         (fun () ->
                           List.iter (fun (key, data) -> Store.Kv.put r.kv ~key ~data) local;
                           Store.Occ.release r.occ ~txn:txn.Txn.id))
@@ -81,7 +83,7 @@ let make (cluster : Cluster.t) : System.t =
           in
           Raft.Group.replicate
             (Cluster.coordinator_group cluster ~client)
-            ~size:(Wire.write_record_bytes ~writes:(List.length pairs))
+            ~size:(Msg.write_record_bytes ~writes:(List.length pairs))
             ~tag:txn.Txn.id
             ~on_committed:(fun () ->
               write_replicated := true;
@@ -129,14 +131,17 @@ let make (cluster : Cluster.t) : System.t =
                   let leader = replicas.(p).(0) in
                   let reads_p = plan.Txnkit.Exec.reads_of p
                   and writes_p = plan.Txnkit.Exec.writes_of p in
-                  send ~src:coordinator ~dst:leader.node ~bytes:Wire.control_bytes (fun () ->
+                  send ~src:coordinator ~dst:leader.node
+                    ~msg:(Msg.control ~txn:txn.Txn.id Msg.Control)
+                    (fun () ->
                       Raft.Group.replicate cluster.Cluster.groups.(p)
                         ~size:
-                          (Wire.prepare_record_bytes ~reads:(Array.length reads_p)
+                          (Msg.prepare_record_bytes ~reads:(Array.length reads_p)
                              ~writes:(Array.length writes_p))
                         ~tag:txn.Txn.id
                         ~on_committed:(fun () ->
-                          send ~src:leader.node ~dst:coordinator ~bytes:Wire.vote_bytes
+                          send ~src:leader.node ~dst:coordinator
+                            ~msg:(Msg.vote ~txn:txn.Txn.id ())
                             (fun () ->
                               incr votes;
                               if !votes = n then k ()))
@@ -155,19 +160,21 @@ let make (cluster : Cluster.t) : System.t =
         Array.iter
           (fun r ->
             send ~src:client ~dst:r.node
-              ~bytes:
-                (Wire.read_and_prepare_bytes ~reads:(Array.length reads)
-                   ~writes:(Array.length writes))
+              ~msg:
+                (Msg.read_prepare ~txn:txn.Txn.id ~reads:(Array.length reads)
+                   ~writes:(Array.length writes) ())
               (fun () ->
                 let conflicting = Store.Occ.conflicts r.occ ~reads ~writes in
                 if conflicting <> [] then
-                  send ~src:r.node ~dst:client ~bytes:Wire.control_bytes (fun () ->
+                  send ~src:r.node ~dst:client
+                    ~msg:(Msg.control ~txn:txn.Txn.id Msg.Abort_notice)
+                    (fun () ->
                       on_reply { partition = p; from_leader = r.is_leader; ok = false; values = [] })
                 else begin
                   Store.Occ.prepare r.occ ~txn:txn.Txn.id ~reads ~writes;
                   let values = Txnkit.Exec.read_values r.kv reads in
                   send ~src:r.node ~dst:client
-                    ~bytes:(Wire.read_reply_bytes ~reads:(Array.length reads))
+                    ~msg:(Msg.read_reply ~txn:txn.Txn.id ~reads:(Array.length reads) ())
                     (fun () ->
                       on_reply { partition = p; from_leader = r.is_leader; ok = true; values })
                 end))

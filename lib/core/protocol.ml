@@ -1,5 +1,6 @@
 open Simcore
 open Txnkit
+module Msg = Rpc.Msg
 
 type stats = {
   mutable priority_aborts : int;
@@ -106,7 +107,13 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
   let stats = new_stats () in
   (* Expensive per-prepare assertions, enabled by tests. *)
   let check_invariants = Sys.getenv_opt "NATTO_CHECK_INVARIANTS" <> None in
-  let send ~src ~dst ~bytes f = Netsim.Network.send net ~src ~dst ~bytes f in
+  let send ~src ~dst ~msg f = Rpc.send net ~src ~dst ~msg f in
+  let trace = Netsim.Network.trace net in
+  (* Lifecycle instants land on the transactions track of the Chrome trace;
+     [Trace.recording] is false outside --trace runs, so this is one branch. *)
+  let mark ~tid ~txn name =
+    if Trace.recording trace then Trace.instant trace ~tid ~txn ~name ~at:(Engine.now engine) ()
+  in
   let servers =
     Array.init cluster.Cluster.n_partitions (fun p ->
         {
@@ -168,7 +175,10 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
   and coord_decide_commit c =
     c.decided <- true;
     c.committed <- true;
-    send ~src:c.c_node ~dst:c.c_client ~bytes:Wire.control_bytes (fun () ->
+    mark ~tid:c.c_node ~txn:c.c_txn.Txn.id "txn-commit";
+    send ~src:c.c_node ~dst:c.c_client
+      ~msg:(Msg.control ~txn:c.c_txn.Txn.id Msg.Commit_notify)
+      (fun () ->
         match Hashtbl.find_opt commit_hooks c.c_txn.Txn.id with
         | Some hook -> hook ()
         | None -> ());
@@ -182,7 +192,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
                  List.assoc_opt key c.gen_pairs |> Option.map (fun data -> (key, data, 0)))
         in
         send ~src:c.c_node ~dst:requester
-          ~bytes:(Wire.read_reply_bytes ~reads:(List.length values))
+          ~msg:(Msg.recsf_reply ~txn:c.c_txn.Txn.id ~reads:(List.length values) ())
           (fun () -> deliver values))
       c.recsf_waiters;
     c.recsf_waiters <- [];
@@ -191,7 +201,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         let server = servers.(p) in
         let local = Exec.pairs_on_partition cluster ~partition:p c.gen_pairs in
         send ~src:c.c_node ~dst:server.node
-          ~bytes:(Wire.decision_bytes ~writes:(List.length local))
+          ~msg:(Msg.decision ~txn:c.c_txn.Txn.id ~writes:(List.length local) ())
           (fun () -> server_on_commit server c.c_txn.Txn.id local))
       c.c_participants
 
@@ -199,11 +209,13 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
     if not c.decided then begin
       c.decided <- true;
       c.recsf_waiters <- [];
+      mark ~tid:c.c_node ~txn:c.c_txn.Txn.id "txn-abort";
       List.iter
         (fun p ->
           let server = servers.(p) in
-          send ~src:c.c_node ~dst:server.node ~bytes:Wire.control_bytes (fun () ->
-              server_on_abort server c.c_txn.Txn.id))
+          send ~src:c.c_node ~dst:server.node
+            ~msg:(Msg.decision ~txn:c.c_txn.Txn.id ~writes:0 ())
+            (fun () -> server_on_abort server c.c_txn.Txn.id))
         c.c_participants
     end
 
@@ -227,7 +239,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
       c.gen_replicated <- false;
       Raft.Group.replicate
         (Cluster.coordinator_group cluster ~client:c.c_client)
-        ~size:(Wire.write_record_bytes ~writes:(List.length pairs))
+        ~size:(Msg.write_record_bytes ~writes:(List.length pairs))
         ~tag:c.c_txn.Txn.id
         ~on_committed:(fun () ->
           if c.gen = gen && not c.decided then begin
@@ -245,7 +257,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
                List.assoc_opt key c.gen_pairs |> Option.map (fun data -> (key, data, 0)))
       in
       send ~src:c.c_node ~dst:requester
-        ~bytes:(Wire.read_reply_bytes ~reads:(List.length values))
+        ~msg:(Msg.recsf_reply ~txn:c.c_txn.Txn.id ~reads:(List.length values) ())
         (fun () -> deliver values)
     end
     else if not c.decided then
@@ -256,7 +268,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
   and server_local_now server = Netsim.Clock.now clock engine ~node:server.node
 
   and server_send_vote server (r : srec) v =
-    send ~src:server.node ~dst:r.coord_node ~bytes:Wire.vote_bytes (fun () ->
+    send ~src:server.node ~dst:r.coord_node ~msg:(Msg.vote ~txn:r.txn.Txn.id ()) (fun () ->
         let c = cstate_for r.txn ~participants:r.participants in
         coord_on_vote c ~partition:server.partition v)
 
@@ -271,14 +283,19 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
     Hashtbl.remove server.recs r.txn.Txn.id
 
   and server_abort_txn server (r : srec) ~late =
-    if late then stats.late_aborts <- stats.late_aborts + 1;
+    if late then begin
+      stats.late_aborts <- stats.late_aborts + 1;
+      mark ~tid:server.node ~txn:r.txn.Txn.id "txn-late-abort"
+    end;
     server_drop server r;
-    send ~src:server.node ~dst:r.txn.Txn.client ~bytes:Wire.control_bytes (fun () ->
-        r.deliver_abort ());
+    send ~src:server.node ~dst:r.txn.Txn.client
+      ~msg:(Msg.control ~txn:r.txn.Txn.id Msg.Abort_notice)
+      (fun () -> r.deliver_abort ());
     server_send_vote server r V_abort
 
   and server_priority_abort server (r : srec) =
     stats.priority_aborts <- stats.priority_aborts + 1;
+    mark ~tid:server.node ~txn:r.txn.Txn.id "txn-priority-abort";
     let lineage = r.txn.Txn.wound_ts in
     Hashtbl.replace pa_counts lineage
       (1 + Option.value ~default:0 (Hashtbl.find_opt pa_counts lineage));
@@ -321,28 +338,30 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
     end;
     Store.Occ.prepare server.occ ~txn:r.txn.Txn.id ~reads:r.reads ~writes:r.writes;
     r.state <- Prepared;
+    mark ~tid:server.node ~txn:r.txn.Txn.id "txn-prepare";
     let values = Exec.read_values server.kv r.reads in
     send ~src:server.node ~dst:r.txn.Txn.client
-      ~bytes:(Wire.read_reply_bytes ~reads:(Array.length r.reads))
+      ~msg:(Msg.read_reply ~txn:r.txn.Txn.id ~reads:(Array.length r.reads) ())
       (fun () -> r.deliver_read S_normal values);
     Raft.Group.replicate cluster.Cluster.groups.(server.partition)
-      ~size:(Wire.prepare_record_bytes ~reads:(Array.length r.reads) ~writes:(Array.length r.writes))
+      ~size:(Msg.prepare_record_bytes ~reads:(Array.length r.reads) ~writes:(Array.length r.writes))
       ~tag:r.txn.Txn.id
       ~on_committed:(fun () -> if r.state = Prepared then server_send_vote server r V_ok)
       ()
 
   and server_cond_prepare server (r : srec) ~blocker =
     stats.cond_prepares <- stats.cond_prepares + 1;
+    mark ~tid:server.node ~txn:r.txn.Txn.id "txn-cond-prepare";
     Store.Occ.prepare server.occ ~txn:r.txn.Txn.id ~reads:r.reads ~writes:r.writes;
     r.cond_on <- Some blocker;
     let watchers = Option.value ~default:[] (Hashtbl.find_opt server.cond_watchers blocker) in
     Hashtbl.replace server.cond_watchers blocker (r.txn.Txn.id :: watchers);
     let values = Exec.read_values server.kv r.reads in
     send ~src:server.node ~dst:r.txn.Txn.client
-      ~bytes:(Wire.read_reply_bytes ~reads:(Array.length r.reads))
+      ~msg:(Msg.read_reply ~txn:r.txn.Txn.id ~reads:(Array.length r.reads) ())
       (fun () -> r.deliver_read (S_cond blocker) values);
     Raft.Group.replicate cluster.Cluster.groups.(server.partition)
-      ~size:(Wire.prepare_record_bytes ~reads:(Array.length r.reads) ~writes:(Array.length r.writes))
+      ~size:(Msg.prepare_record_bytes ~reads:(Array.length r.reads) ~writes:(Array.length r.writes))
       ~tag:r.txn.Txn.id
       ~on_committed:(fun () ->
         if r.state <> Done then server_send_vote server r (V_cond blocker))
@@ -350,6 +369,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
 
   and server_recsf_forward server (r : srec) ~(blocker : srec) =
     stats.recsf_forwards <- stats.recsf_forwards + 1;
+    mark ~tid:server.node ~txn:r.txn.Txn.id "txn-recsf-forward";
     let fwd_keys =
       Array.of_list
         (List.filter
@@ -366,14 +386,14 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
     if Array.length local_keys > 0 || Array.length fwd_keys = 0 then begin
       let values = Exec.read_values server.kv local_keys in
       send ~src:server.node ~dst:r.txn.Txn.client
-        ~bytes:(Wire.read_reply_bytes ~reads:(Array.length local_keys))
+        ~msg:(Msg.recsf_reply ~txn:r.txn.Txn.id ~reads:(Array.length local_keys) ())
         (fun () -> r.deliver_read (S_recsf blocker_id) values)
     end;
     if Array.length fwd_keys > 0 then begin
       let requester = r.txn.Txn.client in
       let deliver values = r.deliver_read (S_recsf blocker_id) values in
       send ~src:server.node ~dst:blocker.coord_node
-        ~bytes:(Wire.control_bytes + (Array.length fwd_keys * Wire.key_bytes))
+        ~msg:(Msg.recsf_request ~txn:r.txn.Txn.id ~keys:(Array.length fwd_keys) ())
         (fun () ->
           let c = cstate_for blocker.txn ~participants:blocker.participants in
           coord_on_recsf_request c ~requester ~keys:fwd_keys ~deliver)
@@ -403,6 +423,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         in
         if prepared <> [] || waiting <> [] then begin
           stats.occ_aborts <- stats.occ_aborts + 1;
+          mark ~tid:server.node ~txn:r.txn.Txn.id "txn-occ-abort";
           server_abort_txn server r ~late:false
         end
         else server_prepare_normal server r
@@ -489,7 +510,9 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
                   Store.Occ.release server.occ ~txn:watcher_id;
                   w.cond_on <- None
                 end;
-                send ~src:server.node ~dst:w.coord_node ~bytes:Wire.control_bytes (fun () ->
+                send ~src:server.node ~dst:w.coord_node
+                  ~msg:(Msg.control ~txn:w.txn.Txn.id Msg.Cond_resolution)
+                  (fun () ->
                     let c = cstate_for w.txn ~participants:w.participants in
                     coord_on_resolution c ~blocker ~aborted)
             | Some _ | None -> ())
@@ -510,7 +533,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
           (* LECSF: the commit is already fault-tolerant at the coordinator;
              make the writes visible now and replicate in the background. *)
           Raft.Group.replicate cluster.Cluster.groups.(server.partition)
-            ~size:(Wire.write_record_bytes ~writes:(List.length pairs))
+            ~size:(Msg.write_record_bytes ~writes:(List.length pairs))
             ~tag:txn_id
             ~on_committed:(fun () -> ())
             ();
@@ -518,7 +541,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         end
         else
           Raft.Group.replicate cluster.Cluster.groups.(server.partition)
-            ~size:(Wire.write_record_bytes ~writes:(List.length pairs))
+            ~size:(Msg.write_record_bytes ~writes:(List.length pairs))
             ~tag:txn_id ~on_committed:finish ()
 
   and server_on_abort server txn_id =
@@ -684,7 +707,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
       let pairs = Exec.write_pairs txn reads in
       let sources = !used in
       send ~src:client ~dst:coordinator
-        ~bytes:(Wire.commit_request_bytes ~writes:(List.length pairs))
+        ~msg:(Msg.commit_request ~txn:txn.Txn.id ~writes:(List.length pairs) ())
         (fun () ->
           let c = cstate_for txn ~participants in
           coord_on_commit_request c ~gen ~sources ~pairs)
@@ -734,10 +757,12 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         List.iter
           (fun p ->
             let server = servers.(p) in
-            send ~src:client ~dst:server.node ~bytes:Wire.control_bytes (fun () ->
-                server_on_abort server txn.Txn.id))
+            send ~src:client ~dst:server.node ~msg:(Msg.control ~txn:txn.Txn.id Msg.Release)
+              (fun () -> server_on_abort server txn.Txn.id))
           participants;
-        send ~src:client ~dst:coordinator ~bytes:Wire.control_bytes (fun () ->
+        send ~src:client ~dst:coordinator
+          ~msg:(Msg.control ~txn:txn.Txn.id Msg.Abort_notice)
+          (fun () ->
             let c = cstate_for txn ~participants in
             coord_decide_abort c);
         finish ~committed:false
@@ -768,10 +793,11 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
           }
         in
         send ~src:client ~dst:server.node
-          ~bytes:
-            (Wire.read_and_prepare_bytes ~reads:(Array.length reads)
-               ~writes:(Array.length writes)
-            + (12 * List.length participants))
+          ~msg:
+            (Msg.read_prepare ~txn:txn.Txn.id
+               ~priority:(match txn.Txn.priority with Txn.High -> 1 | Txn.Low -> 0)
+               ~extra:(12 * List.length participants)
+               ~reads:(Array.length reads) ~writes:(Array.length writes) ())
           (fun () -> server_on_read_and_prepare server r))
       participants
   in

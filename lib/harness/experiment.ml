@@ -72,14 +72,88 @@ let instantiate spec cluster =
 let needs_raft = function Tapir -> false | _ -> true
 let needs_proxies = function Natto _ -> true | _ -> false
 
-let run setup spec ~gen ~seed =
-  let cluster =
-    Txnkit.Cluster.build ~topo:setup.topo ~n_partitions:setup.n_partitions
-      ~clients_per_dc:setup.clients_per_dc ~net_config:setup.net_config
-      ~with_raft:(needs_raft spec) ~with_proxies:(needs_proxies spec) ~seed ()
+let build_cluster ?trace setup spec ~seed =
+  Txnkit.Cluster.build ~topo:setup.topo ~n_partitions:setup.n_partitions
+    ~clients_per_dc:setup.clients_per_dc ~net_config:setup.net_config
+    ~with_raft:(needs_raft spec) ~with_proxies:(needs_proxies spec) ?trace ~seed ()
+
+(* Process-wide message accounting, opted into by the bench harness
+   (NATTO_TRACE_SUMMARY=1). Counters mode only: constant memory per run and
+   no effect on event ordering, so figure results are unchanged. *)
+let counters_on = ref false
+let set_trace_counters on = counters_on := on
+
+let totals : (string, int * int) Hashtbl.t = Hashtbl.create 32
+let link_totals : (int * int, int) Hashtbl.t = Hashtbl.create 64
+
+let reset_trace_totals () =
+  Hashtbl.reset totals;
+  Hashtbl.reset link_totals
+
+let accumulate trace =
+  let bytes = Trace.kind_bytes trace in
+  List.iter
+    (fun (kind, n) ->
+      let b = Option.value ~default:0 (List.assoc_opt kind bytes) in
+      let n0, b0 = Option.value ~default:(0, 0) (Hashtbl.find_opt totals kind) in
+      Hashtbl.replace totals kind (n0 + n, b0 + b))
+    (Trace.kind_counts trace);
+  List.iter
+    (fun (link, n) ->
+      Hashtbl.replace link_totals link
+        (n + Option.value ~default:0 (Hashtbl.find_opt link_totals link)))
+    (Trace.link_counts trace)
+
+let trace_totals () =
+  Hashtbl.fold (fun kind (n, b) acc -> (kind, n, b) :: acc) totals []
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+
+let trace_link_totals () =
+  Hashtbl.fold (fun link n acc -> (link, n) :: acc) link_totals []
+  |> List.sort compare
+
+let run ?trace setup spec ~gen ~seed =
+  let counting =
+    match trace with
+    | None when !counters_on ->
+        let t = Trace.create () in
+        Trace.enable ~events:false t;
+        Some t
+    | _ -> None
   in
+  let trace = match trace with Some _ -> trace | None -> counting in
+  let cluster = build_cluster ?trace setup spec ~seed in
   let system = instantiate spec cluster in
-  Workload.Driver.run cluster system ~gen { setup.driver with Workload.Driver.seed }
+  let result = Workload.Driver.run cluster system ~gen { setup.driver with Workload.Driver.seed } in
+  (match counting with Some t -> accumulate t | None -> ());
+  result
+
+type traced = {
+  result : Workload.Driver.result;
+  messages_sent : int;
+  trace : Trace.t;
+}
+
+let run_traced setup spec ~gen ~seed ~file =
+  (* Open the output first so a bad path fails before the simulation runs,
+     not after. *)
+  let oc = open_out file in
+  let trace = Trace.create () in
+  Trace.enable trace;
+  let cluster = build_cluster ~trace setup spec ~seed in
+  let system = instantiate spec cluster in
+  let result =
+    Workload.Driver.run cluster system ~gen { setup.driver with Workload.Driver.seed }
+  in
+  Trace.write_chrome_trace trace
+    ~extra:[ ("system", spec_name spec); ("seed", string_of_int seed) ]
+    oc;
+  close_out oc;
+  {
+    result;
+    messages_sent = Netsim.Network.messages_sent cluster.Txnkit.Cluster.net;
+    trace;
+  }
 
 type summary = {
   p95_high_ms : float;

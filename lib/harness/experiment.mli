@@ -33,8 +33,43 @@ val default_setup : setup
 (** §5.1 defaults: azure5, 5 partitions, 2 clients per DC. *)
 
 val run :
-  setup -> system_spec -> gen:Workload.Gen.t -> seed:int -> Workload.Driver.result
-(** One run: fresh cluster, one system, one workload pass. *)
+  ?trace:Trace.t ->
+  setup ->
+  system_spec ->
+  gen:Workload.Gen.t ->
+  seed:int ->
+  Workload.Driver.result
+(** One run: fresh cluster, one system, one workload pass. [trace] is
+    installed at cluster construction (see {!Txnkit.Cluster.build}). *)
+
+type traced = {
+  result : Workload.Driver.result;
+  messages_sent : int;  (** [Netsim.Network.messages_sent] for the run *)
+  trace : Trace.t;
+}
+
+val run_traced :
+  setup -> system_spec -> gen:Workload.Gen.t -> seed:int -> file:string -> traced
+(** Like {!run} with a full-recording trace sink, writing Chrome
+    trace-viewer JSON to [file] (load it at chrome://tracing or
+    ui.perfetto.dev). *)
+
+(** {2 Aggregate message accounting}
+
+    When enabled (the bench harness sets this from NATTO_TRACE_SUMMARY=1),
+    every {!run} counts its messages per kind and per DC link into
+    process-wide totals. Counters mode only — constant memory, and results
+    are byte-for-byte those of an untraced run. *)
+
+val set_trace_counters : bool -> unit
+
+val trace_totals : unit -> (string * int * int) list
+(** (kind, messages, wire bytes), most messages first. *)
+
+val trace_link_totals : unit -> ((int * int) * int) list
+(** ((src DC, dst DC), messages), sorted by link. *)
+
+val reset_trace_totals : unit -> unit
 
 type summary = {
   p95_high_ms : float;

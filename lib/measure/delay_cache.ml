@@ -11,14 +11,12 @@ type t = {
   mutable running : bool;
 }
 
-let fetch_bytes = 24
-
 let fetch t =
-  Network.send_isolated t.net ~src:t.node ~dst:(Proxy.node t.proxy) ~bytes:fetch_bytes
+  Rpc.send_isolated t.net ~src:t.node ~dst:(Proxy.node t.proxy) ~msg:(Rpc.Msg.cache_fetch ())
     (fun () ->
       let snapshot = Proxy.snapshot t.proxy in
-      let reply_bytes = 16 * List.length snapshot in
-      Network.send_isolated t.net ~src:(Proxy.node t.proxy) ~dst:t.node ~bytes:reply_bytes
+      let reply = Rpc.Msg.cache_reply ~entries:(List.length snapshot) () in
+      Rpc.send_isolated t.net ~src:(Proxy.node t.proxy) ~dst:t.node ~msg:reply
         (fun () ->
           if t.running then
             List.iter (fun (target, est) -> Hashtbl.replace t.cache target est) snapshot))

@@ -12,16 +12,14 @@ type t = {
   mutable running : bool;
 }
 
-let probe_bytes = 32
-
 let probe t target =
   let sent_local = Clock.now t.clock t.engine ~node:t.node in
   (* Request travels to the target, which stamps its local clock; the reply
      carries the stamp back. The sample is (target clock at arrival) -
      (proxy clock at send): one-way delay plus relative skew. *)
-  Network.send_isolated t.net ~src:t.node ~dst:target ~bytes:probe_bytes (fun () ->
+  Rpc.send_isolated t.net ~src:t.node ~dst:target ~msg:(Rpc.Msg.probe ()) (fun () ->
       let stamp = Clock.now t.clock t.engine ~node:target in
-      Network.send_isolated t.net ~src:target ~dst:t.node ~bytes:probe_bytes (fun () ->
+      Rpc.send_isolated t.net ~src:target ~dst:t.node ~msg:(Rpc.Msg.probe_reply ()) (fun () ->
           if t.running then begin
             let sample = float_of_int (Sim_time.sub stamp sent_local) in
             let w = Hashtbl.find t.windows target in

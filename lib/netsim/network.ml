@@ -32,6 +32,7 @@ type t = {
   node_dc : int array;
   cpus : Cpu.t array;
   config : config;
+  trace : Trace.t;
   link_free_at : Sim_time.t array array;  (** directed DC pair queue *)
   link_rate : float array array;  (** bytes per microsecond *)
   fifo_last : (int * int, Sim_time.t) Hashtbl.t;
@@ -41,6 +42,9 @@ type t = {
       (** per connection: end of the current loss-recovery stall; a pipe is
           stalled at most once per RTO (SACK repairs all losses in a
           window together) *)
+  mutable next_prune : Sim_time.t;
+      (** next sweep of the per-connection tables; see [prune] *)
+  mutable max_fifo : Sim_time.t;
   mutable messages : int;
   mutable bytes : int;
 }
@@ -59,7 +63,8 @@ let effective_rate config topo a b =
     Float.min base tcp
   end
 
-let create ~engine ~rng ~topo ~node_dc ~cpus ?(config = default_config) () =
+let create ~engine ~rng ~topo ~node_dc ~cpus ?(config = default_config)
+    ?(trace = Trace.create ()) () =
   let n = Topology.n_dcs topo in
   let link_rate =
     Array.init n (fun a -> Array.init n (fun b -> effective_rate config topo a b))
@@ -71,10 +76,13 @@ let create ~engine ~rng ~topo ~node_dc ~cpus ?(config = default_config) () =
     node_dc;
     cpus;
     config;
+    trace;
     link_free_at = Array.make_matrix n n Sim_time.zero;
     link_rate;
     fifo_last = Hashtbl.create 4096;
     stall_until = Hashtbl.create 4096;
+    next_prune = Sim_time.seconds 1.;
+    max_fifo = Sim_time.zero;
     messages = 0;
     bytes = 0;
   }
@@ -82,6 +90,7 @@ let create ~engine ~rng ~topo ~node_dc ~cpus ?(config = default_config) () =
 let engine t = t.engine
 let topology t = t.topo
 let dc_of t node = t.node_dc.(node)
+let trace t = t.trace
 
 let sample_owd t ~src_dc ~dst_dc =
   let mean = Topology.owd_ms t.topo src_dc dst_dc in
@@ -132,18 +141,38 @@ let transmission_depart t ~src_dc ~dst_dc ~bytes =
     depart
   end
 
-let deliver t ~src ~dst ~bytes ~to_cpu f =
+(* The per-connection tables only influence scheduling through entries in
+   the future: a new message's raw arrival is strictly after [now] (the
+   one-way delay is floored at 20us even same-node / intra-DC), so a
+   [fifo_last] entry at or before [now] can never reorder it, and a
+   [stall_until] entry at or before [now] is replaced on the next loss.
+   Sweeping such dead entries out once per simulated second bounds both
+   tables by the number of connections active within the last second,
+   instead of every (src, dst) pair ever used. *)
+let prune_interval = Sim_time.seconds 1.
+
+let prune t ~now =
+  let drop_dead tbl =
+    Hashtbl.filter_map_inplace (fun _ v -> if v > now then Some v else None) tbl
+  in
+  drop_dead t.fifo_last;
+  drop_dead t.stall_until;
+  t.next_prune <- Sim_time.add now prune_interval
+
+let deliver t ?(kind = "other") ?txn ?priority ~src ~dst ~bytes ~to_cpu f =
   let src_dc = t.node_dc.(src) and dst_dc = t.node_dc.(dst) in
   let bytes = bytes + t.config.header_bytes in
   t.messages <- t.messages + 1;
   t.bytes <- t.bytes + bytes;
-  let arrival =
-    if src = dst then Sim_time.add (Engine.now t.engine) (Sim_time.us 20)
+  let now = Engine.now t.engine in
+  if now >= t.next_prune then prune t ~now;
+  let depart, arrival =
+    if src = dst then (now, Sim_time.add now (Sim_time.us 20))
     else begin
       let depart = transmission_depart t ~src_dc ~dst_dc ~bytes in
       let owd = sample_owd t ~src_dc ~dst_dc in
       let retrans = retrans_delay t ~src ~dst ~src_dc ~dst_dc in
-      Sim_time.add depart (Sim_time.add owd retrans)
+      (depart, Sim_time.add depart (Sim_time.add owd retrans))
     end
   in
   (* RPC transports (gRPC over TCP) deliver in order per connection; probes
@@ -156,17 +185,34 @@ let deliver t ~src ~dst ~bytes ~to_cpu f =
         | _ -> arrival
       in
       Hashtbl.replace t.fifo_last (src, dst) ordered;
+      if ordered > t.max_fifo then t.max_fifo <- ordered;
       ordered
     end
     else arrival
+  in
+  let f =
+    if not (Trace.enabled t.trace) then f
+    else
+      match
+        Trace.message t.trace ~kind ?txn ?priority ~src ~dst ~src_dc ~dst_dc ~bytes
+          ~enqueue:now ~depart ~deliver:arrival ()
+      with
+      | None -> f
+      | Some h ->
+          fun () ->
+            Trace.set_dequeue h (Engine.now t.engine);
+            f ()
   in
   ignore
     (Engine.schedule_at t.engine arrival (fun () ->
          if to_cpu then Cpu.submit t.cpus.(dst) ~cost:t.config.msg_cost f
          else f ()))
 
-let send t ~src ~dst ~bytes f = deliver t ~src ~dst ~bytes ~to_cpu:true f
-let send_isolated t ~src ~dst ~bytes f = deliver t ~src ~dst ~bytes ~to_cpu:false f
+let send t ?kind ?txn ?priority ~src ~dst ~bytes f =
+  deliver t ?kind ?txn ?priority ~src ~dst ~bytes ~to_cpu:true f
+
+let send_isolated t ?kind ?txn ?priority ~src ~dst ~bytes f =
+  deliver t ?kind ?txn ?priority ~src ~dst ~bytes ~to_cpu:false f
 
 let messages_sent t = t.messages
 let bytes_sent t = t.bytes
@@ -174,7 +220,9 @@ let bytes_sent t = t.bytes
 let mean_owd t ~src ~dst =
   Sim_time.ms (Topology.owd_ms t.topo t.node_dc.(src) t.node_dc.(dst))
 
-let max_fifo_last t = Hashtbl.fold (fun _ v acc -> Sim_time.max v acc) t.fifo_last Sim_time.zero
+let max_fifo_last t = t.max_fifo
+let fifo_entries t = Hashtbl.length t.fifo_last
+let stall_entries t = Hashtbl.length t.stall_until
 
 let max_link_busy t =
   Array.fold_left

@@ -47,20 +47,49 @@ val create :
   node_dc:int array ->
   cpus:Simcore.Cpu.t array ->
   ?config:config ->
+  ?trace:Trace.t ->
   unit ->
   t
+(** [?trace] installs a tracing sink (default: a fresh disabled one).
+    Install it at creation so constructor-time traffic (Raft elections,
+    measurement probes) is counted too. *)
 
 val engine : t -> Simcore.Engine.t
 val topology : t -> Topology.t
 val dc_of : t -> int -> int
 
-val send : t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
+val trace : t -> Trace.t
+(** The network's tracing sink; enable it to start recording. *)
+
+val send :
+  t ->
+  ?kind:string ->
+  ?txn:int ->
+  ?priority:int ->
+  src:int ->
+  dst:int ->
+  bytes:int ->
+  (unit -> unit) ->
+  unit
 (** Delivers [f] at the destination after network + CPU delays. Messages
     between the same (src, dst) pair are NOT reordered relative to each
     other when variance is low, but no global FIFO guarantee is given —
-    like TCP per-connection ordering, concurrent connections race. *)
+    like TCP per-connection ordering, concurrent connections race.
 
-val send_isolated : t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
+    [kind], [txn] and [priority] only feed the tracing sink (defaulting to
+    kind ["other"]); prefer the typed [Rpc.send] facade, which fills them
+    from a message envelope. *)
+
+val send_isolated :
+  t ->
+  ?kind:string ->
+  ?txn:int ->
+  ?priority:int ->
+  src:int ->
+  dst:int ->
+  bytes:int ->
+  (unit -> unit) ->
+  unit
 (** Like {!send} but bypasses the destination CPU station; used for
     measurement probes, which in the real system are tiny UDP packets
     answered in the kernel fast path. Loss and capacity still apply. *)
@@ -75,3 +104,13 @@ val mean_owd : t -> src:int -> dst:int -> Simcore.Sim_time.t
 (* Diagnostics *)
 val max_fifo_last : t -> Simcore.Sim_time.t
 val max_link_busy : t -> Simcore.Sim_time.t
+
+val fifo_entries : t -> int
+(** Live per-connection ordering entries. The table is swept once per
+    simulated second: entries at or before the sweep time cannot influence
+    any later message (a new arrival is strictly in the future), so the
+    table is bounded by the connections active in the last second rather
+    than growing with every (src, dst) pair ever used. *)
+
+val stall_entries : t -> int
+(** Live loss-recovery stalls, pruned on the same sweep. *)

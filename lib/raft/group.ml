@@ -7,6 +7,18 @@ type t = {
 let node t id =
   try List.assoc id t.nodes with Not_found -> invalid_arg "Raft.Group.node: not a member"
 
+(* Raft traffic rides the same typed RPC layer as the transaction
+   protocols, so traces attribute replication load per kind. *)
+let envelope_of msg =
+  let kind =
+    match msg with
+    | Types.Request_vote _ -> Rpc.Msg.Raft_request_vote
+    | Types.Vote _ -> Rpc.Msg.Raft_vote
+    | Types.Append_entries _ -> Rpc.Msg.Raft_append
+    | Types.Append_reply _ -> Rpc.Msg.Raft_append_reply
+  in
+  Rpc.Msg.make kind ~bytes:(Types.message_bytes msg)
+
 let create ~engine ~net ~rng ?(config = Node.default_config) ~members ?initial_leader () =
   let nodes =
     Array.to_list
@@ -19,8 +31,8 @@ let create ~engine ~net ~rng ?(config = Node.default_config) ~members ?initial_l
   List.iter
     (fun (id, n) ->
       Node.set_transport n (fun ~dst msg ->
-          let bytes = Types.message_bytes msg in
-          Netsim.Network.send net ~src:id ~dst ~bytes (fun () -> Node.receive (node t dst) msg)))
+          Rpc.send net ~src:id ~dst ~msg:(envelope_of msg) (fun () ->
+              Node.receive (node t dst) msg)))
     nodes;
   (match initial_leader with
   | Some leader ->

@@ -1,0 +1,11 @@
+module Msg = Msg
+
+let send net ~src ~dst ~(msg : Msg.t) f =
+  Netsim.Network.send net ~kind:(Msg.label msg.Msg.kind) ?txn:msg.Msg.txn
+    ?priority:msg.Msg.priority ~src ~dst ~bytes:msg.Msg.bytes f
+
+let send_isolated net ~src ~dst ~(msg : Msg.t) f =
+  Netsim.Network.send_isolated net ~kind:(Msg.label msg.Msg.kind) ?txn:msg.Msg.txn
+    ?priority:msg.Msg.priority ~src ~dst ~bytes:msg.Msg.bytes f
+
+let trace = Netsim.Network.trace

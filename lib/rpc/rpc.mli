@@ -1,0 +1,23 @@
+(** The typed RPC facade over {!Netsim.Network}.
+
+    All protocol layers send through here rather than calling
+    [Netsim.Network.send] directly: the {!Msg} envelope carries the message
+    kind, transaction id, priority and wire size, so the network's tracing
+    sink can attribute every delivery to its cause, and per-kind sizing
+    lives in one place. This is the seam for future fault injection and
+    batching — one module to intercept instead of five protocol
+    implementations. *)
+
+module Msg = Msg
+
+val send :
+  Netsim.Network.t -> src:int -> dst:int -> msg:Msg.t -> (unit -> unit) -> unit
+(** [Netsim.Network.send] with the envelope's size and tracing metadata. *)
+
+val send_isolated :
+  Netsim.Network.t -> src:int -> dst:int -> msg:Msg.t -> (unit -> unit) -> unit
+(** CPU-bypassing variant, for measurement probes. *)
+
+val trace : Netsim.Network.t -> Trace.t
+(** The network's tracing sink (re-exported for protocol-level lifecycle
+    events). *)

@@ -1,4 +1,5 @@
 open Txnkit
+module Msg = Rpc.Msg
 
 type replica = {
   node : int;
@@ -9,7 +10,7 @@ type replica = {
 let make (cluster : Cluster.t) : System.t =
   let net = cluster.Cluster.net in
   let topo = cluster.Cluster.topo in
-  let send ~src ~dst ~bytes f = Netsim.Network.send net ~src ~dst ~bytes f in
+  let send ~src ~dst ~msg f = Rpc.send net ~src ~dst ~msg f in
   let replicas =
     Array.init cluster.Cluster.n_partitions (fun p ->
         Array.map
@@ -51,8 +52,8 @@ let make (cluster : Cluster.t) : System.t =
           (fun p ->
             Array.iter
               (fun r ->
-                send ~src:client ~dst:r.node ~bytes:Wire.control_bytes (fun () ->
-                    Store.Occ.release r.occ ~txn:txn.Txn.id))
+                send ~src:client ~dst:r.node ~msg:(Msg.control ~txn:txn.Txn.id Msg.Release)
+                  (fun () -> Store.Occ.release r.occ ~txn:txn.Txn.id))
               replicas.(p))
           participants
       in
@@ -63,7 +64,7 @@ let make (cluster : Cluster.t) : System.t =
             Array.iter
               (fun r ->
                 send ~src:client ~dst:r.node
-                  ~bytes:(Wire.decision_bytes ~writes:(List.length local))
+                  ~msg:(Msg.decision ~txn:txn.Txn.id ~writes:(List.length local) ())
                   (fun () ->
                     List.iter (fun (key, data) -> Store.Kv.put r.kv ~key ~data) local;
                     Store.Occ.release r.occ ~txn:txn.Txn.id))
@@ -95,9 +96,12 @@ let make (cluster : Cluster.t) : System.t =
             (fun p ->
               Array.iter
                 (fun r ->
-                  send ~src:client ~dst:r.node ~bytes:Wire.control_bytes (fun () ->
+                  send ~src:client ~dst:r.node ~msg:(Msg.control ~txn:txn.Txn.id Msg.Control)
+                    (fun () ->
                       (* Replica records the decision durably. *)
-                      send ~src:r.node ~dst:client ~bytes:Wire.control_bytes (fun () ->
+                      send ~src:r.node ~dst:client
+                        ~msg:(Msg.control ~txn:txn.Txn.id Msg.Control)
+                        (fun () ->
                           incr acks;
                           if (not !finalized) && !acks >= acks_needed then begin
                             finalized := true;
@@ -123,9 +127,9 @@ let make (cluster : Cluster.t) : System.t =
           Array.iter
             (fun r ->
               send ~src:client ~dst:r.node
-                ~bytes:
-                  (Wire.read_and_prepare_bytes ~reads:(Array.length reads_p)
-                     ~writes:(Array.length writes_p))
+                ~msg:
+                  (Msg.read_prepare ~txn:txn.Txn.id ~reads:(Array.length reads_p)
+                     ~writes:(Array.length writes_p) ())
                 (fun () ->
                   (* TAPIR validation: reads must still be current here, and
                      the footprint must not conflict with a prepared txn. *)
@@ -139,7 +143,7 @@ let make (cluster : Cluster.t) : System.t =
                   in
                   let ok = (not stale) && not conflicted in
                   if ok then Store.Occ.prepare r.occ ~txn:txn.Txn.id ~reads:reads_p ~writes:writes_p;
-                  send ~src:r.node ~dst:client ~bytes:Wire.vote_bytes (fun () ->
+                  send ~src:r.node ~dst:client ~msg:(Msg.vote ~txn:txn.Txn.id ()) (fun () ->
                       votes := (p, ok) :: !votes;
                       decr pending;
                       if !pending = 0 then decide ())))
@@ -151,11 +155,11 @@ let make (cluster : Cluster.t) : System.t =
         let r = nearest_replica ~client p in
         let keys = plan.Exec.reads_of p in
         send ~src:client ~dst:r.node
-          ~bytes:(Wire.read_and_prepare_bytes ~reads:(Array.length keys) ~writes:0)
+          ~msg:(Msg.read_prepare ~txn:txn.Txn.id ~reads:(Array.length keys) ~writes:0 ())
           (fun () ->
             let values = Exec.read_values r.kv keys in
             send ~src:r.node ~dst:client
-              ~bytes:(Wire.read_reply_bytes ~reads:(Array.length keys))
+              ~msg:(Msg.read_reply ~txn:txn.Txn.id ~reads:(Array.length keys) ())
               (fun () ->
                 read_results := (p, values) :: !read_results;
                 decr reads_pending;

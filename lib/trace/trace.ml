@@ -1,0 +1,183 @@
+open Simcore
+
+type mode = Off | Counters | Full
+
+type msg_handle = {
+  m_kind : string;
+  m_txn : int option;
+  m_priority : int option;
+  m_src : int;
+  m_dst : int;
+  m_src_dc : int;
+  m_dst_dc : int;
+  m_bytes : int;
+  m_enqueue : Sim_time.t;
+  m_depart : Sim_time.t;
+  m_deliver : Sim_time.t;
+  mutable m_dequeue : Sim_time.t option;
+}
+
+type span_phase = Begin | End | Instant
+
+type span = {
+  s_txn : int;
+  s_name : string;
+  s_phase : span_phase;
+  s_tid : int;
+  s_at : Sim_time.t;
+}
+
+type event = Message of msg_handle | Span of span
+
+type t = {
+  mutable mode : mode;
+  kind_counts : (string, int ref) Hashtbl.t;
+  kind_bytes : (string, int ref) Hashtbl.t;
+  link_counts : (int * int, int ref) Hashtbl.t;
+  mutable events : event list;  (** reversed; reversed back on output *)
+  mutable n_events : int;
+}
+
+let create () =
+  {
+    mode = Off;
+    kind_counts = Hashtbl.create 32;
+    kind_bytes = Hashtbl.create 32;
+    link_counts = Hashtbl.create 64;
+    events = [];
+    n_events = 0;
+  }
+
+let enable ?(events = true) t = t.mode <- (if events then Full else Counters)
+let disable t = t.mode <- Off
+let enabled t = t.mode <> Off
+let recording t = t.mode = Full
+
+let bump tbl key n =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace tbl key (ref n)
+
+let push t ev =
+  t.events <- ev :: t.events;
+  t.n_events <- t.n_events + 1
+
+let message t ~kind ?txn ?priority ~src ~dst ~src_dc ~dst_dc ~bytes ~enqueue ~depart
+    ~deliver () =
+  match t.mode with
+  | Off -> None
+  | Counters | Full ->
+      bump t.kind_counts kind 1;
+      bump t.kind_bytes kind bytes;
+      bump t.link_counts (src_dc, dst_dc) 1;
+      if t.mode = Full then begin
+        let m =
+          {
+            m_kind = kind;
+            m_txn = txn;
+            m_priority = priority;
+            m_src = src;
+            m_dst = dst;
+            m_src_dc = src_dc;
+            m_dst_dc = dst_dc;
+            m_bytes = bytes;
+            m_enqueue = enqueue;
+            m_depart = depart;
+            m_deliver = deliver;
+            m_dequeue = None;
+          }
+        in
+        push t (Message m);
+        Some m
+      end
+      else None
+
+let set_dequeue m at = m.m_dequeue <- Some at
+
+let span t ~txn ~name ~phase ~tid ~at =
+  if t.mode = Full then
+    push t (Span { s_txn = txn; s_name = name; s_phase = phase; s_tid = tid; s_at = at })
+
+let span_begin t ~txn ~name ~at = span t ~txn ~name ~phase:Begin ~tid:0 ~at
+let span_end t ~txn ~name ~at = span t ~txn ~name ~phase:End ~tid:0 ~at
+let instant t ?(tid = 0) ~txn ~name ~at () = span t ~txn ~name ~phase:Instant ~tid ~at
+
+let sorted_counts tbl =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [] |> List.sort compare
+
+let kind_counts t = sorted_counts t.kind_counts
+let kind_bytes t = sorted_counts t.kind_bytes
+let link_counts t = sorted_counts t.link_counts
+let total_messages t = Hashtbl.fold (fun _ r acc -> acc + !r) t.kind_counts 0
+let event_count t = t.n_events
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace viewer (chrome://tracing, Perfetto) JSON.
+
+   Message deliveries are complete ("X") events on pid 0, one thread per
+   destination node, spanning network enqueue to delivery; the CPU
+   completion time, when known, rides in args. Transaction lifecycle spans
+   are async ("b"/"e"/"n") events on pid 1, keyed by transaction id. All
+   timestamps are simulated microseconds. *)
+
+let json_escape s =
+  (* Kind and span names are controlled identifiers, but escape anyway so a
+     future caller cannot produce invalid JSON. *)
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_msg_event oc first (m : msg_handle) =
+  if not !first then output_string oc ",\n";
+  first := false;
+  Printf.fprintf oc
+    "{\"name\":\"%s\",\"cat\":\"msg\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":0,\"tid\":%d,\"args\":{\"src\":%d,\"dst\":%d,\"src_dc\":%d,\"dst_dc\":%d,\"bytes\":%d,\"depart_us\":%d"
+    (json_escape m.m_kind) (Sim_time.to_us m.m_enqueue)
+    (Sim_time.to_us (Sim_time.sub m.m_deliver m.m_enqueue))
+    m.m_dst m.m_src m.m_dst m.m_src_dc m.m_dst_dc m.m_bytes (Sim_time.to_us m.m_depart);
+  (match m.m_dequeue with
+  | Some d -> Printf.fprintf oc ",\"cpu_done_us\":%d" (Sim_time.to_us d)
+  | None -> ());
+  (match m.m_txn with Some id -> Printf.fprintf oc ",\"txn\":%d" id | None -> ());
+  (match m.m_priority with Some p -> Printf.fprintf oc ",\"priority\":%d" p | None -> ());
+  output_string oc "}}"
+
+let write_span_event oc first (s : span) =
+  if not !first then output_string oc ",\n";
+  first := false;
+  let ph = match s.s_phase with Begin -> "b" | End -> "e" | Instant -> "n" in
+  Printf.fprintf oc
+    "{\"name\":\"%s\",\"cat\":\"txn\",\"ph\":\"%s\",\"id\":%d,\"ts\":%d,\"pid\":1,\"tid\":%d}"
+    (json_escape s.s_name) ph s.s_txn (Sim_time.to_us s.s_at) s.s_tid
+
+let write_chrome_trace t ?(extra = []) oc =
+  output_string oc "{\"displayTimeUnit\":\"ms\",\n\"otherData\":{";
+  let first = ref true in
+  List.iter
+    (fun (k, v) ->
+      if not !first then output_string oc ",";
+      first := false;
+      Printf.fprintf oc "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+    (("total_messages", string_of_int (total_messages t))
+    :: List.map (fun (k, n) -> ("messages." ^ k, string_of_int n)) (kind_counts t)
+    @ extra);
+  output_string oc "},\n\"traceEvents\":[\n";
+  output_string oc
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"network\"}},\n";
+  output_string oc
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"transactions\"}}";
+  let first = ref false in
+  List.iter
+    (function
+      | Message m -> write_msg_event oc first m
+      | Span s -> write_span_event oc first s)
+    (List.rev t.events);
+  output_string oc "\n]}\n"

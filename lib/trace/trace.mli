@@ -1,0 +1,91 @@
+(** Per-message and per-transaction lifecycle tracing.
+
+    A sink records two event families:
+
+    - {b Message events}, emitted by {!Netsim.Network} for every delivery:
+      network enqueue, link departure (after transmission queueing),
+      delivery at the destination, and CPU dequeue (when the message runs
+      through the destination's CPU station).
+    - {b Transaction lifecycle spans}, emitted by the workload driver and
+      the protocol implementations: attempt start/end, queue wait, prepare,
+      priority abort, conditional prepare, commit/abort.
+
+    A sink is created disabled and costs one branch per call site until
+    {!enable} flips it on. [enable ~events:false] turns on the aggregate
+    per-kind / per-link counters only (constant memory — safe for long
+    benchmark runs); full mode additionally buffers every event for
+    {!write_chrome_trace}. *)
+
+type t
+
+type msg_handle
+(** An in-flight message event; lets the network record the CPU dequeue
+    time once the destination actually processes the message. *)
+
+val create : unit -> t
+(** A disabled sink. *)
+
+val enable : ?events:bool -> t -> unit
+(** Turn the sink on. [~events:false] counts messages per kind and per DC
+    link but records no per-event data. *)
+
+val disable : t -> unit
+
+val enabled : t -> bool
+(** Counters or full mode. *)
+
+val recording : t -> bool
+(** Full mode only: per-event records are being buffered. *)
+
+(** {2 Emission — called by [Netsim.Network] and the protocol layers} *)
+
+val message :
+  t ->
+  kind:string ->
+  ?txn:int ->
+  ?priority:int ->
+  src:int ->
+  dst:int ->
+  src_dc:int ->
+  dst_dc:int ->
+  bytes:int ->
+  enqueue:Simcore.Sim_time.t ->
+  depart:Simcore.Sim_time.t ->
+  deliver:Simcore.Sim_time.t ->
+  unit ->
+  msg_handle option
+(** Record one message. Returns a handle iff the sink is in full mode; the
+    caller should then report the CPU dequeue time via {!set_dequeue}. *)
+
+val set_dequeue : msg_handle -> Simcore.Sim_time.t -> unit
+
+val span_begin : t -> txn:int -> name:string -> at:Simcore.Sim_time.t -> unit
+val span_end : t -> txn:int -> name:string -> at:Simcore.Sim_time.t -> unit
+
+val instant : t -> ?tid:int -> txn:int -> name:string -> at:Simcore.Sim_time.t -> unit -> unit
+(** A point event in a transaction's lifecycle; [tid] is conventionally the
+    node where it happened. *)
+
+(** {2 Aggregates} *)
+
+val kind_counts : t -> (string * int) list
+(** Messages per kind, sorted by kind. The sum over kinds equals
+    [Netsim.Network.messages_sent] when the sink was installed at network
+    creation. *)
+
+val kind_bytes : t -> (string * int) list
+(** Wire bytes (payload + header) per kind. *)
+
+val link_counts : t -> ((int * int) * int) list
+(** Messages per directed (src DC, dst DC) pair. *)
+
+val total_messages : t -> int
+val event_count : t -> int
+
+(** {2 Output} *)
+
+val write_chrome_trace : t -> ?extra:(string * string) list -> out_channel -> unit
+(** Chrome trace viewer / Perfetto JSON: message deliveries as complete
+    events on pid 0 (one thread per destination node), transaction spans as
+    async events on pid 1 keyed by transaction id. [extra] adds entries to
+    the top-level ["otherData"] object. *)

@@ -1,4 +1,5 @@
 open Txnkit
+module Msg = Rpc.Msg
 
 type variant = Plain | Preempt | Preempt_on_wait
 
@@ -38,7 +39,7 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) (cluster : Cluster.t) ~v
     System.t =
   let net = cluster.Cluster.net in
   let engine = cluster.Cluster.engine in
-  let send ~src ~dst ~bytes f = Netsim.Network.send net ~src ~dst ~bytes f in
+  let send ~src ~dst ~msg f = Rpc.send net ~src ~dst ~msg f in
   let abort_locally server txn_id =
     match Hashtbl.find_opt server.live txn_id with
     | None -> ()
@@ -48,8 +49,9 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) (cluster : Cluster.t) ~v
         Hashtbl.replace server.tombstones txn_id ();
         Store.Locks.release_all server.locks ~txn:txn_id;
         (* Tell the aborted transaction's client. *)
-        send ~src:server.node ~dst:r.txn.Txn.client ~bytes:Wire.control_bytes (fun () ->
-            r.deliver_abort ())
+        send ~src:server.node ~dst:r.txn.Txn.client
+          ~msg:(Msg.control ~txn:r.txn.Txn.id Msg.Abort_notice)
+          (fun () -> r.deliver_abort ())
   in
   let servers =
     Array.init cluster.Cluster.n_partitions (fun p ->
@@ -116,10 +118,12 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) (cluster : Cluster.t) ~v
         List.iter
           (fun p ->
             let server = servers.(p) in
-            send ~src:client ~dst:server.node ~bytes:Wire.control_bytes (fun () ->
-                server_release server txn.Txn.id))
+            send ~src:client ~dst:server.node ~msg:(Msg.control ~txn:txn.Txn.id Msg.Release)
+              (fun () -> server_release server txn.Txn.id))
           participants;
-        send ~src:client ~dst:coordinator ~bytes:Wire.control_bytes (fun () ->
+        send ~src:client ~dst:coordinator
+          ~msg:(Msg.control ~txn:txn.Txn.id Msg.Abort_notice)
+          (fun () ->
             let c = coord_state ~txn_id:txn.Txn.id ~client ~n_participants:n in
             c.decided <- true);
         on_done ~committed:false
@@ -133,10 +137,12 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) (cluster : Cluster.t) ~v
         c.decided <- true;
         Raft.Group.replicate
           (Cluster.coordinator_group cluster ~client)
-          ~size:(Wire.write_record_bytes ~writes:(List.length pairs))
+          ~size:(Msg.write_record_bytes ~writes:(List.length pairs))
           ~tag:txn.Txn.id
           ~on_committed:(fun () ->
-            send ~src:coordinator ~dst:client ~bytes:Wire.control_bytes (fun () ->
+            send ~src:coordinator ~dst:client
+              ~msg:(Msg.control ~txn:txn.Txn.id Msg.Commit_notify)
+              (fun () ->
                 if not !finished then begin
                   finished := true;
                   on_done ~committed:true
@@ -146,14 +152,14 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) (cluster : Cluster.t) ~v
                 let server = servers.(p) in
                 let local = Exec.pairs_on_partition cluster ~partition:p pairs in
                 send ~src:coordinator ~dst:server.node
-                  ~bytes:(Wire.decision_bytes ~writes:(List.length local))
+                  ~msg:(Msg.decision ~txn:txn.Txn.id ~writes:(List.length local) ())
                   (fun () ->
                     (* The decision is already durable at the coordinator;
                        the participant applies at the commit point and
                        replicates the write data in the background (as
                        Spanner leaders apply at the commit timestamp). *)
                     Raft.Group.replicate cluster.Cluster.groups.(p)
-                      ~size:(Wire.write_record_bytes ~writes:(List.length local))
+                      ~size:(Msg.write_record_bytes ~writes:(List.length local))
                       ~tag:txn.Txn.id
                       ~on_committed:(fun () -> ())
                       ();
@@ -172,7 +178,8 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) (cluster : Cluster.t) ~v
           let local = Exec.pairs_on_partition cluster ~partition:p pairs in
           let write_keys = List.map fst local in
           send ~src:coordinator ~dst:server.node
-            ~bytes:(Wire.read_and_prepare_bytes ~reads:0 ~writes:(List.length write_keys))
+            ~msg:
+              (Msg.read_prepare ~txn:txn.Txn.id ~reads:0 ~writes:(List.length write_keys) ())
             (fun () ->
               if Hashtbl.mem server.tombstones txn.Txn.id then ()
               else begin
@@ -189,10 +196,11 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) (cluster : Cluster.t) ~v
                 let vote () =
                   Store.Locks.pin server.locks ~txn:txn.Txn.id;
                   Raft.Group.replicate cluster.Cluster.groups.(p)
-                    ~size:(Wire.prepare_record_bytes ~reads:0 ~writes:needed)
+                    ~size:(Msg.prepare_record_bytes ~reads:0 ~writes:needed)
                     ~tag:txn.Txn.id
                     ~on_committed:(fun () ->
-                      send ~src:server.node ~dst:coordinator ~bytes:Wire.vote_bytes
+                      send ~src:server.node ~dst:coordinator
+                        ~msg:(Msg.vote ~txn:txn.Txn.id ())
                         (fun () ->
                           if not c.decided then begin
                             c.ok_votes <- c.ok_votes + 1;
@@ -224,7 +232,7 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) (cluster : Cluster.t) ~v
       let reads = Exec.assemble_reads txn !read_replies in
       let pairs = Exec.write_pairs txn reads in
       send ~src:client ~dst:coordinator
-        ~bytes:(Wire.commit_request_bytes ~writes:(List.length pairs))
+        ~msg:(Msg.commit_request ~txn:txn.Txn.id ~writes:(List.length pairs) ())
         (fun () -> start_prepare pairs)
     in
     if read_partitions = [] then phase_one_done ()
@@ -234,7 +242,7 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) (cluster : Cluster.t) ~v
           let server = servers.(p) in
           let keys = plan.Exec.reads_of p in
           send ~src:client ~dst:server.node
-            ~bytes:(Wire.read_and_prepare_bytes ~reads:(Array.length keys) ~writes:0)
+            ~msg:(Msg.read_prepare ~txn:txn.Txn.id ~reads:(Array.length keys) ~writes:0 ())
             (fun () ->
               if Hashtbl.mem server.tombstones txn.Txn.id then ()
               else begin
@@ -257,7 +265,7 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) (cluster : Cluster.t) ~v
                           if !granted = needed then begin
                             let values = Exec.read_values server.kv keys in
                             send ~src:server.node ~dst:client
-                              ~bytes:(Wire.read_reply_bytes ~reads:needed)
+                              ~msg:(Msg.read_reply ~txn:txn.Txn.id ~reads:needed ())
                               (fun () ->
                                 if not !finished then begin
                                   read_replies := values :: !read_replies;

@@ -21,7 +21,7 @@ type t = {
 let build ?(topo = Topology.azure5) ?(n_partitions = 5) ?(replication = 3)
     ?(clients_per_dc = 2) ?(net_config = Network.default_config)
     ?(raft_config = Raft.Node.default_config) ?(max_clock_skew = Sim_time.ms 1.)
-    ?(with_raft = true) ?(with_proxies = true) ~seed () =
+    ?(with_raft = true) ?(with_proxies = true) ?trace ~seed () =
   let engine = Engine.create () in
   let rng = Rng.create ~seed in
   let n_dcs = Topology.n_dcs topo in
@@ -65,7 +65,10 @@ let build ?(topo = Topology.azure5) ?(n_partitions = 5) ?(replication = 3)
         node)
   in
   let cpus = Array.init n_nodes (fun _ -> Cpu.create engine) in
-  let net = Network.create ~engine ~rng:(Rng.split rng) ~topo ~node_dc ~cpus ~config:net_config () in
+  let net =
+    Network.create ~engine ~rng:(Rng.split rng) ~topo ~node_dc ~cpus ~config:net_config ?trace
+      ()
+  in
   let clock = Clock.create ~rng:(Rng.split rng) ~max_skew:max_clock_skew ~n_nodes in
   let groups =
     if with_raft then

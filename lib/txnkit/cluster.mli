@@ -37,11 +37,17 @@ val build :
   ?max_clock_skew:Simcore.Sim_time.t ->
   ?with_raft:bool ->
   ?with_proxies:bool ->
+  ?trace:Trace.t ->
   seed:int ->
   unit ->
   t
 (** Defaults follow §5.1: [azure5] topology, 5 partitions, 3 replicas,
-    2 clients per DC, 1 ms max clock skew. *)
+    2 clients per DC, 1 ms max clock skew.
+
+    [trace] installs a tracing sink at network creation, so even the
+    messages sent while the cluster is being built (Raft elections,
+    measurement probes) are accounted — per-kind counts then match
+    {!Netsim.Network.messages_sent} exactly. *)
 
 val partition_of_key : t -> int -> int
 val leader : t -> int -> int

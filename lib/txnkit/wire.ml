@@ -1,11 +1,13 @@
-let key_bytes = 64
-let value_bytes = 64
+(* Kept as a thin alias for existing callers; the sizing now lives in
+   Rpc.Msg, next to the envelope kinds. *)
 
-let read_and_prepare_bytes ~reads ~writes = ((reads + writes) * key_bytes) + 32
-let read_reply_bytes ~reads = (reads * (key_bytes + value_bytes)) + 16
-let commit_request_bytes ~writes = (writes * (key_bytes + value_bytes)) + 16
-let vote_bytes = 24
-let decision_bytes ~writes = (writes * (key_bytes + value_bytes)) + 24
-let prepare_record_bytes ~reads ~writes = ((reads + writes) * key_bytes) + 24
-let write_record_bytes ~writes = (writes * (key_bytes + value_bytes)) + 24
-let control_bytes = 24
+let key_bytes = Rpc.Msg.key_bytes
+let value_bytes = Rpc.Msg.value_bytes
+let read_and_prepare_bytes = Rpc.Msg.read_and_prepare_bytes
+let read_reply_bytes = Rpc.Msg.read_reply_bytes
+let commit_request_bytes = Rpc.Msg.commit_request_bytes
+let vote_bytes = Rpc.Msg.vote_bytes
+let decision_bytes = Rpc.Msg.decision_bytes
+let prepare_record_bytes = Rpc.Msg.prepare_record_bytes
+let write_record_bytes = Rpc.Msg.write_record_bytes
+let control_bytes = Rpc.Msg.control_bytes

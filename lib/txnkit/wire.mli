@@ -3,7 +3,11 @@
     The paper's data set uses 64-byte keys and 64-byte values (§5.1); wire
     sizes are derived from key/value counts so that the network byte
     accounting (loss experiments, Fig. 12) reflects each protocol's actual
-    data movement. *)
+    data movement.
+
+    Deprecated alias: the sizing (and the typed envelope built on it) lives
+    in {!Rpc.Msg}; new code should construct envelopes there and send them
+    through {!Rpc.send}. *)
 
 val key_bytes : int
 val value_bytes : int

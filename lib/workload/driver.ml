@@ -52,6 +52,7 @@ type state = {
 
 let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
   let engine = cluster.Cluster.engine in
+  let trace = Netsim.Network.trace cluster.Cluster.net in
   let rng = Rng.create ~seed:(config.seed * 7919) in
   let st =
     {
@@ -90,7 +91,16 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
   in
   let rec attempt (txn : Txn.t) ~tries =
     st.attempts <- st.attempts + 1;
+    (* Each attempt gets its own span on the trace's transaction track;
+       retries show up as consecutive spans under fresh attempt ids. *)
+    let span_name =
+      match txn.Txn.priority with Txn.High -> "attempt:high" | Txn.Low -> "attempt:low"
+    in
+    if Trace.recording trace then
+      Trace.span_begin trace ~txn:txn.Txn.id ~name:span_name ~at:(Engine.now engine);
     system.System.submit txn ~on_done:(fun ~committed ->
+        if Trace.recording trace then
+          Trace.span_end trace ~txn:txn.Txn.id ~name:span_name ~at:(Engine.now engine);
         if committed then begin
           st.inflight <- st.inflight - 1;
           record_commit txn
