@@ -24,7 +24,7 @@ let topo_names =
   ]
 
 let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo ~variance
-    ~loss ~partitions ~histograms ~trace_file =
+    ~loss ~partitions ~histograms ~trace_file ~faults =
   let gen =
     match workload with
     | "ycsbt" -> Workload.Ycsbt.gen ~theta:zipf ()
@@ -65,13 +65,34 @@ let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
   List.iter
     (fun name ->
       let spec = List.assoc name system_names in
-      let s = Harness.Experiment.run_repeated setup spec ~gen ~seeds in
+      let results =
+        List.map (fun seed -> Harness.Experiment.run ?faults setup spec ~gen ~seed) seeds
+      in
+      let s = Harness.Experiment.summarize results in
       Printf.printf "%s,%s,%.0f,%.2f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%d,%d\n%!"
         (Harness.Experiment.spec_name spec)
         workload rate zipf s.Harness.Experiment.p95_high_ms s.Harness.Experiment.p95_high_ci
         s.Harness.Experiment.p95_low_ms s.Harness.Experiment.p95_low_ci
         s.Harness.Experiment.goodput_high_tps s.Harness.Experiment.goodput_low_tps
-        s.Harness.Experiment.failed s.Harness.Experiment.aborts)
+        s.Harness.Experiment.failed s.Harness.Experiment.aborts;
+      match faults with
+      | None -> ()
+      | Some schedule ->
+          (* Recovery evidence: commits submitted at or after the schedule's
+             last event (typically the heal) prove the system came back. *)
+          let heal = Simcore.Sim_time.to_seconds (Faults.last_event_time schedule) in
+          let commits_after =
+            List.fold_left
+              (fun acc r ->
+                acc
+                + Array.fold_left
+                    (fun a (born, _, _) -> if born >= heal then a + 1 else a)
+                    0 r.Workload.Driver.commit_log)
+              0 results
+          in
+          Printf.printf "# failover: %s commits_after_last_event=%d unfinished=%d\n%!"
+            (Harness.Experiment.spec_name spec)
+            commits_after s.Harness.Experiment.unfinished)
     systems;
   if histograms then begin
     Printf.printf "\nLatency distributions (committed transactions, both priorities):\n";
@@ -81,7 +102,7 @@ let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
         let merged =
           List.fold_left
             (fun acc seed ->
-              let r = Harness.Experiment.run setup spec ~gen ~seed in
+              let r = Harness.Experiment.run ?faults setup spec ~gen ~seed in
               let h =
                 Simstats.Histogram.of_array
                   (Array.append r.Workload.Driver.high_latencies_ms
@@ -103,7 +124,7 @@ let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
       let spec = List.assoc name system_names in
       let seed = List.hd seeds in
       let t =
-        try Harness.Experiment.run_traced setup spec ~gen ~seed ~file
+        try Harness.Experiment.run_traced ?faults setup spec ~gen ~seed ~file
         with Sys_error e ->
           Printf.eprintf "natto_sim: cannot write trace file: %s\n%!" e;
           exit 1
@@ -164,6 +185,15 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
 
+let faults_arg =
+  let doc =
+    "Fault schedule: comma-separated ACTION\\@TIME events, e.g. \
+     'crash-leader:0\\@2s,restart\\@6s'. Actions: crash:NODE, crash-leader:P|rand, \
+     restart:NODE, restart (all crashed), cut:A-B, heal:A-B, heal (all cut). Times are \
+     offsets from simulation start and accept 's'/'ms' suffixes."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~doc ~docv:"SPEC")
+
 let figure_arg =
   let doc =
     Printf.sprintf "Regenerate a figure instead (%s)."
@@ -172,7 +202,7 @@ let figure_arg =
   Arg.(value & opt (some string) None & info [ "figure" ] ~doc)
 
 let main systems workload rate zipf duration seeds high_fraction topo variance loss partitions
-    histograms trace_file figure =
+    histograms trace_file faults_spec figure =
   match figure with
   | Some name ->
       if Harness.Figures.run_by_name name (Harness.Figures.scale_of_env ()) then `Ok ()
@@ -181,16 +211,24 @@ let main systems workload rate zipf duration seeds high_fraction topo variance l
       let systems =
         if systems = [ "all" ] then List.map fst system_names else systems
       in
-      (match List.find_opt (fun s -> not (List.mem_assoc s system_names)) systems with
-      | Some bad -> `Error (false, Printf.sprintf "unknown system %S" bad)
-      | None ->
-          if not (List.mem_assoc topo topo_names) then
-            `Error (false, Printf.sprintf "unknown topology %S" topo)
-          else begin
-            run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
-              ~variance ~loss ~partitions ~histograms ~trace_file;
-            `Ok ()
-          end)
+      let faults =
+        match faults_spec with
+        | None -> Ok None
+        | Some spec -> Result.map Option.some (Faults.parse spec)
+      in
+      (match faults with
+      | Error e -> `Error (false, Printf.sprintf "bad --faults spec: %s" e)
+      | Ok faults ->
+          (match List.find_opt (fun s -> not (List.mem_assoc s system_names)) systems with
+          | Some bad -> `Error (false, Printf.sprintf "unknown system %S" bad)
+          | None ->
+              if not (List.mem_assoc topo topo_names) then
+                `Error (false, Printf.sprintf "unknown topology %S" topo)
+              else begin
+                run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
+                  ~variance ~loss ~partitions ~histograms ~trace_file ~faults;
+                `Ok ()
+              end))
 
 let cmd =
   let doc = "Simulate Natto and its baselines on a geo-distributed deployment" in
@@ -200,6 +238,6 @@ let cmd =
       ret
         (const main $ systems_arg $ workload_arg $ rate_arg $ zipf_arg $ duration_arg
        $ seeds_arg $ high_arg $ topo_arg $ variance_arg $ loss_arg $ partitions_arg
-       $ histograms_arg $ trace_arg $ figure_arg))
+       $ histograms_arg $ trace_arg $ faults_arg $ figure_arg))
 
 let () = exit (Cmd.eval cmd)

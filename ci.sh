@@ -16,4 +16,13 @@ dune exec bin/natto_sim.exe -- -s natto-ts -d 2 --seeds 1 -r 50 \
 grep -q '"traceEvents"' "$trace_out"
 rm -f "$trace_out"
 
+echo "== fault-injection smoke run =="
+# Crash partition 0's leader at t=2s, restart it at t=6s; the run must
+# complete with no hung transactions and nonzero commits after the heal.
+faults_out="${TMPDIR:-/tmp}/natto_ci_faults.csv"
+dune exec bin/natto_sim.exe -- -s natto-ts -d 8 --seeds 1 -r 50 \
+  --faults 'crash-leader:0@2s,restart@6s' >"$faults_out"
+grep -q '# failover: .* commits_after_last_event=[1-9][0-9]* unfinished=0' "$faults_out"
+rm -f "$faults_out"
+
 echo "== OK =="

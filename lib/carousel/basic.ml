@@ -3,7 +3,7 @@ module Msg = Rpc.Msg
 
 type server = {
   partition : int;
-  node : int;
+  mutable node : int;  (** the partition's leader; refreshed under failover *)
   occ : Store.Occ.t;
   kv : Store.Kv.t;
 }
@@ -28,6 +28,7 @@ type client_attempt = {
 let make (cluster : Cluster.t) : System.t =
   let net = cluster.Cluster.net in
   let send ~src ~dst ~msg f = Rpc.send net ~src ~dst ~msg f in
+  let attempt_timeout = Simcore.Sim_time.seconds 2.5 in
   let servers =
     Array.init cluster.Cluster.n_partitions (fun p ->
         {
@@ -110,12 +111,26 @@ let make (cluster : Cluster.t) : System.t =
     let n = List.length plan.Txnkit.Exec.participants in
     let attempt = { txn; plan; pending = n; failed = false; replies = [] } in
     let client = txn.Txn.client in
+    let failover = Cluster.failover_active cluster in
+    (* Re-resolve the partition leaders per attempt, so retries after a
+       leader crash land on the newly elected node. *)
+    if failover then
+      List.iter
+        (fun p -> servers.(p).node <- Cluster.leader_node cluster p)
+        plan.Txnkit.Exec.participants;
     let coordinator = coord_node ~client in
+    let finished = ref false in
+    let finish ~committed =
+      if not !finished then begin
+        finished := true;
+        on_done ~committed
+      end
+    in
     (* Client-side commit notification: the coordinator replies over the
        network; latency to the client is the intra-DC hop. *)
     let notify_client_commit () =
       send ~src:coordinator ~dst:client ~msg:(Msg.control ~txn:txn.Txn.id Msg.Commit_notify)
-        (fun () -> on_done ~committed:true)
+        (fun () -> finish ~committed:true)
     in
     let on_vote ~ok =
       let c = coord_state ~txn_id:txn.Txn.id ~client ~n_participants:n in
@@ -144,23 +159,24 @@ let make (cluster : Cluster.t) : System.t =
       let c = coord_state ~txn_id:txn.Txn.id ~client ~n_participants:n in
       if not c.decided then decide_abort ~txn_id:txn.Txn.id ~txn c
     in
+    let abort_attempt () =
+      (* Release prepares directly from the client, before the retry's
+         read-and-prepare goes out on the same connections: per-connection
+         FIFO then guarantees the ghost prepare is gone when the retry
+         lands. The coordinator is told too so its 2PC state resolves. *)
+      List.iter
+        (fun p ->
+          let server = servers.(p) in
+          send ~src:client ~dst:server.node ~msg:(Msg.control ~txn:txn.Txn.id Msg.Release)
+            (fun () -> abort_at_participant server txn.Txn.id))
+        plan.Txnkit.Exec.participants;
+      send ~src:client ~dst:coordinator
+        ~msg:(Msg.control ~txn:txn.Txn.id Msg.Abort_notice)
+        on_abort_notice;
+      finish ~committed:false
+    in
     let round_one_complete () =
-      if attempt.failed then begin
-        (* Release prepares directly from the client, before the retry's
-           read-and-prepare goes out on the same connections: per-connection
-           FIFO then guarantees the ghost prepare is gone when the retry
-           lands. The coordinator is told too so its 2PC state resolves. *)
-        List.iter
-          (fun p ->
-            let server = servers.(p) in
-            send ~src:client ~dst:server.node ~msg:(Msg.control ~txn:txn.Txn.id Msg.Release)
-              (fun () -> abort_at_participant server txn.Txn.id))
-          plan.Txnkit.Exec.participants;
-        send ~src:client ~dst:coordinator
-          ~msg:(Msg.control ~txn:txn.Txn.id Msg.Abort_notice)
-          on_abort_notice;
-        on_done ~committed:false
-      end
+      if attempt.failed then abort_attempt ()
       else begin
         let reads = Txnkit.Exec.assemble_reads txn attempt.replies in
         let pairs = Txnkit.Exec.write_pairs txn reads in
@@ -209,6 +225,13 @@ let make (cluster : Cluster.t) : System.t =
                     (fun () -> on_vote ~ok:true))
                 ()
             end))
-      plan.Txnkit.Exec.participants
+      plan.Txnkit.Exec.participants;
+    (* Failover watchdog: with a dead leader (or coordinator) in the path
+       this attempt would otherwise hang forever. Armed only under fault
+       injection. *)
+    if failover then
+      ignore
+        (Simcore.Engine.schedule_after cluster.Cluster.engine attempt_timeout (fun () ->
+             if not !finished then abort_attempt ()))
   in
   System.make ~name:"Carousel Basic" ~submit

@@ -32,16 +32,69 @@ let make (cluster : Cluster.t) : System.t =
             })
           cluster.Cluster.replicas.(p))
   in
+  let attempt_timeout = Simcore.Sim_time.seconds 2.5 in
+  (* Replicas seen down; on rejoin they adopt the current leader's store
+     (modeling the Raft log catch-up a returning group member gets) and
+     discard prepares whose outcomes they missed while dead — otherwise the
+     stale footprints veto the fast path on those keys forever. *)
+  let down_seen : (int, unit) Hashtbl.t = Hashtbl.create 7 in
   let submit (txn : Txn.t) ~on_done =
     let plan = Txnkit.Exec.plan_of cluster txn in
     let participants = plan.Txnkit.Exec.participants in
     let client = txn.Txn.client in
+    let failover = Cluster.failover_active cluster in
     let coordinator = Cluster.coordinator_for cluster ~client in
-    let total_replies =
+    (* Leadership snapshot for this attempt. Fault-free runs resolve to the
+       static replica 0, so nothing changes; under failover replies are
+       attributed to whoever leads now, and dead replicas are excluded from
+       the expected count (the fast path needs full membership anyway, so
+       the attempt falls back to the slow path). *)
+    let current_leader =
+      List.map
+        (fun p -> (p, if failover then Cluster.leader_node cluster p else replicas.(p).(0).node))
+        participants
+    in
+    let leader_replica p =
+      let ln = List.assoc p current_leader in
+      match Array.to_list replicas.(p) |> List.find_opt (fun r -> r.node = ln) with
+      | Some r -> r
+      | None -> replicas.(p).(0)
+    in
+    if failover then
+      List.iter
+        (fun p ->
+          Array.iter
+            (fun r ->
+              if Netsim.Network.node_is_down net r.node then Hashtbl.replace down_seen r.node ()
+              else if Hashtbl.mem down_seen r.node then begin
+                Hashtbl.remove down_seen r.node;
+                let src = leader_replica p in
+                if src.node <> r.node then begin
+                  Store.Kv.sync_from r.kv ~src:src.kv;
+                  Store.Occ.reset r.occ
+                end
+              end)
+            replicas.(p))
+        participants;
+    let counted r = (not failover) || not (Netsim.Network.node_is_down net r.node) in
+    let full_membership =
       List.fold_left (fun acc p -> acc + Array.length replicas.(p)) 0 participants
+    in
+    let total_replies =
+      List.fold_left
+        (fun acc p ->
+          acc + Array.fold_left (fun a r -> if counted r then a + 1 else a) 0 replicas.(p))
+        0 participants
     in
     let pending = ref total_replies in
     let replies : reply list ref = ref [] in
+    let finished = ref false in
+    let finish ~committed =
+      if not !finished then begin
+        finished := true;
+        on_done ~committed
+      end
+    in
     let release_everywhere () =
       (* Straight from the client, so a retry's read-and-prepare (sent on
          the same connections, after these) finds the prepares released. *)
@@ -66,7 +119,7 @@ let make (cluster : Cluster.t) : System.t =
               if not already_committed then
                 send ~src:coordinator ~dst:client
                   ~msg:(Msg.control ~txn:txn.Txn.id Msg.Commit_notify)
-                  (fun () -> on_done ~committed:true);
+                  (fun () -> finish ~committed:true);
               List.iter
                 (fun p ->
                   let local = Txnkit.Exec.pairs_on_partition cluster ~partition:p pairs in
@@ -102,9 +155,17 @@ let make (cluster : Cluster.t) : System.t =
       let leader_abort =
         List.exists (fun r -> r.from_leader && not r.ok) !replies
       in
-      if leader_abort then begin
+      (* Under failover a leader can die mid-round: its reads never arrive,
+         so the attempt cannot assemble a write set — fail it and let the
+         retry target the new leader. *)
+      let missing_leader =
+        List.exists
+          (fun p -> not (List.exists (fun r -> r.partition = p && r.from_leader) !replies))
+          participants
+      in
+      if leader_abort || missing_leader then begin
         release_everywhere ();
-        on_done ~committed:false
+        finish ~committed:false
       end
       else begin
         let reads =
@@ -112,12 +173,16 @@ let make (cluster : Cluster.t) : System.t =
             (List.filter_map (fun r -> if r.from_leader then Some r.values else None) !replies)
         in
         let pairs = Txnkit.Exec.write_pairs txn reads in
-        let unanimous = List.for_all (fun r -> r.ok) !replies in
+        (* The fast path needs the prepare durable at the FULL membership of
+           every participant — a down replica forces the slow path. *)
+        let unanimous =
+          List.length !replies = full_membership && List.for_all (fun r -> r.ok) !replies
+        in
         if unanimous then begin
           (* Fast path: the prepare is durable at every replica of every
              participant, so the transaction commits in one WAN round trip
              (paper §5.2.1). Write data distribution is asynchronous. *)
-          on_done ~committed:true;
+          finish ~committed:true;
           commit_via_coordinator ~pairs ~already_committed:true ~after_durable:(fun k -> k ())
         end
         else
@@ -128,7 +193,7 @@ let make (cluster : Cluster.t) : System.t =
               let n = List.length participants in
               List.iter
                 (fun p ->
-                  let leader = replicas.(p).(0) in
+                  let leader = leader_replica p in
                   let reads_p = plan.Txnkit.Exec.reads_of p
                   and writes_p = plan.Txnkit.Exec.writes_of p in
                   send ~src:coordinator ~dst:leader.node
@@ -150,35 +215,48 @@ let make (cluster : Cluster.t) : System.t =
       end
     in
     let on_reply r =
-      replies := r :: !replies;
-      decr pending;
-      if !pending = 0 then finish_round_one ()
+      if not !finished then begin
+        replies := r :: !replies;
+        decr pending;
+        if !pending = 0 then finish_round_one ()
+      end
     in
     List.iter
       (fun p ->
         let reads = plan.Txnkit.Exec.reads_of p and writes = plan.Txnkit.Exec.writes_of p in
+        let leader_node = List.assoc p current_leader in
         Array.iter
           (fun r ->
-            send ~src:client ~dst:r.node
-              ~msg:
-                (Msg.read_prepare ~txn:txn.Txn.id ~reads:(Array.length reads)
-                   ~writes:(Array.length writes) ())
-              (fun () ->
-                let conflicting = Store.Occ.conflicts r.occ ~reads ~writes in
-                if conflicting <> [] then
-                  send ~src:r.node ~dst:client
-                    ~msg:(Msg.control ~txn:txn.Txn.id Msg.Abort_notice)
-                    (fun () ->
-                      on_reply { partition = p; from_leader = r.is_leader; ok = false; values = [] })
-                else begin
-                  Store.Occ.prepare r.occ ~txn:txn.Txn.id ~reads ~writes;
-                  let values = Txnkit.Exec.read_values r.kv reads in
-                  send ~src:r.node ~dst:client
-                    ~msg:(Msg.read_reply ~txn:txn.Txn.id ~reads:(Array.length reads) ())
-                    (fun () ->
-                      on_reply { partition = p; from_leader = r.is_leader; ok = true; values })
-                end))
+            if counted r then
+              let from_leader = r.node = leader_node in
+              send ~src:client ~dst:r.node
+                ~msg:
+                  (Msg.read_prepare ~txn:txn.Txn.id ~reads:(Array.length reads)
+                     ~writes:(Array.length writes) ())
+                (fun () ->
+                  let conflicting = Store.Occ.conflicts r.occ ~reads ~writes in
+                  if conflicting <> [] then
+                    send ~src:r.node ~dst:client
+                      ~msg:(Msg.control ~txn:txn.Txn.id Msg.Abort_notice)
+                      (fun () ->
+                        on_reply { partition = p; from_leader; ok = false; values = [] })
+                  else begin
+                    Store.Occ.prepare r.occ ~txn:txn.Txn.id ~reads ~writes;
+                    let values = Txnkit.Exec.read_values r.kv reads in
+                    send ~src:r.node ~dst:client
+                      ~msg:(Msg.read_reply ~txn:txn.Txn.id ~reads:(Array.length reads) ())
+                      (fun () -> on_reply { partition = p; from_leader; ok = true; values })
+                  end))
           replicas.(p))
-      plan.Txnkit.Exec.participants
+      plan.Txnkit.Exec.participants;
+    (* Failover watchdog: bound an attempt stalled on replies (or a 2PC
+       round) that will never arrive because a node died mid-flight. *)
+    if failover then
+      ignore
+        (Simcore.Engine.schedule_after cluster.Cluster.engine attempt_timeout (fun () ->
+             if not !finished then begin
+               release_everywhere ();
+               finish ~committed:false
+             end))
   in
   System.make ~name:"Carousel Fast" ~submit

@@ -20,7 +20,9 @@ let timestamps cluster (features : Features.t) ~client ~leaders =
         (leader, now_local + int_of_float est + pad))
       leaders
   in
-  let ts = List.fold_left (fun acc (_, t) -> Stdlib.max acc t) 0 arrivals in
+  (* Floor at the local clock: an empty leader list (or a degenerate
+     estimate) must not produce a commit timestamp in the distant past. *)
+  let ts = List.fold_left (fun acc (_, t) -> Stdlib.max acc t) now_local arrivals in
   (ts, arrivals)
 
 let completion_estimate cluster ~server_node ~coord_node ~ts =

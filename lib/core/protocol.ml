@@ -53,7 +53,8 @@ type srec = {
 
 type server = {
   partition : int;
-  node : int;
+  mutable node : int;
+      (** the partition's leader; refreshed per attempt under failover *)
   occ : Store.Occ.t;
   kv : Store.Kv.t;
   queue : srec Tsq.t;
@@ -109,6 +110,10 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
   let check_invariants = Sys.getenv_opt "NATTO_CHECK_INVARIANTS" <> None in
   let send ~src ~dst ~msg f = Rpc.send net ~src ~dst ~msg f in
   let trace = Netsim.Network.trace net in
+  (* Per-attempt failover timeout: longer than any healthy WAN commit,
+     shorter than the driver would tolerate hanging. Must exceed the Raft
+     election timeout so retries land after a new leader exists. *)
+  let attempt_timeout = Sim_time.seconds 2.5 in
   (* Lifecycle instants land on the transactions track of the Chrome trace;
      [Trace.recording] is false outside --trace runs, so this is one branch. *)
   let mark ~tid ~txn name =
@@ -678,7 +683,14 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
     let plan = Exec.plan_of cluster txn in
     let participants = plan.Exec.participants in
     let client = txn.Txn.client in
-    let leaders = List.map (fun p -> Cluster.leader cluster p) participants in
+    let failover = Cluster.failover_active cluster in
+    (* Under fault injection each attempt re-resolves the partition leaders,
+       so a retry after a leader crash lands on the newly elected node. The
+       per-partition server state survives the move (it is replicated via
+       Raft in the real system). *)
+    if failover then
+      List.iter (fun p -> servers.(p).node <- Cluster.leader_node cluster p) participants;
+    let leaders = List.map (fun p -> servers.(p).node) participants in
     let ts, arrivals = Estimate.timestamps cluster features ~client ~leaders in
     let coordinator = Cluster.coordinator_for cluster ~client in
     let slots : (int, slot) Hashtbl.t = Hashtbl.create 8 in
@@ -799,7 +811,17 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
                ~extra:(12 * List.length participants)
                ~reads:(Array.length reads) ~writes:(Array.length writes) ())
           (fun () -> server_on_read_and_prepare server r))
-      participants
+      participants;
+    (* Failover watchdog: a crashed leader or coordinator silently swallows
+       our messages, so an attempt can stall forever. Bound it: if nothing
+       has finished after the timeout, abort the attempt through the normal
+       release path and let the driver retry against the re-resolved
+       leaders. Armed only under fault injection — fault-free runs schedule
+       nothing extra. *)
+    if failover then
+      ignore
+        (Engine.schedule_after engine attempt_timeout (fun () ->
+             if not !finished then deliver_abort ()))
   in
   (System.make ~name:(Features.name features) ~submit, stats)
 

@@ -112,7 +112,7 @@ let trace_link_totals () =
   Hashtbl.fold (fun link n acc -> (link, n) :: acc) link_totals []
   |> List.sort compare
 
-let run ?trace setup spec ~gen ~seed =
+let run ?trace ?faults setup spec ~gen ~seed =
   let counting =
     match trace with
     | None when !counters_on ->
@@ -123,6 +123,9 @@ let run ?trace setup spec ~gen ~seed =
   in
   let trace = match trace with Some _ -> trace | None -> counting in
   let cluster = build_cluster ?trace setup spec ~seed in
+  (* Installed before the driver starts so the first transaction already
+     sees the failover machinery armed. *)
+  (match faults with Some schedule -> Faults.install cluster schedule | None -> ());
   let system = instantiate spec cluster in
   let result = Workload.Driver.run cluster system ~gen { setup.driver with Workload.Driver.seed } in
   (match counting with Some t -> accumulate t | None -> ());
@@ -134,13 +137,14 @@ type traced = {
   trace : Trace.t;
 }
 
-let run_traced setup spec ~gen ~seed ~file =
+let run_traced ?faults setup spec ~gen ~seed ~file =
   (* Open the output first so a bad path fails before the simulation runs,
      not after. *)
   let oc = open_out file in
   let trace = Trace.create () in
   Trace.enable trace;
   let cluster = build_cluster ~trace setup spec ~seed in
+  (match faults with Some schedule -> Faults.install cluster schedule | None -> ());
   let system = instantiate spec cluster in
   let result =
     Workload.Driver.run cluster system ~gen { setup.driver with Workload.Driver.seed }
@@ -168,8 +172,7 @@ type summary = {
   commits : int;
 }
 
-let run_repeated setup spec ~gen ~seeds =
-  let results = List.map (fun seed -> run setup spec ~gen ~seed) seeds in
+let summarize results =
   let finite a = Array.of_list (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list a)) in
   let p95s_high =
     finite (Array.of_list (List.map Workload.Driver.p95_high results))
@@ -195,3 +198,6 @@ let run_repeated setup spec ~gen ~seeds =
     commits =
       sum (fun r -> r.Workload.Driver.committed_high + r.Workload.Driver.committed_low);
   }
+
+let run_repeated ?faults setup spec ~gen ~seeds =
+  summarize (List.map (fun seed -> run ?faults setup spec ~gen ~seed) seeds)

@@ -34,13 +34,17 @@ val default_setup : setup
 
 val run :
   ?trace:Trace.t ->
+  ?faults:Faults.schedule ->
   setup ->
   system_spec ->
   gen:Workload.Gen.t ->
   seed:int ->
   Workload.Driver.result
 (** One run: fresh cluster, one system, one workload pass. [trace] is
-    installed at cluster construction (see {!Txnkit.Cluster.build}). *)
+    installed at cluster construction (see {!Txnkit.Cluster.build});
+    [faults] is installed before the driver starts (see {!Faults.install}).
+    Without [faults], results are byte-for-byte those of the pre-fault
+    harness. *)
 
 type traced = {
   result : Workload.Driver.result;
@@ -49,7 +53,13 @@ type traced = {
 }
 
 val run_traced :
-  setup -> system_spec -> gen:Workload.Gen.t -> seed:int -> file:string -> traced
+  ?faults:Faults.schedule ->
+  setup ->
+  system_spec ->
+  gen:Workload.Gen.t ->
+  seed:int ->
+  file:string ->
+  traced
 (** Like {!run} with a full-recording trace sink, writing Chrome
     trace-viewer JSON to [file] (load it at chrome://tracing or
     ui.perfetto.dev). *)
@@ -84,7 +94,16 @@ type summary = {
   commits : int;
 }
 
+val summarize : Workload.Driver.result list -> summary
+(** Aggregate per-seed results: percentile statistics are averaged across
+    repetitions with 95% confidence intervals (§5.1's error bars); counts
+    are summed. *)
+
 val run_repeated :
-  setup -> system_spec -> gen:Workload.Gen.t -> seeds:int list -> summary
-(** Repetitions with different seeds; percentile statistics are averaged
-    across repetitions with 95% confidence intervals (§5.1's error bars). *)
+  ?faults:Faults.schedule ->
+  setup ->
+  system_spec ->
+  gen:Workload.Gen.t ->
+  seeds:int list ->
+  summary
+(** [summarize] over one {!run} per seed. *)

@@ -55,6 +55,12 @@ val ablation : scale -> unit
     completion-estimate refinement on/off, starvation promotion, timestamp
     pad sensitivity. *)
 
+val failover : scale -> unit
+(** Failure experiment (not in the paper): partition 0's leader crashes at
+    one third of the run and restarts at two thirds. Reports the
+    high-priority p95 before/during/after the outage per system, the
+    after/before recovery ratio, and commits after the heal. *)
+
 val all : scale -> unit
 val run_by_name : string -> scale -> bool
 (** Dispatch "fig7ab" ... "fig14" | "table1"; [false] if unknown. *)

@@ -9,6 +9,7 @@ type t = {
   refresh : Sim_time.t;
   cache : (int, float) Hashtbl.t;
   mutable running : bool;
+  mutable timer : Engine.handle option;
 }
 
 let fetch t =
@@ -24,13 +25,30 @@ let fetch t =
 let rec tick t =
   if t.running then begin
     fetch t;
-    ignore (Engine.schedule_after t.engine t.refresh (fun () -> tick t))
+    t.timer <- Some (Engine.schedule_after t.engine t.refresh (fun () -> tick t))
   end
 
 let create ~engine ~net ~node ~proxy ?(refresh = Sim_time.ms 100.) () =
-  let t = { engine; net; node; proxy; refresh; cache = Hashtbl.create 16; running = true } in
+  let t =
+    {
+      engine;
+      net;
+      node;
+      proxy;
+      refresh;
+      cache = Hashtbl.create 16;
+      running = true;
+      timer = None;
+    }
+  in
   tick t;
   t
 
 let estimate_us t ~target = Hashtbl.find_opt t.cache target
-let stop t = t.running <- false
+
+let stop t =
+  t.running <- false;
+  (* Cancel the pending refresh too, or every stopped cache leaves a dead
+     event sitting in the heap until its timer would have fired. *)
+  (match t.timer with Some h -> Engine.cancel h | None -> ());
+  t.timer <- None

@@ -42,7 +42,7 @@ let percentile t ~now ~p =
   let n = Array.length a in
   if n = 0 then None
   else begin
-    Array.sort compare a;
+    Array.sort Float.compare a;
     let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
     let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
     Some a.(idx)

@@ -33,6 +33,12 @@ type t = {
   cpus : Cpu.t array;
   config : config;
   trace : Trace.t;
+  mutable faults_on : bool;
+      (** set when a fault schedule is installed; protocols consult it to
+          arm failover watchdogs (zero-cost in fault-free runs) *)
+  node_down : bool array;  (** per node: messages to/from it are dropped *)
+  dc_cut : bool array array;  (** directed DC pair: link partitioned *)
+  mutable drops : int;
   link_free_at : Sim_time.t array array;  (** directed DC pair queue *)
   link_rate : float array array;  (** bytes per microsecond *)
   fifo_last : (int * int, Sim_time.t) Hashtbl.t;
@@ -77,6 +83,10 @@ let create ~engine ~rng ~topo ~node_dc ~cpus ?(config = default_config)
     cpus;
     config;
     trace;
+    faults_on = false;
+    node_down = Array.make (Array.length node_dc) false;
+    dc_cut = Array.make_matrix n n false;
+    drops = 0;
     link_free_at = Array.make_matrix n n Sim_time.zero;
     link_rate;
     fifo_last = Hashtbl.create 4096;
@@ -91,6 +101,25 @@ let engine t = t.engine
 let topology t = t.topo
 let dc_of t node = t.node_dc.(node)
 let trace t = t.trace
+
+(* --- fault injection --- *)
+
+let set_faults_active t on = t.faults_on <- on
+let faults_active t = t.faults_on
+
+let set_node_down t ~node ~down =
+  t.faults_on <- true;
+  t.node_down.(node) <- down
+
+let node_is_down t node = t.node_down.(node)
+
+let set_dc_cut t ~a ~b ~cut =
+  t.faults_on <- true;
+  t.dc_cut.(a).(b) <- cut;
+  t.dc_cut.(b).(a) <- cut
+
+let dc_is_cut t ~a ~b = t.dc_cut.(a).(b)
+let dropped t = t.drops
 
 let sample_owd t ~src_dc ~dst_dc =
   let mean = Topology.owd_ms t.topo src_dc dst_dc in
@@ -164,6 +193,22 @@ let deliver t ?(kind = "other") ?txn ?priority ~src ~dst ~bytes ~to_cpu f =
   let bytes = bytes + t.config.header_bytes in
   t.messages <- t.messages + 1;
   t.bytes <- t.bytes + bytes;
+  if
+    t.faults_on
+    && (t.node_down.(src) || t.node_down.(dst) || t.dc_cut.(src_dc).(dst_dc))
+  then begin
+    (* A dead sender cannot transmit, a dead receiver cannot hear, and a
+       partitioned link delivers nothing: the message vanishes. Traced under
+       its own kind so per-kind counts still sum to [messages_sent]. *)
+    t.drops <- t.drops + 1;
+    if Trace.enabled t.trace then begin
+      let now = Engine.now t.engine in
+      ignore
+        (Trace.message t.trace ~kind:"dropped" ?txn ?priority ~src ~dst ~src_dc ~dst_dc
+           ~bytes ~enqueue:now ~depart:now ~deliver:now ())
+    end
+  end
+  else begin
   let now = Engine.now t.engine in
   if now >= t.next_prune then prune t ~now;
   let depart, arrival =
@@ -207,6 +252,7 @@ let deliver t ?(kind = "other") ?txn ?priority ~src ~dst ~bytes ~to_cpu f =
     (Engine.schedule_at t.engine arrival (fun () ->
          if to_cpu then Cpu.submit t.cpus.(dst) ~cost:t.config.msg_cost f
          else f ()))
+  end
 
 let send t ?kind ?txn ?priority ~src ~dst ~bytes f =
   deliver t ?kind ?txn ?priority ~src ~dst ~bytes ~to_cpu:true f

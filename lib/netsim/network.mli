@@ -61,6 +61,34 @@ val dc_of : t -> int -> int
 val trace : t -> Trace.t
 (** The network's tracing sink; enable it to start recording. *)
 
+(** {2 Fault injection}
+
+    All state defaults to healthy and every check is a single flag read, so
+    fault-free runs are bit-for-bit identical to a build without faults.
+    Messages whose source or destination node is down, or whose DC pair is
+    partitioned, are silently dropped (counted, and traced under kind
+    ["dropped"]). *)
+
+val set_faults_active : t -> bool -> unit
+(** Arm (or disarm) the fault machinery. [set_node_down] and [set_dc_cut]
+    arm it implicitly; protocols consult {!faults_active} to decide whether
+    to run failover watchdogs. *)
+
+val faults_active : t -> bool
+
+val set_node_down : t -> node:int -> down:bool -> unit
+(** Mark a node dead (messages to/from it vanish) or alive again. *)
+
+val node_is_down : t -> int -> bool
+
+val set_dc_cut : t -> a:int -> b:int -> cut:bool -> unit
+(** Partition (or heal) the link between two datacenters, both directions. *)
+
+val dc_is_cut : t -> a:int -> b:int -> bool
+
+val dropped : t -> int
+(** Messages dropped by fault injection so far. *)
+
 val send :
   t ->
   ?kind:string ->

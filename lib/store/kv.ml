@@ -15,3 +15,7 @@ let put t ~key ~data =
 
 let version t key = (get t key).version
 let keys_written t = Hashtbl.length t.table
+
+let sync_from t ~src =
+  Hashtbl.reset t.table;
+  Hashtbl.iter (fun key v -> Hashtbl.replace t.table key v) src.table

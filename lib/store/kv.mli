@@ -22,3 +22,7 @@ val version : t -> int -> int
 
 val keys_written : t -> int
 (** Number of distinct keys ever written. *)
+
+val sync_from : t -> src:t -> unit
+(** Replaces the contents (data and versions) with a copy of [src]'s — a
+    replica that rejoins after a crash adopting an up-to-date peer's state. *)

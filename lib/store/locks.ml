@@ -119,7 +119,10 @@ let release_all t ~txn =
   | None -> ()
   | Some st ->
       Hashtbl.remove t.txns txn;
-      let touched = st.held @ st.waits in
+      (* A txn can both hold and wait on the same key (shared-to-exclusive
+         upgrade), so the concatenation may repeat keys; dedupe so each key
+         gets exactly one grant scan. *)
+      let touched = List.sort_uniq compare (st.held @ st.waits) in
       List.iter
         (fun key ->
           match Hashtbl.find_opt t.keys key with

@@ -64,3 +64,8 @@ let footprint t ~txn =
   Option.map (fun { reads; writes } -> (reads, writes)) (Hashtbl.find_opt t.by_txn txn)
 
 let prepared_count t = Hashtbl.length t.by_txn
+
+let reset t =
+  Hashtbl.reset t.by_txn;
+  Hashtbl.reset t.readers;
+  Hashtbl.reset t.writers

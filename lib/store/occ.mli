@@ -33,3 +33,7 @@ val footprint : t -> txn:int -> (int array * int array) option
 (** The (reads, writes) a prepared transaction registered. *)
 
 val prepared_count : t -> int
+
+val reset : t -> unit
+(** Drops every prepared transaction — a replica rejoining after a crash
+    discards prepares whose outcomes it missed while down. *)

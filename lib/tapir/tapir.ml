@@ -17,23 +17,63 @@ let make (cluster : Cluster.t) : System.t =
           (fun node -> { node; occ = Store.Occ.create (); kv = Store.Kv.create () })
           cluster.Cluster.replicas.(p))
   in
-  let nearest_replica ~client p =
+  (* Skip replicas known dead when failover is active: TAPIR has no leader,
+     so a client simply reads from (and counts votes over) the live set.
+     A replica that was down rejoins with a stale store (decisions sent
+     while it was dead were dropped) and its version checks would then veto
+     every reader forever; real TAPIR runs IR state transfer before such a
+     replica serves again. We model that: a replica seen down is tainted —
+     reads avoid it — until it is seen up again, at which point it adopts a
+     fresh peer's store and sheds its stale prepares. *)
+  let live r = not (Netsim.Network.node_is_down net r.node) in
+  let tainted : (int, unit) Hashtbl.t = Hashtbl.create 7 in
+  let fresh r = not (Hashtbl.mem tainted r.node) in
+  let nearest_replica ~failover ~client p =
     let client_dc = Cluster.dc_of cluster client in
     let best = ref replicas.(p).(0) and best_rtt = ref infinity in
     Array.iter
       (fun r ->
-        let rtt = Netsim.Topology.rtt_ms topo client_dc (Cluster.dc_of cluster r.node) in
-        if rtt < !best_rtt then begin
-          best := r;
-          best_rtt := rtt
+        if (not failover) || (live r && fresh r) then begin
+          let rtt = Netsim.Topology.rtt_ms topo client_dc (Cluster.dc_of cluster r.node) in
+          if rtt < !best_rtt then begin
+            best := r;
+            best_rtt := rtt
+          end
         end)
       replicas.(p);
     !best
   in
+  let attempt_timeout = Simcore.Sim_time.seconds 2.5 in
   let submit (txn : Txn.t) ~on_done =
     let plan = Exec.plan_of cluster txn in
     let participants = plan.Exec.participants in
     let client = txn.Txn.client in
+    let failover = Cluster.failover_active cluster in
+    if failover then
+      List.iter
+        (fun p ->
+          Array.iter
+            (fun r ->
+              if Netsim.Network.node_is_down net r.node then Hashtbl.replace tainted r.node ()
+              else if Hashtbl.mem tainted r.node then
+                match
+                  Array.to_list replicas.(p)
+                  |> List.find_opt (fun s -> s.node <> r.node && live s && fresh s)
+                with
+                | Some src ->
+                    Hashtbl.remove tainted r.node;
+                    Store.Kv.sync_from r.kv ~src:src.kv;
+                    Store.Occ.reset r.occ
+                | None -> ())
+            replicas.(p))
+        participants;
+    let finished = ref false in
+    let finish ~committed =
+      if not !finished then begin
+        finished := true;
+        on_done ~committed
+      end
+    in
     (* ---- round 1: read from the nearest replica of each partition ---- *)
     let reads_pending = ref (List.length participants) in
     let read_results : (int * (int * int * int) list) list ref = ref [] in
@@ -42,8 +82,12 @@ let make (cluster : Cluster.t) : System.t =
       let reads = Exec.assemble_reads txn per_partition in
       let pairs = Exec.write_pairs txn reads in
       (* ---- round 2: timestamped prepare at every replica ---- *)
+      let counted r = (not failover) || live r in
       let expected =
-        List.fold_left (fun acc p -> acc + Array.length replicas.(p)) 0 participants
+        List.fold_left
+          (fun acc p ->
+            acc + Array.fold_left (fun a r -> if counted r then a + 1 else a) 0 replicas.(p))
+          0 participants
       in
       let votes : (int * bool) list ref = ref [] in
       let pending = ref expected in
@@ -73,14 +117,21 @@ let make (cluster : Cluster.t) : System.t =
       in
       let decide () =
         let partition_votes p = List.filter_map (fun (p', ok) -> if p' = p then Some ok else None) !votes in
-        let unanimous p = List.for_all Fun.id (partition_votes p) in
+        (* The fast path needs a prepare acknowledged by the FULL membership;
+           a down replica always demotes the attempt to the slow path.
+           Majority is counted against full membership too — a vote a dead
+           replica never cast is not a yes. *)
+        let unanimous p =
+          let vs = partition_votes p in
+          List.length vs = Array.length replicas.(p) && List.for_all Fun.id vs
+        in
         let majority_ok p =
           let vs = partition_votes p in
-          2 * List.length (List.filter Fun.id vs) > List.length vs
+          2 * List.length (List.filter Fun.id vs) > Array.length replicas.(p)
         in
         if List.for_all unanimous participants then begin
           (* Fast path: consensus on prepare at every replica. *)
-          on_done ~committed:true;
+          finish ~committed:true;
           commit_everywhere ()
         end
         else begin
@@ -106,12 +157,12 @@ let make (cluster : Cluster.t) : System.t =
                           if (not !finalized) && !acks >= acks_needed then begin
                             finalized := true;
                             if ok then begin
-                              on_done ~committed:true;
+                              finish ~committed:true;
                               commit_everywhere ()
                             end
                             else begin
                               release_everywhere ();
-                              on_done ~committed:false
+                              finish ~committed:false
                             end
                           end)))
                 replicas.(p))
@@ -126,33 +177,36 @@ let make (cluster : Cluster.t) : System.t =
           in
           Array.iter
             (fun r ->
-              send ~src:client ~dst:r.node
-                ~msg:
-                  (Msg.read_prepare ~txn:txn.Txn.id ~reads:(Array.length reads_p)
-                     ~writes:(Array.length writes_p) ())
-                (fun () ->
-                  (* TAPIR validation: reads must still be current here, and
-                     the footprint must not conflict with a prepared txn. *)
-                  let stale =
-                    List.exists
-                      (fun (key, version) -> Store.Kv.version r.kv key <> version)
-                      read_versions
-                  in
-                  let conflicted =
-                    Store.Occ.conflicts r.occ ~reads:reads_p ~writes:writes_p <> []
-                  in
-                  let ok = (not stale) && not conflicted in
-                  if ok then Store.Occ.prepare r.occ ~txn:txn.Txn.id ~reads:reads_p ~writes:writes_p;
-                  send ~src:r.node ~dst:client ~msg:(Msg.vote ~txn:txn.Txn.id ()) (fun () ->
-                      votes := (p, ok) :: !votes;
-                      decr pending;
-                      if !pending = 0 then decide ())))
+              if counted r then
+                send ~src:client ~dst:r.node
+                  ~msg:
+                    (Msg.read_prepare ~txn:txn.Txn.id ~reads:(Array.length reads_p)
+                       ~writes:(Array.length writes_p) ())
+                  (fun () ->
+                    (* TAPIR validation: reads must still be current here, and
+                       the footprint must not conflict with a prepared txn. *)
+                    let stale =
+                      List.exists
+                        (fun (key, version) -> Store.Kv.version r.kv key <> version)
+                        read_versions
+                    in
+                    let conflicted =
+                      Store.Occ.conflicts r.occ ~reads:reads_p ~writes:writes_p <> []
+                    in
+                    let ok = (not stale) && not conflicted in
+                    if ok then Store.Occ.prepare r.occ ~txn:txn.Txn.id ~reads:reads_p ~writes:writes_p;
+                    send ~src:r.node ~dst:client ~msg:(Msg.vote ~txn:txn.Txn.id ()) (fun () ->
+                        if not !finished then begin
+                          votes := (p, ok) :: !votes;
+                          decr pending;
+                          if !pending = 0 then decide ()
+                        end)))
             replicas.(p))
         participants
     in
     List.iter
       (fun p ->
-        let r = nearest_replica ~client p in
+        let r = nearest_replica ~failover ~client p in
         let keys = plan.Exec.reads_of p in
         send ~src:client ~dst:r.node
           ~msg:(Msg.read_prepare ~txn:txn.Txn.id ~reads:(Array.length keys) ~writes:0 ())
@@ -161,9 +215,29 @@ let make (cluster : Cluster.t) : System.t =
             send ~src:r.node ~dst:client
               ~msg:(Msg.read_reply ~txn:txn.Txn.id ~reads:(Array.length keys) ())
               (fun () ->
-                read_results := (p, values) :: !read_results;
-                decr reads_pending;
-                if !reads_pending = 0 then round_two ())))
-      participants
+                if not !finished then begin
+                  read_results := (p, values) :: !read_results;
+                  decr reads_pending;
+                  if !reads_pending = 0 then round_two ()
+                end)))
+      participants;
+    (* Failover watchdog: a replica that died mid-round leaves reads or
+       votes outstanding forever; bound the attempt and let the driver
+       retry against the live set. *)
+    if failover then
+      ignore
+        (Simcore.Engine.schedule_after cluster.Cluster.engine attempt_timeout (fun () ->
+             if not !finished then begin
+               List.iter
+                 (fun p ->
+                   Array.iter
+                     (fun r ->
+                       send ~src:client ~dst:r.node
+                         ~msg:(Msg.control ~txn:txn.Txn.id Msg.Release)
+                         (fun () -> Store.Occ.release r.occ ~txn:txn.Txn.id))
+                     replicas.(p))
+                 participants;
+               finish ~committed:false
+             end))
   in
   System.make ~name:"TAPIR" ~submit

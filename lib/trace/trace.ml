@@ -27,7 +27,8 @@ type span = {
   s_at : Sim_time.t;
 }
 
-type event = Message of msg_handle | Span of span
+type fault_ev = { f_name : string; f_at : Sim_time.t }
+type event = Message of msg_handle | Span of span | Fault of fault_ev
 
 type t = {
   mutable mode : mode;
@@ -102,6 +103,11 @@ let span_begin t ~txn ~name ~at = span t ~txn ~name ~phase:Begin ~tid:0 ~at
 let span_end t ~txn ~name ~at = span t ~txn ~name ~phase:End ~tid:0 ~at
 let instant t ?(tid = 0) ~txn ~name ~at () = span t ~txn ~name ~phase:Instant ~tid ~at
 
+(* Fault events live on their own process track and deliberately bypass the
+   per-kind message counters, so the invariant "sum over kinds equals
+   messages_sent" keeps holding under fault injection. *)
+let fault t ~name ~at = if t.mode = Full then push t (Fault { f_name = name; f_at = at })
+
 let sorted_counts tbl =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [] |> List.sort compare
 
@@ -158,6 +164,13 @@ let write_span_event oc first (s : span) =
     "{\"name\":\"%s\",\"cat\":\"txn\",\"ph\":\"%s\",\"id\":%d,\"ts\":%d,\"pid\":1,\"tid\":%d}"
     (json_escape s.s_name) ph s.s_txn (Sim_time.to_us s.s_at) s.s_tid
 
+let write_fault_event oc first (f : fault_ev) =
+  if not !first then output_string oc ",\n";
+  first := false;
+  Printf.fprintf oc
+    "{\"name\":\"%s\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\"ts\":%d,\"pid\":2,\"tid\":0}"
+    (json_escape f.f_name) (Sim_time.to_us f.f_at)
+
 let write_chrome_trace t ?(extra = []) oc =
   output_string oc "{\"displayTimeUnit\":\"ms\",\n\"otherData\":{";
   let first = ref true in
@@ -173,11 +186,14 @@ let write_chrome_trace t ?(extra = []) oc =
   output_string oc
     "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"network\"}},\n";
   output_string oc
-    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"transactions\"}}";
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"transactions\"}},\n";
+  output_string oc
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"args\":{\"name\":\"faults\"}}";
   let first = ref false in
   List.iter
     (function
       | Message m -> write_msg_event oc first m
-      | Span s -> write_span_event oc first s)
+      | Span s -> write_span_event oc first s
+      | Fault f -> write_fault_event oc first f)
     (List.rev t.events);
   output_string oc "\n]}\n"

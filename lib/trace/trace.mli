@@ -66,6 +66,12 @@ val instant : t -> ?tid:int -> txn:int -> name:string -> at:Simcore.Sim_time.t -
 (** A point event in a transaction's lifecycle; [tid] is conventionally the
     node where it happened. *)
 
+val fault : t -> name:string -> at:Simcore.Sim_time.t -> unit
+(** A fault-injection event (crash/restart/partition/heal). Full mode only;
+    rendered as an instant event on its own process track (pid 2). Does not
+    touch the per-kind message counters, so their sum still equals
+    [Netsim.Network.messages_sent]. *)
+
 (** {2 Aggregates} *)
 
 val kind_counts : t -> (string * int) list
@@ -87,5 +93,6 @@ val event_count : t -> int
 val write_chrome_trace : t -> ?extra:(string * string) list -> out_channel -> unit
 (** Chrome trace viewer / Perfetto JSON: message deliveries as complete
     events on pid 0 (one thread per destination node), transaction spans as
-    async events on pid 1 keyed by transaction id. [extra] adds entries to
-    the top-level ["otherData"] object. *)
+    async events on pid 1 keyed by transaction id, fault-injection events as
+    instants on pid 2. [extra] adds entries to the top-level ["otherData"]
+    object. *)

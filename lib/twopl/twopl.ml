@@ -21,7 +21,7 @@ type live_rec = {
 
 type server = {
   partition : int;
-  node : int;
+  mutable node : int;  (** the partition's leader; refreshed under failover *)
   locks : Store.Locks.t;
   kv : Store.Kv.t;
   live : (int, live_rec) Hashtbl.t;
@@ -104,11 +104,17 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) (cluster : Cluster.t) ~v
     | None -> ());
     Store.Locks.release_all server.locks ~txn:txn_id
   in
+  let attempt_timeout = Simcore.Sim_time.seconds 2.5 in
   let submit (txn : Txn.t) ~on_done =
     let plan = Exec.plan_of cluster txn in
     let participants = plan.Exec.participants in
     let n = List.length participants in
     let client = txn.Txn.client in
+    let failover = Cluster.failover_active cluster in
+    (* Re-resolve the partition leaders per attempt, so retries after a
+       leader crash land on the newly elected node. *)
+    if failover then
+      List.iter (fun p -> servers.(p).node <- Cluster.leader_node cluster p) participants;
     let coordinator = Cluster.coordinator_for cluster ~client in
     let high = Txn.is_high txn in
     let finished = ref false in
@@ -235,6 +241,13 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) (cluster : Cluster.t) ~v
         ~msg:(Msg.commit_request ~txn:txn.Txn.id ~writes:(List.length pairs) ())
         (fun () -> start_prepare pairs)
     in
+    (* Failover watchdog: locks held by a crashed leader's server — or a
+       vote that can never reach a dead coordinator — would hang the attempt
+       past the lock timeout; bound it, release everywhere, and retry. *)
+    if failover then
+      ignore
+        (Simcore.Engine.schedule_after engine attempt_timeout (fun () ->
+             if not !finished then abort_attempt ()));
     if read_partitions = [] then phase_one_done ()
     else
       List.iter

@@ -132,6 +132,44 @@ let partition_of_key t key = ((key mod t.n_partitions) + t.n_partitions) mod t.n
 let leader t p = t.replicas.(p).(0)
 let dc_of t node = t.node_dc.(node)
 
+let failover_active t = Network.faults_active t.net
+
+(* Dynamic leader resolution. Fault-free runs (and TAPIR clusters, which
+   carry no Raft groups) take the static assignment, so the answer — and the
+   work done to compute it — is identical to a build without fault
+   injection. Under faults we ask Raft: the elected leader if one exists,
+   otherwise a live member's leader hint (ignoring hints that point at dead
+   nodes), otherwise the first live member as a guess for retries to probe. *)
+let leader_node t p =
+  if (not (failover_active t)) || Array.length t.groups = 0 then t.replicas.(p).(0)
+  else
+    let g = t.groups.(p) in
+    match Raft.Group.leader_id g with
+    | Some id -> id
+    | None ->
+        let members = t.replicas.(p) in
+        let alive id =
+          (not (Network.node_is_down t.net id)) && not (Raft.Node.is_stopped (Raft.Group.node g id))
+        in
+        let hint =
+          Array.fold_left
+            (fun acc id ->
+              match acc with
+              | Some _ -> acc
+              | None when alive id -> (
+                  match Raft.Node.leader_hint (Raft.Group.node g id) with
+                  | Some h when alive h -> Some h
+                  | _ -> None)
+              | None -> None)
+            None members
+        in
+        (match hint with
+        | Some h -> h
+        | None -> (
+            match Array.find_opt alive members with
+            | Some id -> id
+            | None -> members.(0)))
+
 let participants t (txn : Txn.t) =
   Array.to_list (Txn.all_keys txn)
   |> List.map (partition_of_key t)
@@ -140,7 +178,7 @@ let participants t (txn : Txn.t) =
 let keys_on_partition t ~partition keys =
   Array.of_list (List.filter (fun k -> partition_of_key t k = partition) (Array.to_list keys))
 
-let coordinator_for t ~client = leader t t.coordinator_partition.(dc_of t client)
+let coordinator_for t ~client = leader_node t t.coordinator_partition.(dc_of t client)
 
 let coordinator_group t ~client = t.groups.(t.coordinator_partition.(dc_of t client))
 

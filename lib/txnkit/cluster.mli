@@ -51,7 +51,17 @@ val build :
 
 val partition_of_key : t -> int -> int
 val leader : t -> int -> int
-(** Leader node of a partition. *)
+(** Statically assigned leader node of a partition (replica 0). *)
+
+val failover_active : t -> bool
+(** True once a fault schedule has armed the network's fault machinery;
+    protocols use it to decide whether to run failover watchdogs. *)
+
+val leader_node : t -> int -> int
+(** Current leader node of a partition. Identical to {!leader} in fault-free
+    runs and on Raft-less clusters; under fault injection it follows Raft
+    elections (elected leader, else a live member's leader hint, else a live
+    member to probe). *)
 
 val dc_of : t -> int -> int
 
@@ -62,8 +72,9 @@ val keys_on_partition : t -> partition:int -> int array -> int array
 (** Restriction of a key array to one partition. *)
 
 val coordinator_for : t -> client:int -> int
-(** The coordinator node for a client: the leader of a partition co-located
-    in the client's DC (falling back to the nearest leader). *)
+(** The coordinator node for a client: the current leader of a partition
+    co-located in the client's DC (falling back to the nearest leader).
+    Re-resolves through {!leader_node}, so it follows failovers. *)
 
 val coordinator_group : t -> client:int -> Raft.Group.t
 (** The Raft group the coordinator uses to make its state fault-tolerant. *)

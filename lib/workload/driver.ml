@@ -27,6 +27,7 @@ let default_config =
 type result = {
   high_latencies_ms : float array;
   low_latencies_ms : float array;
+  commit_log : (float * float * bool) array;
   committed_high : int;
   committed_low : int;
   failed : int;
@@ -46,6 +47,7 @@ type state = {
   mutable inflight : int;
   high : float Vec.t;
   low : float Vec.t;
+  log : (float * float * bool) Vec.t;
   mutable committed_high : int;
   mutable committed_low : int;
 }
@@ -63,6 +65,7 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
       inflight = 0;
       high = Vec.create ();
       low = Vec.create ();
+      log = Vec.create ();
       committed_high = 0;
       committed_low = 0;
     }
@@ -79,6 +82,10 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
   let client_cursor = ref 0 in
   let record_commit (txn : Txn.t) =
     let latency_ms = Sim_time.to_ms (Sim_time.sub (Engine.now engine) txn.Txn.born) in
+    (* The full log ignores the measurement window: recovery-time analysis
+       needs commits before, during and after a fault. *)
+    Vec.push st.log
+      (Sim_time.to_seconds txn.Txn.born, latency_ms, txn.Txn.priority = Txn.High);
     if in_window txn.Txn.born then begin
       match txn.Txn.priority with
       | Txn.High ->
@@ -147,6 +154,7 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
   {
     high_latencies_ms = Vec.to_array st.high;
     low_latencies_ms = Vec.to_array st.low;
+    commit_log = Vec.to_array st.log;
     committed_high = st.committed_high;
     committed_low = st.committed_low;
     failed = st.failed;

@@ -30,6 +30,10 @@ val default_config : config
 type result = {
   high_latencies_ms : float array;  (** committed high-priority, in-window *)
   low_latencies_ms : float array;
+  commit_log : (float * float * bool) array;
+      (** every commit, windowed or not, in commit order:
+          (born seconds, latency ms, is high priority) — the raw material
+          for recovery-time analysis around an injected fault *)
   committed_high : int;
   committed_low : int;
   failed : int;  (** gave up after [max_retries] *)

@@ -267,6 +267,84 @@ let prop_locks_exclusive_never_shared =
         ops;
       !ok)
 
+let prop_locks_queue_invariants =
+  (* Under random acquire/release interleavings — with wounding triggered by
+     the policy rules — every wait queue stays sorted per the policy
+     comparator (high-priority class first except under plain wound-wait,
+     then by wound timestamp), no wounded transaction stays queued, and a
+     queued head always has another holder blocking it (anything grantable
+     was granted). Timestamps are the txn ids, so the order is total. *)
+  QCheck.Test.make ~name:"queues sorted per policy, grantable heads granted" ~count:300
+    QCheck.(
+      pair (int_bound 2)
+        (list_of_size Gen.(1 -- 60) (quad (int_bound 3) (int_bound 7) (int_bound 4) bool)))
+    (fun (pol, ops) ->
+      let policy =
+        match pol with 0 -> Locks.Wound_wait | 1 -> Locks.Preempt | _ -> Locks.Preempt_on_wait
+      in
+      let locks = Locks.create ~policy () in
+      let dead = Hashtbl.create 16 in
+      (* (txn, key) -> exclusive: mirror of grants built from the public
+         callbacks, pruned on wound/release. *)
+      let held : (int * int, bool) Hashtbl.t = Hashtbl.create 16 in
+      let forget txn =
+        let mine =
+          Hashtbl.fold (fun (t, k) _ acc -> if t = txn then (t, k) :: acc else acc) held []
+        in
+        List.iter (Hashtbl.remove held) mine
+      in
+      Locks.set_abort_handler locks (fun txn ->
+          Hashtbl.replace dead txn ();
+          forget txn;
+          Locks.release_all locks ~txn);
+      let high_of txn = txn mod 3 = 0 in
+      let keys_used = List.sort_uniq compare (List.map (fun (_, _, k, _) -> k) ops) in
+      let rank txn = if policy <> Locks.Wound_wait && high_of txn then 0 else 1 in
+      let check_key key =
+        let q = Locks.waiters_on locks ~key in
+        let rec sorted = function
+          | a :: (b :: _ as rest) ->
+              (rank a < rank b || (rank a = rank b && a <= b)) && sorted rest
+          | _ -> true
+        in
+        List.for_all (fun txn -> not (Hashtbl.mem dead txn)) q
+        && sorted q
+        && (match q with
+           | [] -> true
+           | head :: _ ->
+               Hashtbl.fold (fun (t, k) _ acc -> acc || (k = key && t <> head)) held false)
+      in
+      let ok = ref true in
+      List.iter
+        (fun (tag, txn, key, exclusive) ->
+          if not (Hashtbl.mem dead txn) then begin
+            if tag = 3 then begin
+              forget txn;
+              Locks.release_all locks ~txn
+            end
+            else
+              Locks.acquire locks ~txn ~ts:txn ~high:(high_of txn) ~key ~exclusive
+                ~on_granted:(fun () ->
+                  let was = Hashtbl.find_opt held (txn, key) = Some true in
+                  Hashtbl.replace held (txn, key) (exclusive || was));
+            ok := !ok && List.for_all check_key keys_used
+          end)
+        ops;
+      (* Drain: after releasing every live txn, a fresh one gets each key. *)
+      List.iter
+        (fun txn -> Locks.release_all locks ~txn)
+        (List.sort_uniq compare (List.map (fun (_, t, _, _) -> t) ops));
+      let fresh = 1000 in
+      let granted = ref 0 in
+      List.iter
+        (fun key ->
+          Locks.acquire locks ~txn:fresh ~ts:fresh ~high:false ~key ~exclusive:true
+            ~on_granted:(fun () -> incr granted))
+        keys_used;
+      !ok
+      && !granted = List.length keys_used
+      && List.for_all (fun key -> Locks.waiters_on locks ~key = []) keys_used)
+
 let () =
   Alcotest.run "store"
     [
@@ -299,5 +377,6 @@ let () =
           Alcotest.test_case "no deadlock" `Quick test_locks_no_deadlock_two_txns;
           QCheck_alcotest.to_alcotest prop_locks_drain_clean;
           QCheck_alcotest.to_alcotest prop_locks_exclusive_never_shared;
+          QCheck_alcotest.to_alcotest prop_locks_queue_invariants;
         ] );
     ]
