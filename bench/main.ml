@@ -79,9 +79,85 @@ let run_micro () =
         let ns = match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan in
         (name, ns) :: acc)
       results []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   List.iter (fun (name, ns) -> Printf.printf "%-40s %12.1f ns/call\n%!" name ns) rows
+
+(* --- machine-readable results ----------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Confidence intervals over one repetition are NaN; JSON has no NaN. *)
+let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if line = "" then "unknown" else line
+  with _ -> "unknown"
+
+(* Every data point the figure runners printed, as
+   figure id -> series -> point list, with run metadata. The CSV on stdout
+   stays the human-readable copy; this file is for plotting scripts and
+   regression diffs. *)
+let write_results ~scale ~wall_s file =
+  let open Harness.Figures in
+  let points = collected_points () in
+  if points <> [] then begin
+    let oc = open_out file in
+    let uniq xs =
+      List.rev (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
+    in
+    Printf.fprintf oc
+      "{\"meta\":{\"scale\":\"%s\",\"seeds\":[%s],\"git_rev\":\"%s\",\"wall_time_s\":%.1f},\n\
+       \"figures\":{"
+      (match scale with Quick -> "quick" | Full -> "full")
+      (String.concat "," (List.map string_of_int (seeds scale)))
+      (json_escape (git_rev ()))
+      wall_s;
+    let figures = uniq (List.map (fun p -> p.pt_figure) points) in
+    List.iteri
+      (fun fi fig ->
+        if fi > 0 then output_string oc ",";
+        let fpoints = List.filter (fun p -> p.pt_figure = fig) points in
+        Printf.fprintf oc "\n\"%s\":{" (json_escape fig);
+        List.iteri
+          (fun si sys ->
+            if si > 0 then output_string oc ",";
+            Printf.fprintf oc "\n  \"%s\":[" (json_escape sys);
+            List.iteri
+              (fun pi p ->
+                if pi > 0 then output_string oc ",";
+                Printf.fprintf oc "\n    {\"%s\":\"%s\"" (json_escape p.pt_x_label)
+                  (json_escape p.pt_x);
+                List.iter
+                  (fun (k, v) ->
+                    Printf.fprintf oc ",\"%s\":%s" (json_escape k) (json_float v))
+                  p.pt_fields;
+                output_string oc "}")
+              (List.filter (fun p -> p.pt_system = sys) fpoints);
+            output_string oc "]")
+          (uniq (List.map (fun p -> p.pt_system) fpoints));
+        output_string oc "}")
+      figures;
+    output_string oc "}}\n";
+    close_out oc;
+    Printf.printf "\n# wrote %s (%d figures, %d points)\n%!" file (List.length figures)
+      (List.length points)
+  end
 
 let print_trace_summary () =
   Printf.printf "\n# Message traffic by kind (all runs)\n";
@@ -118,4 +194,6 @@ let () =
           end)
         names);
   if trace_summary then print_trace_summary ();
-  Printf.printf "\n# bench wall time: %.1fs\n%!" (Unix.gettimeofday () -. t0)
+  let wall_s = Unix.gettimeofday () -. t0 in
+  write_results ~scale ~wall_s "BENCH_results.json";
+  Printf.printf "\n# bench wall time: %.1fs\n%!" wall_s

@@ -24,7 +24,7 @@ let topo_names =
   ]
 
 let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo ~variance
-    ~loss ~partitions ~histograms ~trace_file ~faults =
+    ~loss ~partitions ~histograms ~trace_file ~faults ~check =
   let gen =
     match workload with
     | "ycsbt" -> Workload.Ycsbt.gen ~theta:zipf ()
@@ -60,13 +60,34 @@ let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
       Harness.Experiment.driver;
     }
   in
+  let violations = ref 0 in
   Printf.printf
     "system,workload,rate_tps,zipf,p95_high_ms,ci,p95_low_ms,ci,goodput_high,goodput_low,failed,aborts\n%!";
   List.iter
     (fun name ->
       let spec = List.assoc name system_names in
       let results =
-        List.map (fun seed -> Harness.Experiment.run ?faults setup spec ~gen ~seed) seeds
+        List.map
+          (fun seed ->
+            if not check then Harness.Experiment.run ?faults setup spec ~gen ~seed
+            else begin
+              let result, history, report =
+                Harness.Experiment.run_checked ?faults setup spec ~gen ~seed
+              in
+              if Check.Checker.ok report then
+                Printf.printf "# check: %s seed %d ok (%d txns, %d edges)\n%!"
+                  (Harness.Experiment.spec_name spec)
+                  seed report.Check.Checker.checked_txns report.Check.Checker.edges
+              else begin
+                violations := !violations + List.length report.Check.Checker.violations;
+                Printf.printf "# check: %s seed %d FAILED\n%s%!"
+                  (Harness.Experiment.spec_name spec)
+                  seed
+                  (Check.Checker.render history report)
+              end;
+              result
+            end)
+          seeds
       in
       let s = Harness.Experiment.summarize results in
       Printf.printf "%s,%s,%.0f,%.2f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%d,%d\n%!"
@@ -115,7 +136,7 @@ let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
           (Simstats.Histogram.render merged))
       systems
   end;
-  match trace_file with
+  (match trace_file with
   | None -> ()
   | Some file ->
       (* One extra fully-traced run (first system, first seed) whose Chrome
@@ -138,7 +159,8 @@ let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
         (Trace.kind_counts t.Harness.Experiment.trace);
       Printf.printf "#   %-20s %10d (network total: %d)\n%!" "sum"
         (Trace.total_messages t.Harness.Experiment.trace)
-        t.Harness.Experiment.messages_sent
+        t.Harness.Experiment.messages_sent);
+  !violations
 
 open Cmdliner
 
@@ -194,6 +216,15 @@ let faults_arg =
   in
   Arg.(value & opt (some string) None & info [ "faults" ] ~doc ~docv:"SPEC")
 
+let check_arg =
+  let doc =
+    "Verify each run against the strict-serializability history checker (lib/check). \
+     Prints one verdict line per (system, seed); on a violation, prints the dependency \
+     cycle counterexample and exits non-zero. Recording is pure observation, so checked \
+     runs report byte-for-byte the same results as unchecked ones."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
 let figure_arg =
   let doc =
     Printf.sprintf "Regenerate a figure instead (%s)."
@@ -202,7 +233,7 @@ let figure_arg =
   Arg.(value & opt (some string) None & info [ "figure" ] ~doc)
 
 let main systems workload rate zipf duration seeds high_fraction topo variance loss partitions
-    histograms trace_file faults_spec figure =
+    histograms trace_file faults_spec check figure =
   match figure with
   | Some name ->
       if Harness.Figures.run_by_name name (Harness.Figures.scale_of_env ()) then `Ok ()
@@ -225,9 +256,16 @@ let main systems workload rate zipf duration seeds high_fraction topo variance l
               if not (List.mem_assoc topo topo_names) then
                 `Error (false, Printf.sprintf "unknown topology %S" topo)
               else begin
-                run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
-                  ~variance ~loss ~partitions ~histograms ~trace_file ~faults;
-                `Ok ()
+                let violations =
+                  run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction
+                    ~topo ~variance ~loss ~partitions ~histograms ~trace_file ~faults ~check
+                in
+                if violations = 0 then `Ok ()
+                else
+                  `Error
+                    ( false,
+                      Printf.sprintf "%d serializability violation%s detected" violations
+                        (if violations = 1 then "" else "s") )
               end))
 
 let cmd =
@@ -238,6 +276,6 @@ let cmd =
       ret
         (const main $ systems_arg $ workload_arg $ rate_arg $ zipf_arg $ duration_arg
        $ seeds_arg $ high_arg $ topo_arg $ variance_arg $ loss_arg $ partitions_arg
-       $ histograms_arg $ trace_arg $ faults_arg $ figure_arg))
+       $ histograms_arg $ trace_arg $ faults_arg $ check_arg $ figure_arg))
 
 let () = exit (Cmd.eval cmd)

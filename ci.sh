@@ -25,4 +25,30 @@ dune exec bin/natto_sim.exe -- -s natto-ts -d 8 --seeds 1 -r 50 \
 grep -q '# failover: .* commits_after_last_event=[1-9][0-9]* unfinished=0' "$faults_out"
 rm -f "$faults_out"
 
+echo "== history checker smoke =="
+# One high-contention checked run per protocol family; --check exits
+# non-zero and prints the dependency-cycle counterexample on any
+# strict-serializability violation. Timed against the same run unchecked:
+# recording plus checking must stay under 2x wall clock (1s slack for
+# date(1) granularity).
+t0=$(date +%s)
+dune exec bin/natto_sim.exe -- -s 2pl,tapir,carousel-basic,carousel-fast,natto-recsf \
+  -d 4 --seeds 1 -r 80 -z 0.95 >/dev/null
+t1=$(date +%s)
+dune exec bin/natto_sim.exe -- -s 2pl,tapir,carousel-basic,carousel-fast,natto-recsf \
+  -d 4 --seeds 1 -r 80 -z 0.95 --check >/dev/null
+t2=$(date +%s)
+base=$((t1 - t0)); checked=$((t2 - t1))
+if [ "$checked" -gt $((2 * base + 1)) ]; then
+  echo "checker overhead too high: ${checked}s checked vs ${base}s unchecked"
+  exit 1
+fi
+
+echo "== checked fault-schedule smoke =="
+# Every family must also stay strictly serializable through a leader crash
+# plus DC cut (in-doubt transactions resolved per the recorder's rules).
+dune exec bin/natto_sim.exe -- -s 2pl,tapir,carousel-basic,carousel-fast,natto-recsf \
+  -d 8 --seeds 1 -r 50 -z 0.95 \
+  --faults 'crash-leader:0@2s,cut:0-1@3s,heal@5s,restart@6s' --check >/dev/null
+
 echo "== OK =="

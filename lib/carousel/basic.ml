@@ -29,6 +29,7 @@ let make (cluster : Cluster.t) : System.t =
   let net = cluster.Cluster.net in
   let send ~src ~dst ~msg f = Rpc.send net ~src ~dst ~msg f in
   let attempt_timeout = Simcore.Sim_time.seconds 2.5 in
+  let recorder = cluster.Cluster.recorder in
   let servers =
     Array.init cluster.Cluster.n_partitions (fun p ->
         {
@@ -66,7 +67,11 @@ let make (cluster : Cluster.t) : System.t =
     let bytes = Msg.write_record_bytes ~writes:(List.length pairs) in
     Raft.Group.replicate cluster.Cluster.groups.(server.partition) ~size:bytes ~tag:txn_id
       ~on_committed:(fun () ->
-        List.iter (fun (key, data) -> Store.Kv.put server.kv ~key ~data) pairs;
+        List.iter
+          (fun (key, data) ->
+            Store.Kv.put server.kv ~key ~data ~writer:txn_id;
+            Check.Recorder.applied recorder ~txn:txn_id ~key)
+          pairs;
         Store.Occ.release server.occ ~txn:txn_id)
       ()
   in
@@ -76,6 +81,8 @@ let make (cluster : Cluster.t) : System.t =
   let decide_commit ~txn_id ~(txn : Txn.t) c =
     c.decided <- true;
     let pairs = Option.value ~default:[] c.commit_pairs in
+    if Check.Recorder.enabled recorder then
+      Check.Recorder.write_set recorder ~txn:txn_id ~pairs;
     let me = coord_node ~client:c.client in
     (* Notify the client, then distribute write data asynchronously. *)
     send ~src:me ~dst:c.client ~msg:(Msg.control ~txn:txn_id Msg.Commit_notify) (fun () -> ());
@@ -210,6 +217,8 @@ let make (cluster : Cluster.t) : System.t =
             end
             else begin
               Store.Occ.prepare server.occ ~txn:txn.Txn.id ~reads ~writes;
+              if Check.Recorder.enabled recorder then
+                Check.Recorder.reads_from_kv recorder ~txn:txn.Txn.id server.kv reads;
               let values = Txnkit.Exec.read_values server.kv reads in
               send ~src:server.node ~dst:client
                 ~msg:(Msg.read_reply ~txn:txn.Txn.id ~reads:(Array.length reads) ())

@@ -19,6 +19,7 @@ type reply = {
 let make (cluster : Cluster.t) : System.t =
   let net = cluster.Cluster.net in
   let send ~src ~dst ~msg f = Rpc.send net ~src ~dst ~msg f in
+  let recorder = cluster.Cluster.recorder in
   let replicas =
     Array.init cluster.Cluster.n_partitions (fun p ->
         Array.mapi
@@ -116,6 +117,8 @@ let make (cluster : Cluster.t) : System.t =
           let write_replicated = ref false and votes_ok = ref false in
           let try_finish () =
             if !write_replicated && !votes_ok then begin
+              if Check.Recorder.enabled recorder then
+                Check.Recorder.write_set recorder ~txn:txn.Txn.id ~pairs;
               if not already_committed then
                 send ~src:coordinator ~dst:client
                   ~msg:(Msg.control ~txn:txn.Txn.id Msg.Commit_notify)
@@ -128,7 +131,11 @@ let make (cluster : Cluster.t) : System.t =
                       send ~src:coordinator ~dst:r.node
                         ~msg:(Msg.decision ~txn:txn.Txn.id ~writes:(List.length local) ())
                         (fun () ->
-                          List.iter (fun (key, data) -> Store.Kv.put r.kv ~key ~data) local;
+                          List.iter
+                            (fun (key, data) ->
+                              Store.Kv.put r.kv ~key ~data ~writer:txn.Txn.id;
+                              Check.Recorder.applied recorder ~txn:txn.Txn.id ~key)
+                            local;
                           Store.Occ.release r.occ ~txn:txn.Txn.id))
                     replicas.(p))
                 participants
@@ -182,6 +189,8 @@ let make (cluster : Cluster.t) : System.t =
           (* Fast path: the prepare is durable at every replica of every
              participant, so the transaction commits in one WAN round trip
              (paper §5.2.1). Write data distribution is asynchronous. *)
+          if Check.Recorder.enabled recorder then
+            Check.Recorder.write_set recorder ~txn:txn.Txn.id ~pairs;
           finish ~committed:true;
           commit_via_coordinator ~pairs ~already_committed:true ~after_durable:(fun k -> k ())
         end
@@ -242,6 +251,10 @@ let make (cluster : Cluster.t) : System.t =
                         on_reply { partition = p; from_leader; ok = false; values = [] })
                   else begin
                     Store.Occ.prepare r.occ ~txn:txn.Txn.id ~reads ~writes;
+                    (* Only the leader's values feed the write computation;
+                       follower replies merely vote on the fast path. *)
+                    if from_leader && Check.Recorder.enabled recorder then
+                      Check.Recorder.reads_from_kv recorder ~txn:txn.Txn.id r.kv reads;
                     let values = Txnkit.Exec.read_values r.kv reads in
                     send ~src:r.node ~dst:client
                       ~msg:(Msg.read_reply ~txn:txn.Txn.id ~reads:(Array.length reads) ())

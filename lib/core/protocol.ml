@@ -119,6 +119,12 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
   let mark ~tid ~txn name =
     if Trace.recording trace then Trace.instant trace ~tid ~txn ~name ~at:(Engine.now engine) ()
   in
+  (* History recording for the serializability checker: pure observation,
+     one branch per site when disabled (like [mark]). *)
+  let recorder = cluster.Cluster.recorder in
+  let record_reads ~txn kv keys =
+    if Check.Recorder.enabled recorder then Check.Recorder.reads_from_kv recorder ~txn kv keys
+  in
   let servers =
     Array.init cluster.Cluster.n_partitions (fun p ->
         {
@@ -181,6 +187,8 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
     c.decided <- true;
     c.committed <- true;
     mark ~tid:c.c_node ~txn:c.c_txn.Txn.id "txn-commit";
+    if Check.Recorder.enabled recorder then
+      Check.Recorder.write_set recorder ~txn:c.c_txn.Txn.id ~pairs:c.gen_pairs;
     send ~src:c.c_node ~dst:c.c_client
       ~msg:(Msg.control ~txn:c.c_txn.Txn.id Msg.Commit_notify)
       (fun () ->
@@ -344,6 +352,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
     Store.Occ.prepare server.occ ~txn:r.txn.Txn.id ~reads:r.reads ~writes:r.writes;
     r.state <- Prepared;
     mark ~tid:server.node ~txn:r.txn.Txn.id "txn-prepare";
+    record_reads ~txn:r.txn.Txn.id server.kv r.reads;
     let values = Exec.read_values server.kv r.reads in
     send ~src:server.node ~dst:r.txn.Txn.client
       ~msg:(Msg.read_reply ~txn:r.txn.Txn.id ~reads:(Array.length r.reads) ())
@@ -361,6 +370,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
     r.cond_on <- Some blocker;
     let watchers = Option.value ~default:[] (Hashtbl.find_opt server.cond_watchers blocker) in
     Hashtbl.replace server.cond_watchers blocker (r.txn.Txn.id :: watchers);
+    record_reads ~txn:r.txn.Txn.id server.kv r.reads;
     let values = Exec.read_values server.kv r.reads in
     send ~src:server.node ~dst:r.txn.Txn.client
       ~msg:(Msg.read_reply ~txn:r.txn.Txn.id ~reads:(Array.length r.reads) ())
@@ -389,6 +399,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
     in
     let blocker_id = blocker.txn.Txn.id in
     if Array.length local_keys > 0 || Array.length fwd_keys = 0 then begin
+      record_reads ~txn:r.txn.Txn.id server.kv local_keys;
       let values = Exec.read_values server.kv local_keys in
       send ~src:server.node ~dst:r.txn.Txn.client
         ~msg:(Msg.recsf_reply ~txn:r.txn.Txn.id ~reads:(Array.length local_keys) ())
@@ -396,7 +407,18 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
     end;
     if Array.length fwd_keys > 0 then begin
       let requester = r.txn.Txn.client in
-      let deliver values = r.deliver_read (S_recsf blocker_id) values in
+      let deliver values =
+        (* A speculative read of the blocker's not-yet-applied write: the
+           observed writer is the blocker itself. Weak, so an authoritative
+           re-served read wins whatever order the replies land in. *)
+        if Check.Recorder.enabled recorder then
+          List.iter
+            (fun (key, _, _) ->
+              Check.Recorder.read ~weak:true recorder ~txn:r.txn.Txn.id ~key
+                ~writer:blocker_id)
+            values;
+        r.deliver_read (S_recsf blocker_id) values
+      in
       send ~src:server.node ~dst:blocker.coord_node
         ~msg:(Msg.recsf_request ~txn:r.txn.Txn.id ~keys:(Array.length fwd_keys) ())
         (fun () ->
@@ -528,7 +550,11 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
     | None -> ()
     | Some r ->
         let finish () =
-          List.iter (fun (key, data) -> Store.Kv.put server.kv ~key ~data) pairs;
+          List.iter
+            (fun (key, data) ->
+              Store.Kv.put server.kv ~key ~data ~writer:txn_id;
+              Check.Recorder.applied recorder ~txn:txn_id ~key)
+            pairs;
           server_drop server r;
           server_notify_cond_watchers server ~blocker:txn_id ~aborted:false;
           server_rescan server;

@@ -112,7 +112,7 @@ let trace_link_totals () =
   Hashtbl.fold (fun link n acc -> (link, n) :: acc) link_totals []
   |> List.sort compare
 
-let run ?trace ?faults setup spec ~gen ~seed =
+let run_core ?trace ?faults ~check setup spec ~gen ~seed =
   let counting =
     match trace with
     | None when !counters_on ->
@@ -123,13 +123,39 @@ let run ?trace ?faults setup spec ~gen ~seed =
   in
   let trace = match trace with Some _ -> trace | None -> counting in
   let cluster = build_cluster ?trace setup spec ~seed in
+  (* Recording is pure observation (no events, messages or RNG draws), so a
+     checked run produces byte-for-byte the results of an unchecked one. *)
+  if check then Check.Recorder.enable cluster.Txnkit.Cluster.recorder;
   (* Installed before the driver starts so the first transaction already
      sees the failover machinery armed. *)
   (match faults with Some schedule -> Faults.install cluster schedule | None -> ());
   let system = instantiate spec cluster in
   let result = Workload.Driver.run cluster system ~gen { setup.driver with Workload.Driver.seed } in
+  let checked =
+    if check then begin
+      let history = Check.Recorder.history cluster.Txnkit.Cluster.recorder in
+      let report =
+        Check.Checker.check ~conservation:gen.Workload.Gen.increment_rmw history
+      in
+      Some (history, report)
+    end
+    else None
+  in
   (match counting with Some t -> accumulate t | None -> ());
+  (result, checked, trace)
+
+let run ?trace ?faults ?(check = false) setup spec ~gen ~seed =
+  let result, checked, trace = run_core ?trace ?faults ~check setup spec ~gen ~seed in
+  (match checked with
+  | Some (history, report) ->
+      Check.Checker.assert_ok ?trace ~label:(spec_name spec) history report
+  | None -> ());
   result
+
+let run_checked ?trace ?faults setup spec ~gen ~seed =
+  match run_core ?trace ?faults ~check:true setup spec ~gen ~seed with
+  | result, Some (history, report), _ -> (result, history, report)
+  | _ -> assert false
 
 type traced = {
   result : Workload.Driver.result;
@@ -199,5 +225,5 @@ let summarize results =
       sum (fun r -> r.Workload.Driver.committed_high + r.Workload.Driver.committed_low);
   }
 
-let run_repeated ?faults setup spec ~gen ~seeds =
-  summarize (List.map (fun seed -> run ?faults setup spec ~gen ~seed) seeds)
+let run_repeated ?faults ?check setup spec ~gen ~seeds =
+  summarize (List.map (fun seed -> run ?faults ?check setup spec ~gen ~seed) seeds)

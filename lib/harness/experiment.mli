@@ -35,6 +35,7 @@ val default_setup : setup
 val run :
   ?trace:Trace.t ->
   ?faults:Faults.schedule ->
+  ?check:bool ->
   setup ->
   system_spec ->
   gen:Workload.Gen.t ->
@@ -44,7 +45,26 @@ val run :
     installed at cluster construction (see {!Txnkit.Cluster.build});
     [faults] is installed before the driver starts (see {!Faults.install}).
     Without [faults], results are byte-for-byte those of the pre-fault
-    harness. *)
+    harness.
+
+    [check] (default [false]) records the run's transaction history and
+    verifies strict serializability (plus increment conservation for
+    {!Workload.Gen.increment_rmw} workloads) after the drain, raising
+    {!Check.Checker.Violation} with a rendered counterexample on failure.
+    Recording observes — it adds no events, messages or randomness — so a
+    checked run's [result] is byte-for-byte that of an unchecked one. *)
+
+val run_checked :
+  ?trace:Trace.t ->
+  ?faults:Faults.schedule ->
+  setup ->
+  system_spec ->
+  gen:Workload.Gen.t ->
+  seed:int ->
+  Workload.Driver.result * Check.History.t * Check.Checker.report
+(** Like [run ~check:true] but returns the history and the checker report
+    instead of raising, for callers that want to render or count violations
+    themselves (the CLI's [--check]). *)
 
 type traced = {
   result : Workload.Driver.result;
@@ -101,6 +121,7 @@ val summarize : Workload.Driver.result list -> summary
 
 val run_repeated :
   ?faults:Faults.schedule ->
+  ?check:bool ->
   setup ->
   system_spec ->
   gen:Workload.Gen.t ->

@@ -32,6 +32,27 @@ let driver_config scale ~rate =
         drain = Sim_time.seconds 25.;
       }
 
+(* Every figure's data points are also collected in memory so the bench
+   harness can emit a machine-readable BENCH_results.json next to the CSV
+   stream. A point is one (figure, x, system) cell with named numeric
+   fields. *)
+type point = {
+  pt_figure : string;
+  pt_x_label : string;
+  pt_x : string;
+  pt_system : string;
+  pt_fields : (string * float) list;
+}
+
+let points : point list ref = ref []
+let reset_points () = points := []
+let collected_points () = List.rev !points
+
+let collect ~figure ~x_label ~x ~system fields =
+  points :=
+    { pt_figure = figure; pt_x_label = x_label; pt_x = x; pt_system = system; pt_fields = fields }
+    :: !points
+
 let header figure caption =
   Printf.printf "\n# %s — %s\n" figure caption;
   Printf.printf
@@ -41,7 +62,18 @@ let row figure x_label x system (s : Experiment.summary) =
   Printf.printf "%s,%s,%s,%s,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%d,%d\n%!" figure x_label x system
     s.Experiment.p95_high_ms s.Experiment.p95_high_ci s.Experiment.p95_low_ms
     s.Experiment.p95_low_ci s.Experiment.goodput_high_tps s.Experiment.goodput_low_tps
-    s.Experiment.failed s.Experiment.aborts
+    s.Experiment.failed s.Experiment.aborts;
+  collect ~figure ~x_label ~x ~system
+    [
+      ("p95_high_ms", s.Experiment.p95_high_ms);
+      ("p95_high_ci", s.Experiment.p95_high_ci);
+      ("p95_low_ms", s.Experiment.p95_low_ms);
+      ("p95_low_ci", s.Experiment.p95_low_ci);
+      ("goodput_high_tps", s.Experiment.goodput_high_tps);
+      ("goodput_low_tps", s.Experiment.goodput_low_tps);
+      ("failed", float_of_int s.Experiment.failed);
+      ("aborts", float_of_int s.Experiment.aborts);
+    ]
 
 let sweep ~figure ~x_label ~setup_of ~gen_of ~xs ~systems ~scale ~show =
   List.iter
@@ -50,7 +82,9 @@ let sweep ~figure ~x_label ~setup_of ~gen_of ~xs ~systems ~scale ~show =
         (fun spec ->
           let setup = setup_of x in
           let gen = gen_of x in
-          let summary = Experiment.run_repeated setup spec ~gen ~seeds:(seeds scale) in
+          let summary =
+            Experiment.run_repeated ~check:true setup spec ~gen ~seeds:(seeds scale)
+          in
           row figure x_label (show x) (Experiment.spec_name spec) summary)
         systems)
     xs
@@ -166,14 +200,23 @@ let fig10 scale =
           let setup =
             { Experiment.default_setup with Experiment.driver = driver_config scale ~rate }
           in
-          let summary = Experiment.run_repeated setup spec ~gen ~seeds:(seeds scale) in
+          let summary =
+            Experiment.run_repeated ~check:true setup spec ~gen ~seeds:(seeds scale)
+          in
           if Float.is_nan !baseline then baseline := summary.Experiment.p95_high_ms;
           let increase_pct =
             100. *. (summary.Experiment.p95_high_ms -. !baseline) /. !baseline
           in
           Printf.printf "fig10,rate_tps,%.0f,%s,%.1f,%.1f,increase_pct,%.1f\n%!" rate
             (Experiment.spec_name spec) summary.Experiment.p95_high_ms
-            summary.Experiment.p95_high_ci increase_pct)
+            summary.Experiment.p95_high_ci increase_pct;
+          collect ~figure:"fig10" ~x_label:"rate_tps" ~x:(Printf.sprintf "%.0f" rate)
+            ~system:(Experiment.spec_name spec)
+            [
+              ("p95_high_ms", summary.Experiment.p95_high_ms);
+              ("p95_high_ci", summary.Experiment.p95_high_ci);
+              ("increase_pct", increase_pct);
+            ])
         rates)
     systems
 
@@ -288,14 +331,17 @@ let fig14 scale =
                   Experiment.driver;
                 }
               in
-              let r = Experiment.run setup spec ~gen ~seed:1 in
+              let r = Experiment.run ~check:true setup spec ~gen ~seed:1 in
               let goodput =
                 r.Workload.Driver.goodput_high_tps +. r.Workload.Driver.goodput_low_tps
               in
               if goodput > !best then best := goodput)
             rates;
           Printf.printf "fig14,partitions,%d,%s,peak_goodput_tps,%.0f\n%!" n_partitions
-            (Experiment.spec_name spec) !best)
+            (Experiment.spec_name spec) !best;
+          collect ~figure:"fig14" ~x_label:"partitions" ~x:(string_of_int n_partitions)
+            ~system:(Experiment.spec_name spec)
+            [ ("peak_goodput_tps", !best) ])
         systems)
     partitions
 
@@ -325,7 +371,8 @@ let ablation scale =
         { Experiment.default_setup with Experiment.driver = driver_config scale ~rate:350. }
       in
       let summary =
-        Experiment.run_repeated setup (Experiment.Natto features) ~gen ~seeds:(seeds scale)
+        Experiment.run_repeated ~check:true setup (Experiment.Natto features) ~gen
+          ~seeds:(seeds scale)
       in
       row "ablation" "variant" label label summary)
     variants
@@ -380,7 +427,7 @@ let failover scale =
     (fun spec ->
       let results =
         List.map
-          (fun seed -> Experiment.run ~faults:schedule setup spec ~gen ~seed)
+          (fun seed -> Experiment.run ~faults:schedule ~check:true setup spec ~gen ~seed)
           (seeds scale)
       in
       (* Phases are bucketed by submission time, pooled across seeds. *)
@@ -407,8 +454,89 @@ let failover scale =
         List.fold_left (fun acc r -> acc + r.Workload.Driver.unfinished) 0 results
       in
       Printf.printf "failover,%s,%.1f,%.1f,%.1f,%.2f,%d,%d\n%!" (Experiment.spec_name spec)
-        before during after (after /. before) commits_after_heal unfinished)
+        before during after (after /. before) commits_after_heal unfinished;
+      collect ~figure:"failover" ~x_label:"phase" ~x:"crash-restart"
+        ~system:(Experiment.spec_name spec)
+        [
+          ("p95_high_before_ms", before);
+          ("p95_high_during_ms", during);
+          ("p95_high_after_ms", after);
+          ("recovery_ratio", after /. before);
+          ("commits_after_heal", float_of_int commits_after_heal);
+          ("unfinished", float_of_int unfinished);
+        ])
     systems
+
+(* ------------------------------------------------------------------ *)
+(* Checker figure: the strict-serializability checker run explicitly over
+   one system per protocol family at high contention, with and without
+   faults. Every other figure also runs under the checker (any violation
+   raises), but this one reports the history sizes and the verdicts as
+   data, and covers the fault schedules the latency figures do not. *)
+
+let check_figure scale =
+  Printf.printf
+    "\n# check — strict-serializability verdicts, YCSB+T zipf 0.95 @100 txn/s per family\n";
+  Printf.printf "figure,schedule,system,committed_txns,graph_edges,violations\n%!";
+  let gen = Workload.Ycsbt.gen ~theta:0.95 () in
+  let dur = match scale with Quick -> 8. | Full -> 24. in
+  let driver =
+    {
+      (driver_config scale ~rate:100.) with
+      Workload.Driver.duration = Sim_time.seconds dur;
+      warmup = Sim_time.seconds 1.;
+      cooldown = Sim_time.seconds 1.;
+      drain = Sim_time.seconds 60.;
+    }
+  in
+  let setup = { Experiment.default_setup with Experiment.driver } in
+  (* Leader crash plus a DC cut — the PR2 recovery schedule: both kinds of
+     fault the checker must see through (phantom commits, retried reads). *)
+  let fault_schedule =
+    [
+      {
+        Faults.at = Sim_time.seconds (dur /. 4.);
+        action = Faults.Crash (Faults.Leader_of 0);
+      };
+      { Faults.at = Sim_time.seconds (dur *. 3. /. 8.); action = Faults.Partition (0, 1) };
+      { Faults.at = Sim_time.seconds (dur /. 2.); action = Faults.Heal_all };
+      { Faults.at = Sim_time.seconds (dur *. 5. /. 8.); action = Faults.Restart_all };
+    ]
+  in
+  let systems =
+    [
+      Experiment.Twopl Twopl.Plain;
+      Experiment.Tapir;
+      Experiment.Carousel_basic;
+      Experiment.Carousel_fast;
+      Experiment.Natto Natto.Features.recsf;
+    ]
+  in
+  List.iter
+    (fun (label, faults) ->
+      List.iter
+        (fun spec ->
+          let _, history, report =
+            Experiment.run_checked ?faults setup spec ~gen ~seed:(List.hd (seeds scale))
+          in
+          let n_violations = List.length report.Check.Checker.violations in
+          Printf.printf "check,%s,%s,%d,%d,%d\n%!" label (Experiment.spec_name spec)
+            report.Check.Checker.checked_txns report.Check.Checker.edges n_violations;
+          collect ~figure:"check" ~x_label:"schedule" ~x:label
+            ~system:(Experiment.spec_name spec)
+            [
+              ("committed_txns", float_of_int report.Check.Checker.checked_txns);
+              ("graph_edges", float_of_int report.Check.Checker.edges);
+              ("violations", float_of_int n_violations);
+            ];
+          if n_violations > 0 then begin
+            print_string (Check.Checker.render history report);
+            failwith
+              (Printf.sprintf "check figure: %s under schedule %s violated serializability"
+                 (Experiment.spec_name spec) label)
+          end)
+        systems)
+    [ ("none", None); ("crash+cut", Some fault_schedule) ]
 
 let all scale =
   table1 ();
@@ -424,12 +552,13 @@ let all scale =
   fig13 scale;
   fig14 scale;
   ablation scale;
-  failover scale
+  failover scale;
+  check_figure scale
 
 let names =
   [
     "table1"; "fig7ab"; "fig7cd"; "fig7ef"; "fig8a"; "fig8b"; "fig9"; "fig10"; "fig11";
-    "fig12"; "fig13"; "fig14"; "ablation"; "failover";
+    "fig12"; "fig13"; "fig14"; "ablation"; "failover"; "check";
   ]
 
 let run_by_name name scale =
@@ -448,4 +577,5 @@ let run_by_name name scale =
   | "fig14" -> fig14 scale; true
   | "ablation" -> ablation scale; true
   | "failover" -> failover scale; true
+  | "check" -> check_figure scale; true
   | _ -> false

@@ -11,6 +11,9 @@ type scale = Quick | Full
 val scale_of_env : unit -> scale
 (** [Full] when [NATTO_BENCH_FULL] is set, else [Quick]. *)
 
+val seeds : scale -> int list
+(** Repetition seeds each figure runs at this scale. *)
+
 val table1 : unit -> unit
 (** Prints the Table 1 RTT matrix the simulation uses. *)
 
@@ -61,8 +64,34 @@ val failover : scale -> unit
     high-priority p95 before/during/after the outage per system, the
     after/before recovery ratio, and commits after the heal. *)
 
+val check_figure : scale -> unit
+(** Strict-serializability checker sweep: one system per protocol family
+    (2PL+2PC, TAPIR, Carousel Basic, Carousel Fast, Natto-RECSF) at YCSB+T
+    Zipf 0.95, fault-free and under a leader-crash + DC-cut schedule.
+    Prints one verdict row per combination and fails loudly (with rendered
+    counterexamples) on any violation. The latency figures also run under
+    the checker; this one reports the verdicts as data. *)
+
 val all : scale -> unit
 val run_by_name : string -> scale -> bool
-(** Dispatch "fig7ab" ... "fig14" | "table1"; [false] if unknown. *)
+(** Dispatch "fig7ab" ... "fig14" | "table1" | "check"; [false] if unknown. *)
 
 val names : string list
+
+(** {2 Machine-readable results}
+
+    Every printed data point is also collected in memory; the bench harness
+    serializes them to [BENCH_results.json]. *)
+
+type point = {
+  pt_figure : string;
+  pt_x_label : string;
+  pt_x : string;
+  pt_system : string;  (** series name *)
+  pt_fields : (string * float) list;  (** named numeric columns *)
+}
+
+val collected_points : unit -> point list
+(** Points in emission order. *)
+
+val reset_points : unit -> unit

@@ -2,7 +2,9 @@ let percentile a ~p =
   let n = Array.length a in
   if n = 0 then invalid_arg "Percentile.percentile: empty array";
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  (* Float.compare, not polymorphic compare: the latter boxes every element
+     and orders nan inconsistently. *)
+  Array.sort Float.compare sorted;
   let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
   let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
   sorted.(idx)

@@ -1,4 +1,4 @@
-type value = { data : int; version : int }
+type value = { data : int; version : int; writer : int }
 
 type t = { table : (int, value) Hashtbl.t }
 
@@ -7,13 +7,14 @@ let create () = { table = Hashtbl.create 4096 }
 let get t key =
   match Hashtbl.find_opt t.table key with
   | Some v -> v
-  | None -> { data = 0; version = 0 }
+  | None -> { data = 0; version = 0; writer = 0 }
 
-let put t ~key ~data =
+let put t ~key ~data ~writer =
   let prev = get t key in
-  Hashtbl.replace t.table key { data; version = prev.version + 1 }
+  Hashtbl.replace t.table key { data; version = prev.version + 1; writer }
 
 let version t key = (get t key).version
+let writer t key = (get t key).writer
 let keys_written t = Hashtbl.length t.table
 
 let sync_from t ~src =

@@ -4,25 +4,34 @@
     tests check serializability: under any serializable execution the final
     counter equals the number of committed increments). Every write bumps
     the key's version; versions let TAPIR and Carousel Fast detect stale
-    reads. *)
+    reads. Each value also remembers the transaction that wrote it, which is
+    what the history checker's read observations are keyed on — writer
+    identity is comparable across replicas even where per-replica version
+    counters are not. *)
 
-type value = { data : int; version : int }
+type value = { data : int; version : int; writer : int }
 
 type t
 
 val create : unit -> t
 
 val get : t -> int -> value
-(** Unwritten keys read as [{ data = 0; version = 0 }]. *)
+(** Unwritten keys read as [{ data = 0; version = 0; writer = 0 }]. *)
 
-val put : t -> key:int -> data:int -> unit
-(** Stores [data] and increments the key's version. *)
+val put : t -> key:int -> data:int -> writer:int -> unit
+(** Stores [data] written by transaction [writer] and increments the key's
+    version. *)
 
 val version : t -> int -> int
+
+val writer : t -> int -> int
+(** Transaction id of the observed value's writer; [0] for the initial
+    state. *)
 
 val keys_written : t -> int
 (** Number of distinct keys ever written. *)
 
 val sync_from : t -> src:t -> unit
-(** Replaces the contents (data and versions) with a copy of [src]'s — a
-    replica that rejoins after a crash adopting an up-to-date peer's state. *)
+(** Replaces the contents (data, versions, writers) with a copy of [src]'s —
+    a replica that rejoins after a crash adopting an up-to-date peer's
+    state. *)

@@ -11,6 +11,7 @@ let make (cluster : Cluster.t) : System.t =
   let net = cluster.Cluster.net in
   let topo = cluster.Cluster.topo in
   let send ~src ~dst ~msg f = Rpc.send net ~src ~dst ~msg f in
+  let recorder = cluster.Cluster.recorder in
   let replicas =
     Array.init cluster.Cluster.n_partitions (fun p ->
         Array.map
@@ -110,7 +111,11 @@ let make (cluster : Cluster.t) : System.t =
                 send ~src:client ~dst:r.node
                   ~msg:(Msg.decision ~txn:txn.Txn.id ~writes:(List.length local) ())
                   (fun () ->
-                    List.iter (fun (key, data) -> Store.Kv.put r.kv ~key ~data) local;
+                    List.iter
+                      (fun (key, data) ->
+                        Store.Kv.put r.kv ~key ~data ~writer:txn.Txn.id;
+                        Check.Recorder.applied recorder ~txn:txn.Txn.id ~key)
+                      local;
                     Store.Occ.release r.occ ~txn:txn.Txn.id))
               replicas.(p))
           participants
@@ -131,6 +136,8 @@ let make (cluster : Cluster.t) : System.t =
         in
         if List.for_all unanimous participants then begin
           (* Fast path: consensus on prepare at every replica. *)
+          if Check.Recorder.enabled recorder then
+            Check.Recorder.write_set recorder ~txn:txn.Txn.id ~pairs;
           finish ~committed:true;
           commit_everywhere ()
         end
@@ -157,6 +164,8 @@ let make (cluster : Cluster.t) : System.t =
                           if (not !finalized) && !acks >= acks_needed then begin
                             finalized := true;
                             if ok then begin
+                              if Check.Recorder.enabled recorder then
+                                Check.Recorder.write_set recorder ~txn:txn.Txn.id ~pairs;
                               finish ~committed:true;
                               commit_everywhere ()
                             end
@@ -211,6 +220,8 @@ let make (cluster : Cluster.t) : System.t =
         send ~src:client ~dst:r.node
           ~msg:(Msg.read_prepare ~txn:txn.Txn.id ~reads:(Array.length keys) ~writes:0 ())
           (fun () ->
+            if Check.Recorder.enabled recorder then
+              Check.Recorder.reads_from_kv recorder ~txn:txn.Txn.id r.kv keys;
             let values = Exec.read_values r.kv keys in
             send ~src:r.node ~dst:client
               ~msg:(Msg.read_reply ~txn:txn.Txn.id ~reads:(Array.length keys) ())

@@ -108,6 +108,23 @@ let instant t ?(tid = 0) ~txn ~name ~at () = span t ~txn ~name ~phase:Instant ~t
    messages_sent" keeps holding under fault injection. *)
 let fault t ~name ~at = if t.mode = Full then push t (Fault { f_name = name; f_at = at })
 
+let txn_events t ~txn =
+  (* [t.events] is most-recent-first, so a left fold that conses yields
+     chronological order. *)
+  List.fold_left
+    (fun acc ev ->
+      match ev with
+      | Span s when s.s_txn = txn ->
+          let name =
+            match s.s_phase with
+            | Begin -> s.s_name ^ ":begin"
+            | End -> s.s_name ^ ":end"
+            | Instant -> s.s_name
+          in
+          (name, s.s_at) :: acc
+      | _ -> acc)
+    [] t.events
+
 let sorted_counts tbl =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [] |> List.sort compare
 

@@ -88,6 +88,12 @@ val link_counts : t -> ((int * int) * int) list
 val total_messages : t -> int
 val event_count : t -> int
 
+val txn_events : t -> txn:int -> (string * Simcore.Sim_time.t) list
+(** Full mode only: one transaction's lifecycle events in chronological
+    order, span begins/ends tagged [":begin"]/[":end"]. Used by the history
+    checker to print what a transaction in a counterexample cycle was doing
+    and when. *)
+
 (** {2 Output} *)
 
 val write_chrome_trace : t -> ?extra:(string * string) list -> out_channel -> unit

@@ -35,11 +35,12 @@ type coord = {
   mutable decided : bool;
 }
 
-let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) (cluster : Cluster.t) ~variant :
-    System.t =
+let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = false)
+    (cluster : Cluster.t) ~variant : System.t =
   let net = cluster.Cluster.net in
   let engine = cluster.Cluster.engine in
   let send ~src ~dst ~msg f = Rpc.send net ~src ~dst ~msg f in
+  let recorder = cluster.Cluster.recorder in
   let abort_locally server txn_id =
     match Hashtbl.find_opt server.live txn_id with
     | None -> ()
@@ -141,6 +142,8 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) (cluster : Cluster.t) ~v
       let c = coord_state ~txn_id:txn.Txn.id ~client ~n_participants:n in
       if not c.decided then begin
         c.decided <- true;
+        if Check.Recorder.enabled recorder then
+          Check.Recorder.write_set recorder ~txn:txn.Txn.id ~pairs;
         Raft.Group.replicate
           (Cluster.coordinator_group cluster ~client)
           ~size:(Msg.write_record_bytes ~writes:(List.length pairs))
@@ -169,7 +172,11 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) (cluster : Cluster.t) ~v
                       ~tag:txn.Txn.id
                       ~on_committed:(fun () -> ())
                       ();
-                    List.iter (fun (key, data) -> Store.Kv.put server.kv ~key ~data) local;
+                    List.iter
+                      (fun (key, data) ->
+                        Store.Kv.put server.kv ~key ~data ~writer:txn.Txn.id;
+                        Check.Recorder.applied recorder ~txn:txn.Txn.id ~key)
+                      local;
                     server_release server txn.Txn.id))
               participants)
           ()
@@ -276,7 +283,20 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) (cluster : Cluster.t) ~v
                         if not r.gone then begin
                           incr granted;
                           if !granted = needed then begin
+                            if Check.Recorder.enabled recorder then
+                              Check.Recorder.reads_from_kv recorder ~txn:txn.Txn.id
+                                server.kv keys;
                             let values = Exec.read_values server.kv keys in
+                            (* Deliberately broken variant for checker tests:
+                               give up the read locks as soon as the reads
+                               are served, before the 2PC prepare — the
+                               classic two-phase violation that admits lost
+                               updates. *)
+                            (* At this point the transaction holds exactly
+                               its read locks here, so releasing everything
+                               releases just those. *)
+                            if early_read_release then
+                              Store.Locks.release_all server.locks ~txn:txn.Txn.id;
                             send ~src:server.node ~dst:client
                               ~msg:(Msg.read_reply ~txn:txn.Txn.id ~reads:needed ())
                               (fun () ->

@@ -25,10 +25,17 @@ val name_of : variant -> string
 
 val make :
   ?lock_timeout:Simcore.Sim_time.t ->
+  ?early_read_release:bool ->
   Txnkit.Cluster.t ->
   variant:variant ->
   Txnkit.System.t
 (** [lock_timeout] (default 1 s) bounds lock waits: wound-wait cannot break
     cycles through prepared (pinned) participants, so — as in production
     systems — a wait that exceeds the timeout aborts the waiter, which
-    retries with its original wound-wait timestamp. *)
+    retries with its original wound-wait timestamp.
+
+    [early_read_release] (default [false], test-only) deliberately breaks
+    two-phase locking by releasing read locks as soon as the reads are
+    served, before the 2PC prepare. This admits lost updates; the history
+    checker's tests use it to prove the checker catches a real protocol
+    bug with a printed cycle counterexample. *)

@@ -16,6 +16,7 @@ type t = {
   caches : Measure.Delay_cache.t array;
   groups : Raft.Group.t array;
   coordinator_partition : int array;
+  recorder : Check.Recorder.t;
 }
 
 let build ?(topo = Topology.azure5) ?(n_partitions = 5) ?(replication = 3)
@@ -38,7 +39,8 @@ let build ?(topo = Topology.azure5) ?(n_partitions = 5) ?(replication = 3)
     let others = List.init n_dcs Fun.id |> List.filter (fun d -> d <> leader_dc) in
     let sorted =
       List.sort
-        (fun a b -> compare (Topology.rtt_ms topo leader_dc a) (Topology.rtt_ms topo leader_dc b))
+        (fun a b ->
+          Float.compare (Topology.rtt_ms topo leader_dc a) (Topology.rtt_ms topo leader_dc b))
         others
     in
     Array.of_list sorted
@@ -126,6 +128,7 @@ let build ?(topo = Topology.azure5) ?(n_partitions = 5) ?(replication = 3)
     caches;
     groups;
     coordinator_partition;
+    recorder = Check.Recorder.create ();
   }
 
 let partition_of_key t key = ((key mod t.n_partitions) + t.n_partitions) mod t.n_partitions

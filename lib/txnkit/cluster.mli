@@ -25,6 +25,9 @@ type t = {
   caches : Measure.Delay_cache.t array;  (** aligned with [clients] *)
   groups : Raft.Group.t array;  (** per partition; empty when [with_raft:false] *)
   coordinator_partition : int array;  (** per DC: partition whose leader lives there *)
+  recorder : Check.Recorder.t;
+      (** history recorder, created disabled; [Check.Recorder.enable] turns
+          the run into a checkable history at zero behavioral cost *)
 }
 
 val build :

@@ -96,6 +96,7 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
           st.committed_low <- st.committed_low + 1
     end
   in
+  let recorder = cluster.Cluster.recorder in
   let rec attempt (txn : Txn.t) ~tries =
     st.attempts <- st.attempts + 1;
     (* Each attempt gets its own span on the trace's transaction track;
@@ -105,9 +106,18 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
     in
     if Trace.recording trace then
       Trace.span_begin trace ~txn:txn.Txn.id ~name:span_name ~at:(Engine.now engine);
+    (* Real-time bounds for the history checker are the client-visible
+       invocation and response instants of this attempt — the only interval
+       strict serializability is entitled to. *)
+    if Check.Recorder.enabled recorder then
+      Check.Recorder.start recorder ~txn:txn.Txn.id ~at:(Engine.now engine);
     system.System.submit txn ~on_done:(fun ~committed ->
         if Trace.recording trace then
           Trace.span_end trace ~txn:txn.Txn.id ~name:span_name ~at:(Engine.now engine);
+        if Check.Recorder.enabled recorder then
+          if committed then
+            Check.Recorder.committed recorder ~txn:txn.Txn.id ~at:(Engine.now engine)
+          else Check.Recorder.aborted recorder ~txn:txn.Txn.id;
         if committed then begin
           st.inflight <- st.inflight - 1;
           record_commit txn

@@ -10,4 +10,5 @@ type t = {
     Txnkit.Txn.t;
   overrides_priority : bool;
   key_space : int;
+  increment_rmw : bool;
 }

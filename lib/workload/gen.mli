@@ -15,4 +15,9 @@ type t = {
           SmallBank assigns priority by transaction type). *)
   overrides_priority : bool;
   key_space : int;  (** number of distinct keys the generator can touch *)
+  increment_rmw : bool;
+      (** writes are [Txnkit.Txn.default_compute] increments (written value =
+          read value + 1), so the history checker may additionally verify
+          increment conservation: a serializable run leaves every
+          non-blindly-written key equal to its number of committed writers *)
 }

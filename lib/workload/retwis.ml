@@ -39,4 +39,5 @@ let gen ?(n_keys = 1_000_000) ?(theta = 0.65) () =
     make;
     overrides_priority = false;
     key_space = n_keys;
+    increment_rmw = true;
   }

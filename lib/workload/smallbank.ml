@@ -56,4 +56,5 @@ let gen ?(n_users = 1_000_000) ?(hot_users = 1_000) ?(hot_fraction = 0.9)
     make;
     overrides_priority = prioritize_send_payment;
     key_space = 2 * n_users;
+    increment_rmw = true;
   }

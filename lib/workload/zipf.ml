@@ -53,21 +53,36 @@ let sample t rng =
 
 let sample_distinct t rng k =
   assert (k <= t.n);
-  let rec go acc remaining guard =
-    if remaining = 0 then acc
-    else begin
+  (* Accumulate into a flat array scanned over the filled prefix: same draw
+     sequence and same result order as the former list accumulator, but no
+     per-draw list traversal/allocation on the transaction hot path (the
+     collision-probe loop was O(k) per step on top of O(k) per draw). *)
+  let chosen = Array.make k 0 in
+  let taken key n =
+    let rec scan i = i < n && (chosen.(i) = key || scan (i + 1)) in
+    scan 0
+  in
+  let rec go n guard =
+    if n < k then begin
       let key = sample t rng in
-      if List.mem key acc then
+      if taken key n then
         (* Heavy skew can make distinct sampling slow; after many collisions
            fall back to stepping to a neighbouring key. *)
-        if guard > 64 then
-          let rec probe k = if List.mem k acc then probe ((k + 1) mod t.n) else k in
-          go (probe key :: acc) (remaining - 1) 0
-        else go acc remaining (guard + 1)
-      else go (key :: acc) (remaining - 1) 0
+        if guard > 64 then begin
+          let rec probe key = if taken key n then probe ((key + 1) mod t.n) else key in
+          chosen.(n) <- probe key;
+          go (n + 1) 0
+        end
+        else go n (guard + 1)
+      else begin
+        chosen.(n) <- key;
+        go (n + 1) 0
+      end
     end
   in
-  go [] k 0
+  go 0 0;
+  (* Most-recent-first, as the list accumulator returned. *)
+  List.init k (fun i -> chosen.(k - 1 - i))
 
 let n t = t.n
 let theta t = t.theta

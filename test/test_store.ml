@@ -12,8 +12,8 @@ let test_kv_default () =
 
 let test_kv_put_bumps_version () =
   let kv = Kv.create () in
-  Kv.put kv ~key:1 ~data:10;
-  Kv.put kv ~key:1 ~data:20;
+  Kv.put kv ~key:1 ~data:10 ~writer:101;
+  Kv.put kv ~key:1 ~data:20 ~writer:102;
   Alcotest.(check int) "data" 20 (Kv.get kv 1).Kv.data;
   Alcotest.(check int) "version" 2 (Kv.get kv 1).Kv.version;
   Alcotest.(check int) "keys" 1 (Kv.keys_written kv)

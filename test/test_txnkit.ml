@@ -125,7 +125,7 @@ let test_exec_write_pairs () =
 
 let test_exec_read_values () =
   let kv = Store.Kv.create () in
-  Store.Kv.put kv ~key:7 ~data:70;
+  Store.Kv.put kv ~key:7 ~data:70 ~writer:1;
   let values = Exec.read_values kv [| 7; 8 |] in
   Alcotest.(check (list (triple int int int))) "values" [ (7, 70, 1); (8, 0, 0) ] values
 
