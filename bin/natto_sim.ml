@@ -23,8 +23,116 @@ let topo_names =
     ("local3", Netsim.Topology.local3);
   ]
 
+(* --- metrics JSON ------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let attribution_classes breakdowns =
+  [
+    ("all", breakdowns);
+    ("high", List.filter (fun b -> b.Metrics.Attribution.t_high) breakdowns);
+    ("low", List.filter (fun b -> not b.Metrics.Attribution.t_high) breakdowns);
+  ]
+
+(* Largest |segment sum - end-to-end| over the run, in µs. The attribution
+   arithmetic is exact by construction, so anything non-zero is a bug; the
+   value is serialized so CI can gate on it. *)
+let max_sum_mismatch breakdowns =
+  List.fold_left
+    (fun m b ->
+      max m
+        (abs (Metrics.Attribution.total b.Metrics.Attribution.t_seg - b.Metrics.Attribution.t_e2e_us)))
+    0 breakdowns
+
+let write_metrics_json ~file metered =
+  let oc = open_out file in
+  let fields oc kvs =
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then output_string oc ",";
+        Printf.fprintf oc "\"%s\":%s" (json_escape k) v)
+      kvs
+  in
+  output_string oc "{\"runs\":[";
+  List.iteri
+    (fun ri (sys_name, seed, m) ->
+      if ri > 0 then output_string oc ",";
+      let reg = m.Harness.Experiment.m_registry in
+      let breakdowns = m.Harness.Experiment.m_breakdowns in
+      Printf.fprintf oc "\n{\"system\":\"%s\",\"seed\":%d,\"interval_us\":%d,\n"
+        (json_escape sys_name) seed (Metrics.Registry.interval reg);
+      (* Per-window time series: one object per sampling window, samples keyed
+         by instrument name. *)
+      output_string oc "\"windows\":[";
+      List.iteri
+        (fun wi w ->
+          if wi > 0 then output_string oc ",";
+          Printf.fprintf oc "\n  {\"start_us\":%d,\"end_us\":%d,\"samples\":{"
+            w.Metrics.Registry.w_start w.Metrics.Registry.w_end;
+          fields oc
+            (List.map (fun (k, v) -> (k, json_float v)) w.Metrics.Registry.samples);
+          output_string oc "}}")
+        (Metrics.Registry.windows reg);
+      output_string oc "],\n\"histograms\":[";
+      List.iteri
+        (fun hi (hname, h) ->
+          if hi > 0 then output_string oc ",";
+          let n = Metrics.Registry.hist_count h in
+          let pct p =
+            if n = 0 then "null" else json_float (Metrics.Registry.hist_percentile h ~p)
+          in
+          Printf.fprintf oc "\n  {\"name\":\"%s\",\"count\":%d," (json_escape hname) n;
+          fields oc [ ("p50_ms", pct 0.50); ("p95_ms", pct 0.95); ("p99_ms", pct 0.99) ];
+          output_string oc "}")
+        (Metrics.Registry.histograms reg);
+      output_string oc "],\n\"attribution\":{";
+      let first = ref true in
+      List.iter
+        (fun (label, bds) ->
+          match Metrics.Attribution.aggregate bds with
+          | None -> ()
+          | Some a ->
+              if not !first then output_string oc ",";
+              first := false;
+              Printf.fprintf oc "\n  \"%s\":{" label;
+              fields oc
+                [
+                  ("n", string_of_int a.Metrics.Attribution.n);
+                  ("e2e_mean_ms", json_float a.Metrics.Attribution.e2e_mean_ms);
+                  ("e2e_p95_ms", json_float a.Metrics.Attribution.e2e_p95_ms);
+                  ("e2e_p99_ms", json_float a.Metrics.Attribution.e2e_p99_ms);
+                  ("residual_fraction", json_float (Metrics.Attribution.residual_fraction a));
+                ];
+              output_string oc ",\"mean_us\":{";
+              fields oc
+                (List.map (fun (k, v) -> (k, json_float v)) a.Metrics.Attribution.mean_us);
+              output_string oc "},\"tail99_us\":{";
+              fields oc
+                (List.map (fun (k, v) -> (k, json_float v)) a.Metrics.Attribution.tail99_us);
+              output_string oc "}}")
+        (attribution_classes breakdowns);
+      Printf.fprintf oc "},\n\"attribution_check\":{\"txns\":%d,\"max_sum_mismatch_us\":%d}}"
+        (List.length breakdowns) (max_sum_mismatch breakdowns))
+    metered;
+  output_string oc "\n]}\n";
+  close_out oc
+
 let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo ~variance
-    ~loss ~partitions ~histograms ~trace_file ~faults ~check =
+    ~loss ~partitions ~histograms ~trace_file ~metrics_file ~faults ~check =
   let gen =
     match workload with
     | "ycsbt" -> Workload.Ycsbt.gen ~theta:zipf ()
@@ -61,6 +169,10 @@ let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
     }
   in
   let violations = ref 0 in
+  (* Collected (system, seed, metered) triples when --metrics is on. The
+     instrumented runs replace the plain ones — their results are
+     byte-for-byte identical (pure observation), so the CSV is unchanged. *)
+  let metered = ref [] in
   Printf.printf
     "system,workload,rate_tps,zipf,p95_high_ms,ci,p95_low_ms,ci,goodput_high,goodput_low,failed,aborts\n%!";
   List.iter
@@ -69,6 +181,12 @@ let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
       let results =
         List.map
           (fun seed ->
+            match metrics_file with
+            | Some _ when not check ->
+                let m = Harness.Experiment.run_metrics ?faults setup spec ~gen ~seed in
+                metered := (name, seed, m) :: !metered;
+                m.Harness.Experiment.m_result
+            | _ ->
             if not check then Harness.Experiment.run ?faults setup spec ~gen ~seed
             else begin
               let result, history, report =
@@ -160,6 +278,38 @@ let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
       Printf.printf "#   %-20s %10d (network total: %d)\n%!" "sum"
         (Trace.total_messages t.Harness.Experiment.trace)
         t.Harness.Experiment.messages_sent);
+  (match metrics_file with
+  | None -> ()
+  | Some file ->
+      let metered = List.rev !metered in
+      (try write_metrics_json ~file metered
+       with Sys_error e ->
+         Printf.eprintf "natto_sim: cannot write metrics file: %s\n%!" e;
+         exit 1);
+      (* Attribution tables on stdout, '#'-prefixed so the CSV block above
+         stays byte-for-byte that of a run without --metrics. *)
+      List.iter
+        (fun (sys_name, seed, m) ->
+          let rows =
+            List.filter_map
+              (fun (label, bds) ->
+                Option.map (fun a -> (label, a)) (Metrics.Attribution.aggregate bds))
+              (attribution_classes m.Harness.Experiment.m_breakdowns)
+          in
+          let title = Printf.sprintf "%s, seed %d" sys_name seed in
+          String.split_on_char '\n' (Metrics.Attribution.render ~title rows)
+          |> List.iter (fun line -> if line <> "" then Printf.printf "# %s\n" line);
+          let mismatch = max_sum_mismatch m.Harness.Experiment.m_breakdowns in
+          if mismatch > 0 then
+            Printf.printf "# WARNING: %s: segment sums deviate from end-to-end by up to %d us\n"
+              title mismatch)
+        metered;
+      Printf.printf "# metrics: wrote %s (%d runs, %.0f ms windows)\n%!" file
+        (List.length metered)
+        (Simcore.Sim_time.to_ms
+           (match metered with
+           | (_, _, m) :: _ -> Metrics.Registry.interval m.Harness.Experiment.m_registry
+           | [] -> 0)));
   !violations
 
 open Cmdliner
@@ -207,6 +357,25 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
 
+let metrics_arg =
+  let doc =
+    "Run every (system, seed) pair under the metrics registry and the latency \
+     attribution engine, writing JSON to $(docv): per-window time series for the CPU, \
+     network, lock and Raft instruments, latency histograms, and a per-priority \
+     attribution table whose segments sum exactly to each transaction's end-to-end \
+     latency. Instrumentation is pure observation — the CSV on stdout is byte-for-byte \
+     that of a run without this flag. Incompatible with --check."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
+
+let trace_summary_arg =
+  let doc =
+    "Count every message per kind and per DC link (counters-only tracing; results are \
+     unchanged) and print the totals after the runs. Replaces the deprecated \
+     NATTO_TRACE_SUMMARY=1 environment variable, which is still honoured."
+  in
+  Arg.(value & flag & info [ "trace-summary" ] ~doc)
+
 let faults_arg =
   let doc =
     "Fault schedule: comma-separated ACTION\\@TIME events, e.g. \
@@ -232,11 +401,27 @@ let figure_arg =
   in
   Arg.(value & opt (some string) None & info [ "figure" ] ~doc)
 
+let print_trace_totals () =
+  Printf.printf "\n# Message traffic by kind (all runs)\n";
+  List.iter
+    (fun (kind, n, bytes) -> Printf.printf "# %-20s %12d msgs %16d bytes\n%!" kind n bytes)
+    (Harness.Experiment.trace_totals ());
+  Printf.printf "# Message traffic by DC link\n";
+  List.iter
+    (fun ((src, dst), n) -> Printf.printf "# dc%d -> dc%d %12d msgs\n%!" src dst n)
+    (Harness.Experiment.trace_link_totals ())
+
 let main systems workload rate zipf duration seeds high_fraction topo variance loss partitions
-    histograms trace_file faults_spec check figure =
+    histograms trace_file metrics_file trace_summary faults_spec check figure =
+  (* NATTO_TRACE_SUMMARY=1 is the deprecated spelling of --trace-summary. *)
+  let trace_summary = trace_summary || Sys.getenv_opt "NATTO_TRACE_SUMMARY" <> None in
+  if trace_summary then Harness.Experiment.set_trace_counters true;
   match figure with
   | Some name ->
-      if Harness.Figures.run_by_name name (Harness.Figures.scale_of_env ()) then `Ok ()
+      if Harness.Figures.run_by_name name (Harness.Figures.scale_of_env ()) then begin
+        if trace_summary then print_trace_totals ();
+        `Ok ()
+      end
       else `Error (false, Printf.sprintf "unknown figure %S" name)
   | None ->
       let systems =
@@ -255,11 +440,15 @@ let main systems workload rate zipf duration seeds high_fraction topo variance l
           | None ->
               if not (List.mem_assoc topo topo_names) then
                 `Error (false, Printf.sprintf "unknown topology %S" topo)
+              else if metrics_file <> None && check then
+                `Error (false, "--metrics cannot be combined with --check")
               else begin
                 let violations =
                   run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction
-                    ~topo ~variance ~loss ~partitions ~histograms ~trace_file ~faults ~check
+                    ~topo ~variance ~loss ~partitions ~histograms ~trace_file ~metrics_file
+                    ~faults ~check
                 in
+                if trace_summary then print_trace_totals ();
                 if violations = 0 then `Ok ()
                 else
                   `Error
@@ -276,6 +465,7 @@ let cmd =
       ret
         (const main $ systems_arg $ workload_arg $ rate_arg $ zipf_arg $ duration_arg
        $ seeds_arg $ high_arg $ topo_arg $ variance_arg $ loss_arg $ partitions_arg
-       $ histograms_arg $ trace_arg $ faults_arg $ check_arg $ figure_arg))
+       $ histograms_arg $ trace_arg $ metrics_arg $ trace_summary_arg $ faults_arg
+       $ check_arg $ figure_arg))
 
 let () = exit (Cmd.eval cmd)

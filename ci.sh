@@ -51,4 +51,38 @@ dune exec bin/natto_sim.exe -- -s 2pl,tapir,carousel-basic,carousel-fast,natto-r
   -d 8 --seeds 1 -r 50 -z 0.95 \
   --faults 'crash-leader:0@2s,cut:0-1@3s,heal@5s,restart@6s' --check >/dev/null
 
+echo "== metrics smoke + determinism gate =="
+# --metrics must (a) leave the CSV byte-for-byte identical to an
+# uninstrumented run ('#'-prefixed lines are commentary, not CSV), and
+# (b) write JSON that parses, carries sampled windows, and whose
+# attribution segments sum exactly to each end-to-end latency.
+metrics_out="${TMPDIR:-/tmp}/natto_ci_metrics.json"
+csv_off="${TMPDIR:-/tmp}/natto_ci_metrics_off.csv"
+csv_on="${TMPDIR:-/tmp}/natto_ci_metrics_on.csv"
+dune exec bin/natto_sim.exe -- -s 2pl,natto-recsf -d 4 --seeds 1 -r 80 -z 0.95 \
+  >"$csv_off"
+dune exec bin/natto_sim.exe -- -s 2pl,natto-recsf -d 4 --seeds 1 -r 80 -z 0.95 \
+  --metrics "$metrics_out" | grep -v '^#' >"$csv_on"
+cmp "$csv_off" "$csv_on"
+python3 - "$metrics_out" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert len(d["runs"]) == 2, "expected one run per system"
+for r in d["runs"]:
+    assert len(r["windows"]) > 10, "no sampled windows for %s" % r["system"]
+    assert r["attribution_check"]["max_sum_mismatch_us"] == 0, \
+        "segments do not sum to e2e for %s" % r["system"]
+    a = r["attribution"]["all"]
+    total = sum(a["mean_us"].values())
+    e2e = a["e2e_mean_ms"] * 1000.0
+    # Floats are serialized with %.6g, so allow that much relative slop
+    # (the per-transaction integer check above is exact).
+    assert abs(total - e2e) <= 1e-5 * max(1.0, e2e) + 1.0, \
+        "aggregate segment means diverge from e2e for %s" % r["system"]
+    assert a["mean_us"]["residual"] <= 0.01 * e2e, \
+        "residual above 1%% for %s" % r["system"]
+print("metrics JSON ok: %d runs" % len(d["runs"]))
+EOF
+rm -f "$metrics_out" "$csv_off" "$csv_on"
+
 echo "== OK =="

@@ -65,7 +65,8 @@ let make (cluster : Cluster.t) : System.t =
        partition's followers (paper §3.4: Carousel's rule, relaxed by
        Natto's ECSF). *)
     let bytes = Msg.write_record_bytes ~writes:(List.length pairs) in
-    Raft.Group.replicate cluster.Cluster.groups.(server.partition) ~size:bytes ~tag:txn_id
+    Raft.Group.replicate cluster.Cluster.groups.(server.partition) ~background:true
+      ~size:bytes ~tag:txn_id
       ~on_committed:(fun () ->
         List.iter
           (fun (key, data) ->
@@ -127,9 +128,14 @@ let make (cluster : Cluster.t) : System.t =
         plan.Txnkit.Exec.participants;
     let coordinator = coord_node ~client in
     let finished = ref false in
+    let trace = Netsim.Network.trace net in
     let finish ~committed =
       if not !finished then begin
         finished := true;
+        if Trace.recording trace then
+          Trace.instant trace ~tid:client ~txn:txn.Txn.id
+            ~name:(if committed then "txn-commit" else "txn-abort")
+            ~at:(Simcore.Engine.now cluster.Cluster.engine) ();
         on_done ~committed
       end
     in

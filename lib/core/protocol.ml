@@ -49,6 +49,9 @@ type srec = {
   deliver_abort : unit -> unit;
   mutable state : srec_state;
   mutable cond_on : int option;  (** conditionally prepared on this blocker *)
+  mutable queued_at : Sim_time.t option;
+      (** when the record entered this server's timestamp queue; drives the
+          retroactive "lock-wait" trace span, cleared once emitted *)
 }
 
 type server = {
@@ -119,6 +122,23 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
   let mark ~tid ~txn name =
     if Trace.recording trace then Trace.instant trace ~tid ~txn ~name ~at:(Engine.now engine) ()
   in
+  (* Natto's timestamp-queue residency is its analogue of lock waiting;
+     emitted retroactively as an adjacent "lock-wait" begin/end pair when
+     the record leaves the queue, so a same-event pass through the queue
+     adds zero trace events. *)
+  let end_queue_wait (r : srec) =
+    match r.queued_at with
+    | None -> ()
+    | Some t0 ->
+        r.queued_at <- None;
+        if Trace.recording trace then begin
+          let now = Engine.now engine in
+          if now > t0 then begin
+            Trace.span_begin trace ~txn:r.txn.Txn.id ~name:"lock-wait" ~at:t0;
+            Trace.span_end trace ~txn:r.txn.Txn.id ~name:"lock-wait" ~at:now
+          end
+        end
+  in
   (* History recording for the serializability checker: pure observation,
      one branch per site when disabled (like [mark]). *)
   let recorder = cluster.Cluster.recorder in
@@ -141,6 +161,16 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
           wakeup_at = None;
         })
   in
+  (* Timestamp-queue depth per partition: Natto's analogue of the 2PL lock
+     wait-queue gauge. Queued plus blocked-waiting records. *)
+  (let metrics = cluster.Cluster.metrics in
+   if Metrics.Registry.enabled metrics then
+     Array.iter
+       (fun server ->
+         Metrics.Registry.gauge metrics
+           (Printf.sprintf "natto.p%d.queue" server.partition)
+           (fun () -> float_of_int (Tsq.size server.queue + List.length server.waiting)))
+       servers);
   let cstates : (int, cstate) Hashtbl.t = Hashtbl.create 4096 in
   let commit_hooks : (int, unit -> unit) Hashtbl.t = Hashtbl.create 4096 in
   let pa_counts : (int, int) Hashtbl.t = Hashtbl.create 256 in
@@ -286,6 +316,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         coord_on_vote c ~partition:server.partition v)
 
   and server_drop server (r : srec) =
+    end_queue_wait r;
     (match r.state with
     | Queued -> Tsq.remove server.queue ~ts:r.ts ~id:r.txn.Txn.id
     | Waiting -> server.waiting <- List.filter (fun w -> w != r) server.waiting
@@ -349,6 +380,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
               waiting conflicting earlier transactions"
              r.txn.Txn.id r.ts (List.length bad_queue) (List.length bad_wait))
     end;
+    end_queue_wait r;
     Store.Occ.prepare server.occ ~txn:r.txn.Txn.id ~reads:r.reads ~writes:r.writes;
     r.state <- Prepared;
     mark ~tid:server.node ~txn:r.txn.Txn.id "txn-prepare";
@@ -364,6 +396,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
       ()
 
   and server_cond_prepare server (r : srec) ~blocker =
+    end_queue_wait r;
     stats.cond_prepares <- stats.cond_prepares + 1;
     mark ~tid:server.node ~txn:r.txn.Txn.id "txn-cond-prepare";
     Store.Occ.prepare server.occ ~txn:r.txn.Txn.id ~reads:r.reads ~writes:r.writes;
@@ -563,7 +596,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         if features.Features.lecsf then begin
           (* LECSF: the commit is already fault-tolerant at the coordinator;
              make the writes visible now and replicate in the background. *)
-          Raft.Group.replicate cluster.Cluster.groups.(server.partition)
+          Raft.Group.replicate cluster.Cluster.groups.(server.partition) ~background:true
             ~size:(Msg.write_record_bytes ~writes:(List.length pairs))
             ~tag:txn_id
             ~on_committed:(fun () -> ())
@@ -571,7 +604,9 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
           finish ()
         end
         else
-          Raft.Group.replicate cluster.Cluster.groups.(server.partition)
+          (* Write visibility, not client latency: the coordinator has
+             already acknowledged the client, so no attribution span. *)
+          Raft.Group.replicate cluster.Cluster.groups.(server.partition) ~background:true
             ~size:(Msg.write_record_bytes ~writes:(List.length pairs))
             ~tag:txn_id ~on_committed:finish ()
 
@@ -686,6 +721,8 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         if late && (ordering_violation () || high_late_conflict ()) then
           server_abort_txn server r ~late:true
         else begin
+          if Trace.recording trace && r.queued_at = None then
+            r.queued_at <- Some (Engine.now engine);
           Tsq.add server.queue ~ts:r.ts ~id:r.txn.Txn.id r;
           server_drain server
         end
@@ -828,6 +865,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
             deliver_abort;
             state = Queued;
             cond_on = None;
+            queued_at = None;
           }
         in
         send ~src:client ~dst:server.node

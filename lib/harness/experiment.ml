@@ -72,10 +72,11 @@ let instantiate spec cluster =
 let needs_raft = function Tapir -> false | _ -> true
 let needs_proxies = function Natto _ -> true | _ -> false
 
-let build_cluster ?trace setup spec ~seed =
+let build_cluster ?trace ?metrics setup spec ~seed =
   Txnkit.Cluster.build ~topo:setup.topo ~n_partitions:setup.n_partitions
     ~clients_per_dc:setup.clients_per_dc ~net_config:setup.net_config
-    ~with_raft:(needs_raft spec) ~with_proxies:(needs_proxies spec) ?trace ~seed ()
+    ~with_raft:(needs_raft spec) ~with_proxies:(needs_proxies spec) ?trace ?metrics ~seed
+    ()
 
 (* Process-wide message accounting, opted into by the bench harness
    (NATTO_TRACE_SUMMARY=1). Counters mode only: constant memory per run and
@@ -184,6 +185,32 @@ let run_traced ?faults setup spec ~gen ~seed ~file =
     messages_sent = Netsim.Network.messages_sent cluster.Txnkit.Cluster.net;
     trace;
   }
+
+type metered = {
+  m_result : Workload.Driver.result;
+  m_registry : Metrics.Registry.t;
+  m_breakdowns : Metrics.Attribution.txn_breakdown list;
+}
+
+let run_metrics ?faults ?interval setup spec ~gen ~seed =
+  (* Full-event trace + enabled registry. Both are pure observation — no
+     events, messages or RNG draws — so [m_result] is byte-for-byte the
+     result of an uninstrumented run; natto_sim's --metrics mode relies on
+     this to emit unchanged figure CSVs. *)
+  let trace = Trace.create () in
+  Trace.enable trace;
+  let registry = Metrics.Registry.create () in
+  Metrics.Registry.enable ?interval registry;
+  let cluster = build_cluster ~trace ~metrics:registry setup spec ~seed in
+  (match faults with Some schedule -> Faults.install cluster schedule | None -> ());
+  let system = instantiate spec cluster in
+  let result =
+    Workload.Driver.run cluster system ~gen { setup.driver with Workload.Driver.seed }
+  in
+  let breakdowns =
+    Metrics.Attribution.analyze ~trace ~txns:(Metrics.Registry.txn_records registry)
+  in
+  { m_result = result; m_registry = registry; m_breakdowns = breakdowns }
 
 type summary = {
   p95_high_ms : float;

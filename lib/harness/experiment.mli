@@ -84,6 +84,27 @@ val run_traced :
     trace-viewer JSON to [file] (load it at chrome://tracing or
     ui.perfetto.dev). *)
 
+type metered = {
+  m_result : Workload.Driver.result;
+  m_registry : Metrics.Registry.t;  (** sampled windows, histograms, counters *)
+  m_breakdowns : Metrics.Attribution.txn_breakdown list;
+      (** one per committed transaction; segments sum exactly to each
+          transaction's end-to-end latency *)
+}
+
+val run_metrics :
+  ?faults:Faults.schedule ->
+  ?interval:Simcore.Sim_time.t ->
+  setup ->
+  system_spec ->
+  gen:Workload.Gen.t ->
+  seed:int ->
+  metered
+(** Like {!run} with a full trace sink and an enabled metrics registry
+    ([interval] is the sampling window, default 100 ms), computing the
+    per-transaction latency attribution after the drain. Instrumentation is
+    pure observation, so [m_result] is byte-for-byte that of {!run}. *)
+
 (** {2 Aggregate message accounting}
 
     When enabled (the bench harness sets this from NATTO_TRACE_SUMMARY=1),

@@ -538,6 +538,81 @@ let check_figure scale =
         systems)
     [ ("none", None); ("crash+cut", Some fault_schedule) ]
 
+(* ------------------------------------------------------------------ *)
+(* Attribution: where does commit latency go, per family? The Fig. 7(c)
+   story in breakdown form — 2PL's p99 is dominated by lock waiting,
+   Carousel by WAN round trips, and Natto shifts low-priority time into
+   retry (backoff) and queue (lock_wait) segments to protect the high
+   class. *)
+
+let attribution scale =
+  Printf.printf
+    "\n\
+     # attribution — commit-latency critical path, YCSB+T zipf 0.95 @100 txn/s per family\n";
+  Printf.printf
+    "attribution,system,class,n,e2e_mean_ms,e2e_p95_ms,e2e_p99_ms,wan_pct,cpu_queue_pct,lock_wait_pct,replication_pct,backoff_pct,exec_pct,residual_pct\n%!";
+  let gen = Workload.Ycsbt.gen ~theta:0.95 () in
+  let setup =
+    { Experiment.default_setup with Experiment.driver = driver_config scale ~rate:100. }
+  in
+  let systems =
+    [
+      Experiment.Twopl Twopl.Plain;
+      Experiment.Tapir;
+      Experiment.Carousel_basic;
+      Experiment.Carousel_fast;
+      Experiment.Natto Natto.Features.recsf;
+    ]
+  in
+  List.iter
+    (fun spec ->
+      let system = Experiment.spec_name spec in
+      let m = Experiment.run_metrics setup spec ~gen ~seed:(List.hd (seeds scale)) in
+      let classes =
+        [
+          ("all", m.Experiment.m_breakdowns);
+          ("high", List.filter (fun b -> b.Metrics.Attribution.t_high) m.Experiment.m_breakdowns);
+          ("low", List.filter (fun b -> not b.Metrics.Attribution.t_high) m.Experiment.m_breakdowns);
+        ]
+      in
+      let aggs =
+        List.filter_map
+          (fun (label, bds) ->
+            Option.map (fun a -> (label, a)) (Metrics.Attribution.aggregate bds))
+          classes
+      in
+      List.iter
+        (fun (label, (agg : Metrics.Attribution.agg)) ->
+          let tot =
+            List.fold_left (fun acc (_, v) -> acc +. v) 0. agg.Metrics.Attribution.mean_us
+          in
+          let pct name =
+            if tot <= 0. then 0.
+            else 100. *. List.assoc name agg.Metrics.Attribution.mean_us /. tot
+          in
+          Printf.printf
+            "attribution,%s,%s,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f\n%!"
+            system label agg.Metrics.Attribution.n agg.Metrics.Attribution.e2e_mean_ms
+            agg.Metrics.Attribution.e2e_p95_ms agg.Metrics.Attribution.e2e_p99_ms
+            (pct "wan") (pct "cpu_queue") (pct "lock_wait") (pct "replication")
+            (pct "backoff") (pct "exec") (pct "residual");
+          collect ~figure:"attribution" ~x_label:"class" ~x:label ~system
+            ([
+               ("n", float_of_int agg.Metrics.Attribution.n);
+               ("e2e_mean_ms", agg.Metrics.Attribution.e2e_mean_ms);
+               ("e2e_p95_ms", agg.Metrics.Attribution.e2e_p95_ms);
+               ("e2e_p99_ms", agg.Metrics.Attribution.e2e_p99_ms);
+             ]
+            @ List.map
+                (fun name -> (name ^ "_pct", pct name))
+                Metrics.Attribution.segment_names))
+        aggs;
+      (* Human-readable block, "#"-prefixed so CSV consumers skip it. *)
+      String.split_on_char '\n' (Metrics.Attribution.render ~title:system aggs)
+      |> List.iter (fun line -> if line <> "" then Printf.printf "# %s\n" line);
+      flush stdout)
+    systems
+
 let all scale =
   table1 ();
   fig7_ycsbt scale;
@@ -553,12 +628,13 @@ let all scale =
   fig14 scale;
   ablation scale;
   failover scale;
+  attribution scale;
   check_figure scale
 
 let names =
   [
     "table1"; "fig7ab"; "fig7cd"; "fig7ef"; "fig8a"; "fig8b"; "fig9"; "fig10"; "fig11";
-    "fig12"; "fig13"; "fig14"; "ablation"; "failover"; "check";
+    "fig12"; "fig13"; "fig14"; "ablation"; "failover"; "attribution"; "check";
   ]
 
 let run_by_name name scale =
@@ -577,5 +653,6 @@ let run_by_name name scale =
   | "fig14" -> fig14 scale; true
   | "ablation" -> ablation scale; true
   | "failover" -> failover scale; true
+  | "attribution" -> attribution scale; true
   | "check" -> check_figure scale; true
   | _ -> false

@@ -64,6 +64,16 @@ val failover : scale -> unit
     high-priority p95 before/during/after the outage per system, the
     after/before recovery ratio, and commits after the heal. *)
 
+val attribution : scale -> unit
+(** Commit-latency critical path (not a paper figure; the breakdown behind
+    Fig. 7(c)'s story): one system per protocol family at YCSB+T Zipf 0.95
+    @100 txn/s, each run under the metrics registry and the latency
+    attribution engine. Prints, per system and priority class, the mean
+    end-to-end latency and the percentage split across wan / cpu_queue /
+    lock_wait / replication / backoff / exec / residual segments — 2PL
+    dominated by lock_wait, Carousel by wan, Natto shifting low-priority
+    time into backoff and lock_wait. *)
+
 val check_figure : scale -> unit
 (** Strict-serializability checker sweep: one system per protocol family
     (2PL+2PC, TAPIR, Carousel Basic, Carousel Fast, Natto-RECSF) at YCSB+T

@@ -1,0 +1,236 @@
+open Simcore
+
+type segments = {
+  wan : int;
+  cpu_queue : int;
+  lock_wait : int;
+  replication : int;
+  backoff : int;
+  exec : int;
+  residual : int;
+}
+
+let segment_names =
+  [ "wan"; "cpu_queue"; "lock_wait"; "replication"; "backoff"; "exec"; "residual" ]
+
+let to_list s =
+  [
+    ("wan", s.wan);
+    ("cpu_queue", s.cpu_queue);
+    ("lock_wait", s.lock_wait);
+    ("replication", s.replication);
+    ("backoff", s.backoff);
+    ("exec", s.exec);
+    ("residual", s.residual);
+  ]
+
+let total s =
+  s.wan + s.cpu_queue + s.lock_wait + s.replication + s.backoff + s.exec + s.residual
+
+let zero =
+  { wan = 0; cpu_queue = 0; lock_wait = 0; replication = 0; backoff = 0; exec = 0; residual = 0 }
+
+type txn_breakdown = { t_high : bool; t_e2e_us : int; t_seg : segments }
+
+(* Interval classes gathered from the trace, highest priority first: when
+   two classes cover the same microsecond of a committed attempt (the
+   coordinator is e.g. both replicating and holding a message in flight),
+   the more specific cause wins. *)
+type cls = Lock_wait | Replication | Cpu_queue | Wan
+
+let rank = function Lock_wait -> 0 | Replication -> 1 | Cpu_queue -> 2 | Wan -> 3
+
+(* Per-attempt intervals, collected in one pass over the trace. Span pairs
+   are matched with a per-(txn, name) stack of pending begins: an End pops
+   the latest Begin, which is correct both for retroactively emitted
+   adjacent pairs and for overlapping same-name spans from multiple
+   partitions (any consistent pairing covers the same union of time, and
+   only the union matters to the sweep below). *)
+let gather trace =
+  let intervals : (int, (cls * int * int) list ref) Hashtbl.t = Hashtbl.create 4096 in
+  let pending : (int * string, int list ref) Hashtbl.t = Hashtbl.create 256 in
+  let add_interval txn cls s e =
+    if e > s then
+      match Hashtbl.find_opt intervals txn with
+      | Some r -> r := (cls, s, e) :: !r
+      | None -> Hashtbl.replace intervals txn (ref [ (cls, s, e) ])
+  in
+  let push_begin key at =
+    match Hashtbl.find_opt pending key with
+    | Some r -> r := at :: !r
+    | None -> Hashtbl.replace pending key (ref [ at ])
+  in
+  let pop_begin key =
+    match Hashtbl.find_opt pending key with
+    | Some ({ contents = at :: rest } as r) ->
+        r := rest;
+        Some at
+    | _ -> None
+  in
+  Trace.iter_events trace (fun ev ->
+      match ev with
+      | Trace.V_message { txn = Some txn; enqueue; deliver; dequeue; _ } ->
+          add_interval txn Wan (Sim_time.to_us enqueue) (Sim_time.to_us deliver);
+          (match dequeue with
+          | Some d ->
+              add_interval txn Cpu_queue (Sim_time.to_us deliver) (Sim_time.to_us d)
+          | None -> ())
+      | Trace.V_span { txn; name = ("lock-wait" | "replication") as name; phase; at } -> (
+          let cls = if name = "lock-wait" then Lock_wait else Replication in
+          match phase with
+          | `Begin -> push_begin (txn, name) (Sim_time.to_us at)
+          | `End -> (
+              match pop_begin (txn, name) with
+              | Some s -> add_interval txn cls s (Sim_time.to_us at)
+              | None -> ())
+          | `Instant -> ())
+      | _ -> ());
+  intervals
+
+(* Charge every microsecond of [lo, hi] to the highest-priority interval
+   class covering it. Boundary sweep over elementary segments: within two
+   adjacent boundary points coverage is constant, so one containment test
+   per interval decides the whole sub-segment. Attempts touch tens of
+   events, so the quadratic cost is immaterial. *)
+let sweep ~lo ~hi intervals =
+  let clipped =
+    List.filter_map
+      (fun (c, s, e) ->
+        let s = max s lo and e = min e hi in
+        if e > s then Some (c, s, e) else None)
+      intervals
+  in
+  let pts =
+    List.sort_uniq compare
+      (lo :: hi :: List.concat_map (fun (_, s, e) -> [ s; e ]) clipped)
+  in
+  let covered = [| 0; 0; 0; 0 |] in
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        let best =
+          List.fold_left
+            (fun acc (c, s, e) ->
+              if s <= a && e >= b then
+                match acc with
+                | None -> Some c
+                | Some c' -> Some (if rank c < rank c' then c else c')
+              else acc)
+            None clipped
+        in
+        (match best with
+        | Some c -> covered.(rank c) <- covered.(rank c) + (b - a)
+        | None -> ());
+        go rest
+    | _ -> ()
+  in
+  go pts;
+  covered
+
+let analyze ~trace ~txns =
+  let intervals = gather trace in
+  List.map
+    (fun (tr : Registry.txn_rec) ->
+      let born = Sim_time.to_us tr.Registry.born in
+      let finished = Sim_time.to_us tr.Registry.finished in
+      let e2e = finished - born in
+      let seg = ref zero in
+      let attempted = ref 0 in
+      List.iter
+        (fun (a : Registry.attempt_rec) ->
+          let lo = max born (Sim_time.to_us a.Registry.a_start) in
+          let hi = min finished (Sim_time.to_us a.Registry.a_end) in
+          if hi > lo then begin
+            attempted := !attempted + (hi - lo);
+            if not a.Registry.a_committed then
+              (* An aborted attempt is entirely wasted from the client's
+                 point of view: all of it is retry cost. *)
+              seg := { !seg with backoff = !seg.backoff + (hi - lo) }
+            else begin
+              let ivs =
+                match Hashtbl.find_opt intervals a.Registry.a_txn with
+                | Some r -> !r
+                | None -> []
+              in
+              let covered = sweep ~lo ~hi ivs in
+              let in_class = covered.(0) + covered.(1) + covered.(2) + covered.(3) in
+              seg :=
+                {
+                  !seg with
+                  lock_wait = !seg.lock_wait + covered.(rank Lock_wait);
+                  replication = !seg.replication + covered.(rank Replication);
+                  cpu_queue = !seg.cpu_queue + covered.(rank Cpu_queue);
+                  wan = !seg.wan + covered.(rank Wan);
+                  exec = !seg.exec + (hi - lo - in_class);
+                }
+            end
+          end)
+        tr.Registry.attempts;
+      let seg = { !seg with residual = max 0 (e2e - !attempted) } in
+      { t_high = tr.Registry.high; t_e2e_us = e2e; t_seg = seg })
+    txns
+
+type agg = {
+  n : int;
+  e2e_mean_ms : float;
+  e2e_p95_ms : float;
+  e2e_p99_ms : float;
+  mean_us : (string * float) list;
+  tail99_us : (string * float) list;
+}
+
+let mean_segments bds =
+  let n = float_of_int (List.length bds) in
+  List.map
+    (fun name ->
+      let s =
+        List.fold_left
+          (fun acc bd -> acc + List.assoc name (to_list bd.t_seg))
+          0 bds
+      in
+      (name, float_of_int s /. n))
+    segment_names
+
+let aggregate bds =
+  match bds with
+  | [] -> None
+  | _ ->
+      let n = List.length bds in
+      let e2e_ms =
+        Array.of_list (List.map (fun bd -> float_of_int bd.t_e2e_us /. 1e3) bds)
+      in
+      let p99_us = Simstats.Percentile.percentile e2e_ms ~p:0.99 *. 1e3 in
+      let tail = List.filter (fun bd -> float_of_int bd.t_e2e_us >= p99_us) bds in
+      let tail = if tail = [] then bds else tail in
+      Some
+        {
+          n;
+          e2e_mean_ms = Simstats.Percentile.mean e2e_ms;
+          e2e_p95_ms = Simstats.Percentile.p95 e2e_ms;
+          e2e_p99_ms = Simstats.Percentile.percentile e2e_ms ~p:0.99;
+          mean_us = mean_segments bds;
+          tail99_us = mean_segments tail;
+        }
+
+let residual_fraction agg =
+  if agg.e2e_mean_ms <= 0. then 0.
+  else List.assoc "residual" agg.mean_us /. 1e3 /. agg.e2e_mean_ms
+
+let render ~title rows =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "attribution: %s\n" title;
+  let pct parts =
+    let tot = List.fold_left (fun acc (_, v) -> acc +. v) 0. parts in
+    String.concat "  "
+      (List.map
+         (fun (name, v) ->
+           Printf.sprintf "%s %.1f%%" name (if tot <= 0. then 0. else 100. *. v /. tot))
+         parts)
+  in
+  List.iter
+    (fun (label, agg) ->
+      Printf.bprintf buf "  %-5s n=%-6d e2e mean=%.1fms p95=%.1fms p99=%.1fms\n" label
+        agg.n agg.e2e_mean_ms agg.e2e_p95_ms agg.e2e_p99_ms;
+      Printf.bprintf buf "    mean: %s\n" (pct agg.mean_us);
+      Printf.bprintf buf "    p99 : %s\n" (pct agg.tail99_us))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,76 @@
+(** Per-transaction latency attribution: a critical-path breakdown of each
+    finished transaction's end-to-end latency into named segments, computed
+    from the trace sink's lifecycle spans and message events plus the
+    driver's attempt lineage ({!Registry.txn_rec}).
+
+    Segments, and the trace events that feed each:
+
+    - [wan] — network transit: a message event's enqueue → deliver interval,
+      for messages tagged with the attempt's transaction id;
+    - [cpu_queue] — destination CPU queueing/processing: deliver → dequeue
+      of the same message events (present when the message ran through the
+      receiver's CPU station);
+    - [lock_wait] — ["lock-wait"] span pairs: 2PL lock-queue waits and
+      Natto's timestamp-queue residency;
+    - [replication] — ["replication"] span pairs emitted by
+      [Raft.Group.replicate] for critical-path replications;
+    - [backoff] — the entire duration of every {e aborted} attempt of the
+      logical transaction (wasted work plus waits before the abort);
+    - [exec] — time inside the committed attempt covered by none of the
+      above: client/coordinator execution;
+    - [residual] — time outside any attempt (inter-attempt gaps); the
+      immediate-retry driver keeps this at (essentially) zero, so a large
+      residual signals missing instrumentation.
+
+    Within the committed attempt, each microsecond is charged to exactly one
+    segment; overlaps resolve by priority lock_wait > replication >
+    cpu_queue > wan. All arithmetic is integer microseconds, so the seven
+    segments sum {e exactly} to the end-to-end latency for every
+    transaction. *)
+
+type segments = {
+  wan : int;
+  cpu_queue : int;
+  lock_wait : int;
+  replication : int;
+  backoff : int;
+  exec : int;
+  residual : int;
+}
+(** All fields in integer microseconds, all non-negative. *)
+
+val segment_names : string list
+(** Field names in canonical order, matching {!to_list}. *)
+
+val to_list : segments -> (string * int) list
+val total : segments -> int
+
+type txn_breakdown = { t_high : bool; t_e2e_us : int; t_seg : segments }
+
+val analyze : trace:Trace.t -> txns:Registry.txn_rec list -> txn_breakdown list
+(** One breakdown per finished transaction, in input order. The trace must
+    be the full-mode buffered sink the run recorded into (a streaming or
+    counters-only sink yields events for nothing, so every segment but
+    backoff/residual is 0). *)
+
+type agg = {
+  n : int;
+  e2e_mean_ms : float;
+  e2e_p95_ms : float;
+  e2e_p99_ms : float;
+  mean_us : (string * float) list;  (** mean of each segment over all txns *)
+  tail99_us : (string * float) list;
+      (** mean of each segment over the slowest 1% of txns by end-to-end
+          latency (at least one txn) — where the p99 went *)
+}
+
+val aggregate : txn_breakdown list -> agg option
+(** [None] on an empty list. *)
+
+val render : title:string -> (string * agg) list -> string
+(** A text table: one block per labelled class (all / high / low), with
+    end-to-end stats and the mean and p99-tail breakdowns as percentages of
+    the respective end-to-end time. *)
+
+val residual_fraction : agg -> float
+(** residual mean / e2e mean — the acceptance gate wants this < 0.01. *)

@@ -53,6 +53,9 @@ type t = {
   mutable max_fifo : Sim_time.t;
   mutable messages : int;
   mutable bytes : int;
+  mutable retrans : int;
+      (** cross-DC messages that lost a packet and paid (or joined) a
+          retransmission stall *)
 }
 
 let mss_bytes = 1460.
@@ -95,6 +98,7 @@ let create ~engine ~rng ~topo ~node_dc ~cpus ?(config = default_config)
     max_fifo = Sim_time.zero;
     messages = 0;
     bytes = 0;
+    retrans = 0;
   }
 
 let engine t = t.engine
@@ -148,6 +152,7 @@ let retrans_delay t ~src ~dst ~src_dc ~dst_dc =
   if t.config.loss <= 0.0 || src_dc = dst_dc then Sim_time.zero
   else if not (Rng.bernoulli t.rng ~p:t.config.loss) then Sim_time.zero
   else begin
+    t.retrans <- t.retrans + 1;
     let rtt = Sim_time.ms (Topology.rtt_ms t.topo src_dc dst_dc) in
     let rto = Sim_time.max t.config.rto_floor (Sim_time.add rtt rtt) in
     let now = Engine.now t.engine in
@@ -269,6 +274,11 @@ let mean_owd t ~src ~dst =
 let max_fifo_last t = t.max_fifo
 let fifo_entries t = Hashtbl.length t.fifo_last
 let stall_entries t = Hashtbl.length t.stall_until
+let retransmissions t = t.retrans
+
+let link_queue_us t ~src_dc ~dst_dc ~now =
+  Sim_time.to_us
+    (Sim_time.max Sim_time.zero (Sim_time.sub t.link_free_at.(src_dc).(dst_dc) now))
 
 let max_link_busy t =
   Array.fold_left

@@ -142,3 +142,13 @@ val fifo_entries : t -> int
 
 val stall_entries : t -> int
 (** Live loss-recovery stalls, pruned on the same sweep. *)
+
+val retransmissions : t -> int
+(** Cross-DC messages that lost a packet so far — each paid a fresh RTO
+    stall or joined the connection's ongoing one. Feeds the metrics
+    registry's [net.retransmissions] instrument. *)
+
+val link_queue_us : t -> src_dc:int -> dst_dc:int -> now:Simcore.Sim_time.t -> int
+(** Transmission-queue occupancy of a directed DC link in microseconds: how
+    long a message enqueued at [now] would wait before departing. Zero for
+    an idle link. *)

@@ -2,6 +2,7 @@ type t = {
   nodes : (int * Node.t) list;  (** network node id -> raft node *)
   member_ids : int array;
   engine : Simcore.Engine.t;
+  trace : Trace.t;  (** the network's sink, for "replication" lifecycle spans *)
 }
 
 let node t id =
@@ -27,7 +28,7 @@ let create ~engine ~net ~rng ?(config = Node.default_config) ~members ?initial_l
            (id, Node.create ~engine ~rng:(Simcore.Rng.split rng) ~config ~id ~peers:members))
          members)
   in
-  let t = { nodes; member_ids = members; engine } in
+  let t = { nodes; member_ids = members; engine; trace = Netsim.Network.trace net } in
   List.iter
     (fun (id, n) ->
       Node.set_transport n (fun ~dst msg ->
@@ -46,7 +47,21 @@ let members t = t.member_ids
 let leader_id t =
   List.find_map (fun (id, n) -> if Node.role n = Leader && not (Node.is_stopped n) then Some id else None) t.nodes
 
-let replicate t ~size ?(tag = 0) ~on_committed () =
+let replicate t ?(background = false) ~size ?(tag = 0) ~on_committed () =
+  (* A tagged, non-background replication sits on some transaction's commit
+     critical path; bracket it with a "replication" span so the latency
+     attribution engine can charge the wait to the right transaction. *)
+  let on_committed =
+    if background || tag = 0 || not (Trace.recording t.trace) then on_committed
+    else begin
+      Trace.span_begin t.trace ~txn:tag ~name:"replication"
+        ~at:(Simcore.Engine.now t.engine);
+      fun () ->
+        Trace.span_end t.trace ~txn:tag ~name:"replication"
+          ~at:(Simcore.Engine.now t.engine);
+        on_committed ()
+    end
+  in
   (* Leaderless windows (mid-election) buffer the request and retry, as a
      client library would; after ~30 s of no leader the entry is dropped
      (the group is considered failed). *)
@@ -60,6 +75,21 @@ let replicate t ~size ?(tag = 0) ~on_committed () =
                  attempt (tries + 1)))
   in
   attempt 0
+
+let commit_index t =
+  List.fold_left
+    (fun acc (_, n) -> if Node.is_stopped n then acc else max acc (Node.commit_index n))
+    0 t.nodes
+
+let replication_lag t =
+  let live = List.filter (fun (_, n) -> not (Node.is_stopped n)) t.nodes in
+  match live with
+  | [] -> 0
+  | _ ->
+      let head =
+        List.fold_left (fun acc (_, n) -> max acc (Node.log_length n)) 0 live
+      in
+      List.fold_left (fun acc (_, n) -> acc + (head - Node.commit_index n)) 0 live
 
 let crash t id = Node.crash (node t id)
 let restart t id = Node.restart (node t id)

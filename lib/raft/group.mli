@@ -27,10 +27,25 @@ val leader_id : t -> int option
 val node : t -> int -> Node.t
 (** The Raft node living at the given network node id. *)
 
-val replicate : t -> size:int -> ?tag:int -> on_committed:(unit -> unit) -> unit -> unit
+val replicate :
+  t -> ?background:bool -> size:int -> ?tag:int -> on_committed:(unit -> unit) -> unit -> unit
 (** Appends an entry at the current leader. During a leaderless window
     (mid-election) the request is buffered and retried every 200 ms, like a
-    client library would; it is dropped if no leader emerges within ~30 s. *)
+    client library would; it is dropped if no leader emerges within ~30 s.
+
+    When the network's trace sink is recording and [tag] names a
+    transaction, the call is bracketed by a ["replication"] lifecycle span
+    feeding latency attribution — unless [~background:true] marks it as off
+    the client's critical path (e.g. post-commit write propagation). *)
+
+val commit_index : t -> int
+(** Highest commit index among live members — the registry's progress
+    counter; its per-window delta is the group's commit throughput. *)
+
+val replication_lag : t -> int
+(** Total entries live members still have to commit to catch up with the
+    longest live log — the registry's replication-lag gauge (0 when fully
+    converged). *)
 
 val crash : t -> int -> unit
 val restart : t -> int -> unit

@@ -3,9 +3,19 @@ type t = {
   mutable free_at : Sim_time.t;
   mutable total_busy : Sim_time.t;
   mutable jobs : int;
+  mutable completed : int;
 }
 
-let create engine = { engine; free_at = Sim_time.zero; total_busy = Sim_time.zero; jobs = 0 }
+type mark = { m_at : Sim_time.t; m_busy : Sim_time.t }
+
+let create engine =
+  {
+    engine;
+    free_at = Sim_time.zero;
+    total_busy = Sim_time.zero;
+    jobs = 0;
+    completed = 0;
+  }
 
 let submit t ~cost f =
   let now = Engine.now t.engine in
@@ -14,13 +24,33 @@ let submit t ~cost f =
   t.free_at <- finish;
   t.total_busy <- Sim_time.add t.total_busy cost;
   t.jobs <- t.jobs + 1;
-  ignore (Engine.schedule_at t.engine finish f)
+  ignore
+    (Engine.schedule_at t.engine finish (fun () ->
+         t.completed <- t.completed + 1;
+         f ()))
 
 let busy_until t = t.free_at
 let total_busy t = t.total_busy
 let jobs_processed t = t.jobs
+let pending_jobs t = t.jobs - t.completed
+
+(* Busy time actually elapsed by [now]. [total_busy] is accrued at submit
+   time, so it counts work still sitting in the queue; for a work-conserving
+   single-server FIFO the part not yet elapsed is exactly the backlog
+   [max 0 (free_at - now)]. Exact for any [now] at or after the last
+   submission — which any live query satisfies. *)
+let busy_elapsed t ~now =
+  Sim_time.sub t.total_busy (Sim_time.max Sim_time.zero (Sim_time.sub t.free_at now))
+
+let mark t ~now = { m_at = now; m_busy = busy_elapsed t ~now }
+
+let utilization_since t m ~now =
+  let span = Sim_time.sub now m.m_at in
+  if span <= 0 then 0.0
+  else
+    float_of_int (Sim_time.sub (busy_elapsed t ~now) m.m_busy) /. float_of_int span
 
 let utilization t ~since ~now =
   let span = Sim_time.sub now since in
   if span <= 0 then 0.0
-  else Float.min 1.0 (float_of_int t.total_busy /. float_of_int span)
+  else Float.min 1.0 (float_of_int (busy_elapsed t ~now) /. float_of_int span)

@@ -30,6 +30,8 @@ type t = {
   txns : (int, txn_state) Hashtbl.t;
   mutable abort_handler : int -> unit;
   mutable next_seq : int;
+  mutable wounds : int;  (** wound-wait aborts (older requester kills younger) *)
+  mutable preempts : int;  (** priority preemptions (high requester kills low) *)
 }
 
 let create ~policy () =
@@ -39,6 +41,8 @@ let create ~policy () =
     txns = Hashtbl.create 256;
     abort_handler = (fun _ -> failwith "Locks: abort handler not set");
     next_seq = 0;
+    wounds = 0;
+    preempts = 0;
   }
 
 let set_abort_handler t f = t.abort_handler <- f
@@ -138,12 +142,13 @@ let woundable t victim =
   | Some st -> (not st.wounded) && not st.pinned
   | None -> false
 
-let wound t victim =
+let wound_counted t victim =
   match Hashtbl.find_opt t.txns victim with
   | Some st when (not st.wounded) && not st.pinned ->
       st.wounded <- true;
-      t.abort_handler victim
-  | _ -> ()
+      t.abort_handler victim;
+      true
+  | _ -> false
 
 let is_waiting t ~txn =
   match Hashtbl.find_opt t.txns txn with Some st -> st.waits <> [] | None -> false
@@ -220,7 +225,15 @@ let acquire t ~txn ~ts ~high ~key ~exclusive ~on_granted =
     in
     ks.queue <- insert_sorted t ks.queue req;
     if not (List.mem key st.waits) then st.waits <- key :: st.waits;
-    List.iter (fun v -> wound t v) (List.sort_uniq compare victims);
+    List.iter
+      (fun v ->
+        if wound_counted t v then
+          (* Classify for the metrics registry: under a preemption policy a
+             high-priority requester's kills are priority preemptions;
+             everything else is plain wound-wait. *)
+          if t.policy <> Wound_wait && high then t.preempts <- t.preempts + 1
+          else t.wounds <- t.wounds + 1)
+      (List.sort_uniq compare victims);
     (* Wounding may have released locks synchronously; grant what we can. *)
     grant_scan t key
   end
@@ -240,3 +253,9 @@ let waiters_on t ~key =
   match Hashtbl.find_opt t.keys key with
   | None -> []
   | Some ks -> List.map (fun r -> r.txn) ks.queue
+
+let wounds t = t.wounds
+let preempts t = t.preempts
+
+let waiting_txns t =
+  Hashtbl.fold (fun _ st acc -> if st.waits <> [] then acc + 1 else acc) t.txns 0

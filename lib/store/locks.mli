@@ -54,3 +54,18 @@ val holds : t -> txn:int -> key:int -> bool
 val is_waiting : t -> txn:int -> bool
 val held_count : t -> txn:int -> int
 val waiters_on : t -> key:int -> int list
+
+(** {2 Instrumentation} — counters and gauges for the metrics registry. *)
+
+val wounds : t -> int
+(** Transactions aborted by the wound-wait rule so far (an older requester
+    killing a younger conflicting holder). *)
+
+val preempts : t -> int
+(** Transactions aborted by priority preemption so far: kills triggered by a
+    high-priority requester under the [Preempt]/[Preempt_on_wait] policies.
+    Disjoint from {!wounds}. *)
+
+val waiting_txns : t -> int
+(** Live transactions currently waiting on at least one lock — the
+    wait-queue depth gauge. *)

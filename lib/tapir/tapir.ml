@@ -69,9 +69,14 @@ let make (cluster : Cluster.t) : System.t =
             replicas.(p))
         participants;
     let finished = ref false in
+    let trace = Netsim.Network.trace net in
     let finish ~committed =
       if not !finished then begin
         finished := true;
+        if Trace.recording trace then
+          Trace.instant trace ~tid:client ~txn:txn.Txn.id
+            ~name:(if committed then "txn-commit" else "txn-abort")
+            ~at:(Simcore.Engine.now cluster.Cluster.engine) ();
         on_done ~committed
       end
     in

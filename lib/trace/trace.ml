@@ -37,6 +37,9 @@ type t = {
   link_counts : (int * int, int ref) Hashtbl.t;
   mutable events : event list;  (** reversed; reversed back on output *)
   mutable n_events : int;
+  mutable stream : out_channel option;
+      (** streaming mode: full-mode events are written here at push time
+          instead of being buffered *)
 }
 
 let create () =
@@ -47,6 +50,7 @@ let create () =
     link_counts = Hashtbl.create 64;
     events = [];
     n_events = 0;
+    stream = None;
   }
 
 let enable ?(events = true) t = t.mode <- (if events then Full else Counters)
@@ -58,81 +62,6 @@ let bump tbl key n =
   match Hashtbl.find_opt tbl key with
   | Some r -> r := !r + n
   | None -> Hashtbl.replace tbl key (ref n)
-
-let push t ev =
-  t.events <- ev :: t.events;
-  t.n_events <- t.n_events + 1
-
-let message t ~kind ?txn ?priority ~src ~dst ~src_dc ~dst_dc ~bytes ~enqueue ~depart
-    ~deliver () =
-  match t.mode with
-  | Off -> None
-  | Counters | Full ->
-      bump t.kind_counts kind 1;
-      bump t.kind_bytes kind bytes;
-      bump t.link_counts (src_dc, dst_dc) 1;
-      if t.mode = Full then begin
-        let m =
-          {
-            m_kind = kind;
-            m_txn = txn;
-            m_priority = priority;
-            m_src = src;
-            m_dst = dst;
-            m_src_dc = src_dc;
-            m_dst_dc = dst_dc;
-            m_bytes = bytes;
-            m_enqueue = enqueue;
-            m_depart = depart;
-            m_deliver = deliver;
-            m_dequeue = None;
-          }
-        in
-        push t (Message m);
-        Some m
-      end
-      else None
-
-let set_dequeue m at = m.m_dequeue <- Some at
-
-let span t ~txn ~name ~phase ~tid ~at =
-  if t.mode = Full then
-    push t (Span { s_txn = txn; s_name = name; s_phase = phase; s_tid = tid; s_at = at })
-
-let span_begin t ~txn ~name ~at = span t ~txn ~name ~phase:Begin ~tid:0 ~at
-let span_end t ~txn ~name ~at = span t ~txn ~name ~phase:End ~tid:0 ~at
-let instant t ?(tid = 0) ~txn ~name ~at () = span t ~txn ~name ~phase:Instant ~tid ~at
-
-(* Fault events live on their own process track and deliberately bypass the
-   per-kind message counters, so the invariant "sum over kinds equals
-   messages_sent" keeps holding under fault injection. *)
-let fault t ~name ~at = if t.mode = Full then push t (Fault { f_name = name; f_at = at })
-
-let txn_events t ~txn =
-  (* [t.events] is most-recent-first, so a left fold that conses yields
-     chronological order. *)
-  List.fold_left
-    (fun acc ev ->
-      match ev with
-      | Span s when s.s_txn = txn ->
-          let name =
-            match s.s_phase with
-            | Begin -> s.s_name ^ ":begin"
-            | End -> s.s_name ^ ":end"
-            | Instant -> s.s_name
-          in
-          (name, s.s_at) :: acc
-      | _ -> acc)
-    [] t.events
-
-let sorted_counts tbl =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [] |> List.sort compare
-
-let kind_counts t = sorted_counts t.kind_counts
-let kind_bytes t = sorted_counts t.kind_bytes
-let link_counts t = sorted_counts t.link_counts
-let total_messages t = Hashtbl.fold (fun _ r acc -> acc + !r) t.kind_counts 0
-let event_count t = t.n_events
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace viewer (chrome://tracing, Perfetto) JSON.
@@ -188,29 +117,188 @@ let write_fault_event oc first (f : fault_ev) =
     "{\"name\":\"%s\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\"ts\":%d,\"pid\":2,\"tid\":0}"
     (json_escape f.f_name) (Sim_time.to_us f.f_at)
 
-let write_chrome_trace t ?(extra = []) oc =
-  output_string oc "{\"displayTimeUnit\":\"ms\",\n\"otherData\":{";
+let write_event oc first = function
+  | Message m -> write_msg_event oc first m
+  | Span s -> write_span_event oc first s
+  | Fault f -> write_fault_event oc first f
+
+(* Streaming prologue: the trace-events array opens immediately and every
+   pushed event is rendered straight to the channel, so a long full-mode run
+   stays at constant memory. [otherData] (whose counters only settle at the
+   end of the run) moves to the epilogue written by [write_chrome_trace]. *)
+let stream_to t oc =
+  t.stream <- Some oc;
+  output_string oc "{\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n";
+  output_string oc
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"network\"}},\n";
+  output_string oc
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"transactions\"}},\n";
+  output_string oc
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"args\":{\"name\":\"faults\"}}"
+
+let streaming t = t.stream <> None
+
+let push t ev =
+  t.n_events <- t.n_events + 1;
+  match t.stream with
+  | Some oc -> write_event oc (ref false) ev
+  | None -> t.events <- ev :: t.events
+
+let message t ~kind ?txn ?priority ~src ~dst ~src_dc ~dst_dc ~bytes ~enqueue ~depart
+    ~deliver () =
+  match t.mode with
+  | Off -> None
+  | Counters | Full ->
+      bump t.kind_counts kind 1;
+      bump t.kind_bytes kind bytes;
+      bump t.link_counts (src_dc, dst_dc) 1;
+      if t.mode = Full then begin
+        let m =
+          {
+            m_kind = kind;
+            m_txn = txn;
+            m_priority = priority;
+            m_src = src;
+            m_dst = dst;
+            m_src_dc = src_dc;
+            m_dst_dc = dst_dc;
+            m_bytes = bytes;
+            m_enqueue = enqueue;
+            m_depart = depart;
+            m_deliver = deliver;
+            m_dequeue = None;
+          }
+        in
+        push t (Message m);
+        (* A streamed message is already rendered, so a later CPU-dequeue
+           time could not be added to it; return no handle. *)
+        if t.stream = None then Some m else None
+      end
+      else None
+
+let set_dequeue m at = m.m_dequeue <- Some at
+
+let span t ~txn ~name ~phase ~tid ~at =
+  if t.mode = Full then
+    push t (Span { s_txn = txn; s_name = name; s_phase = phase; s_tid = tid; s_at = at })
+
+let span_begin t ~txn ~name ~at = span t ~txn ~name ~phase:Begin ~tid:0 ~at
+let span_end t ~txn ~name ~at = span t ~txn ~name ~phase:End ~tid:0 ~at
+let instant t ?(tid = 0) ~txn ~name ~at () = span t ~txn ~name ~phase:Instant ~tid ~at
+
+(* Fault events live on their own process track and deliberately bypass the
+   per-kind message counters, so the invariant "sum over kinds equals
+   messages_sent" keeps holding under fault injection. *)
+let fault t ~name ~at = if t.mode = Full then push t (Fault { f_name = name; f_at = at })
+
+let txn_events t ~txn =
+  (* [t.events] is most-recent-first, so a left fold that conses yields
+     chronological order. *)
+  List.fold_left
+    (fun acc ev ->
+      match ev with
+      | Span s when s.s_txn = txn ->
+          let name =
+            match s.s_phase with
+            | Begin -> s.s_name ^ ":begin"
+            | End -> s.s_name ^ ":end"
+            | Instant -> s.s_name
+          in
+          (name, s.s_at) :: acc
+      | _ -> acc)
+    [] t.events
+
+type event_view =
+  | V_message of {
+      kind : string;
+      txn : int option;
+      priority : int option;
+      enqueue : Sim_time.t;
+      depart : Sim_time.t;
+      deliver : Sim_time.t;
+      dequeue : Sim_time.t option;
+    }
+  | V_span of {
+      txn : int;
+      name : string;
+      phase : [ `Begin | `End | `Instant ];
+      at : Sim_time.t;
+    }
+  | V_fault of { name : string; at : Sim_time.t }
+
+let iter_events t f =
+  List.iter
+    (fun ev ->
+      f
+        (match ev with
+        | Message m ->
+            V_message
+              {
+                kind = m.m_kind;
+                txn = m.m_txn;
+                priority = m.m_priority;
+                enqueue = m.m_enqueue;
+                depart = m.m_depart;
+                deliver = m.m_deliver;
+                dequeue = m.m_dequeue;
+              }
+        | Span s ->
+            V_span
+              {
+                txn = s.s_txn;
+                name = s.s_name;
+                phase =
+                  (match s.s_phase with
+                  | Begin -> `Begin
+                  | End -> `End
+                  | Instant -> `Instant);
+                at = s.s_at;
+              }
+        | Fault fe -> V_fault { name = fe.f_name; at = fe.f_at }))
+    (List.rev t.events)
+
+let sorted_counts tbl =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [] |> List.sort compare
+
+let kind_counts t = sorted_counts t.kind_counts
+let kind_bytes t = sorted_counts t.kind_bytes
+let link_counts t = sorted_counts t.link_counts
+let total_messages t = Hashtbl.fold (fun _ r acc -> acc + !r) t.kind_counts 0
+let event_count t = t.n_events
+
+let other_data t extra =
+  ("total_messages", string_of_int (total_messages t))
+  :: List.map (fun (k, n) -> ("messages." ^ k, string_of_int n)) (kind_counts t)
+  @ extra
+
+let write_other_data t ~extra oc =
   let first = ref true in
   List.iter
     (fun (k, v) ->
       if not !first then output_string oc ",";
       first := false;
       Printf.fprintf oc "\"%s\":\"%s\"" (json_escape k) (json_escape v))
-    (("total_messages", string_of_int (total_messages t))
-    :: List.map (fun (k, n) -> ("messages." ^ k, string_of_int n)) (kind_counts t)
-    @ extra);
-  output_string oc "},\n\"traceEvents\":[\n";
-  output_string oc
-    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"network\"}},\n";
-  output_string oc
-    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"transactions\"}},\n";
-  output_string oc
-    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"args\":{\"name\":\"faults\"}}";
-  let first = ref false in
-  List.iter
-    (function
-      | Message m -> write_msg_event oc first m
-      | Span s -> write_span_event oc first s
-      | Fault f -> write_fault_event oc first f)
-    (List.rev t.events);
-  output_string oc "\n]}\n"
+    (other_data t extra)
+
+let write_chrome_trace t ?(extra = []) oc =
+  match t.stream with
+  | Some stream_oc ->
+      (* Streaming: the events already went out; close the array and append
+         the counters that only settled now. *)
+      assert (stream_oc == oc);
+      output_string oc "\n],\n\"otherData\":{";
+      write_other_data t ~extra oc;
+      output_string oc "}}\n"
+  | None ->
+      output_string oc "{\"displayTimeUnit\":\"ms\",\n\"otherData\":{";
+      write_other_data t ~extra oc;
+      output_string oc "},\n\"traceEvents\":[\n";
+      output_string oc
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"network\"}},\n";
+      output_string oc
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"transactions\"}},\n";
+      output_string oc
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"args\":{\"name\":\"faults\"}}";
+      let first = ref false in
+      List.iter (write_event oc first) (List.rev t.events);
+      output_string oc "\n]}\n"

@@ -35,7 +35,21 @@ val enabled : t -> bool
 (** Counters or full mode. *)
 
 val recording : t -> bool
-(** Full mode only: per-event records are being buffered. *)
+(** Full mode only: per-event records are being buffered (or streamed). *)
+
+val stream_to : t -> out_channel -> unit
+(** Switch the sink to streaming output: the Chrome-trace prologue is
+    written immediately and every subsequent full-mode event is rendered
+    straight to [oc] instead of being buffered, so memory stays constant
+    regardless of run length. Call before any events are recorded, keep the
+    channel open for the whole run, and finish by calling
+    {!write_chrome_trace} on the {e same} channel — in streaming mode it
+    writes only the epilogue (closing the event array and appending
+    ["otherData"]). Streamed message events cannot receive a CPU-dequeue
+    time retroactively, so {!message} returns [None] and the [cpu_done_us]
+    arg is omitted; {!txn_events} and {!iter_events} see no events. *)
+
+val streaming : t -> bool
 
 (** {2 Emission — called by [Netsim.Network] and the protocol layers} *)
 
@@ -93,6 +107,34 @@ val txn_events : t -> txn:int -> (string * Simcore.Sim_time.t) list
     order, span begins/ends tagged [":begin"]/[":end"]. Used by the history
     checker to print what a transaction in a counterexample cycle was doing
     and when. *)
+
+(** {2 Event iteration — consumed by [Metrics.Attribution]} *)
+
+type event_view =
+  | V_message of {
+      kind : string;
+      txn : int option;
+      priority : int option;
+      enqueue : Simcore.Sim_time.t;
+      depart : Simcore.Sim_time.t;
+      deliver : Simcore.Sim_time.t;
+      dequeue : Simcore.Sim_time.t option;
+    }
+      (** One network delivery: [enqueue] (send call) → [depart] (cleared
+          the link transmission queue) → [deliver] (arrived at the
+          destination node) → [dequeue] (destination CPU finished
+          processing it, when it went through the CPU station). *)
+  | V_span of {
+      txn : int;
+      name : string;
+      phase : [ `Begin | `End | `Instant ];
+      at : Simcore.Sim_time.t;
+    }
+  | V_fault of { name : string; at : Simcore.Sim_time.t }
+
+val iter_events : t -> (event_view -> unit) -> unit
+(** Full buffered mode only: every recorded event in chronological push
+    order. Empty in counters or streaming mode. *)
 
 (** {2 Output} *)
 

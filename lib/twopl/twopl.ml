@@ -39,6 +39,7 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
     (cluster : Cluster.t) ~variant : System.t =
   let net = cluster.Cluster.net in
   let engine = cluster.Cluster.engine in
+  let trace = Netsim.Network.trace net in
   let send ~src ~dst ~msg f = Rpc.send net ~src ~dst ~msg f in
   let recorder = cluster.Cluster.recorder in
   let abort_locally server txn_id =
@@ -69,6 +70,21 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
         Store.Locks.set_abort_handler s.locks (fun txn_id -> abort_locally s txn_id);
         s)
   in
+  (* Per-partition lock-table instruments for the metrics registry. *)
+  (let metrics = cluster.Cluster.metrics in
+   if Metrics.Registry.enabled metrics then
+     Array.iter
+       (fun s ->
+         Metrics.Registry.gauge metrics
+           (Printf.sprintf "locks.p%d.waiting" s.partition)
+           (fun () -> float_of_int (Store.Locks.waiting_txns s.locks));
+         Metrics.Registry.cumulative metrics
+           (Printf.sprintf "locks.p%d.wounds" s.partition)
+           (fun () -> Store.Locks.wounds s.locks);
+         Metrics.Registry.cumulative metrics
+           (Printf.sprintf "locks.p%d.preempts" s.partition)
+           (fun () -> Store.Locks.preempts s.locks))
+       servers);
   (* Wound-wait cannot resolve cycles through prepared (pinned)
      transactions — one can be prepared at a server where it holds locks and
      waiting at another. Like production systems, waits carry a timeout; a
@@ -76,9 +92,20 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
      wound-wait timestamp. *)
   let acquire_with_timeout server (r : live_rec) ~high ~key ~exclusive ~on_granted =
     let granted = ref false in
+    (* Lock waits become retroactive "lock-wait" spans: the begin/end pair is
+       emitted adjacently at grant time, so synchronous grants (now = t0) add
+       zero trace events. *)
+    let t0 = Simcore.Engine.now engine in
     Store.Locks.acquire server.locks ~txn:r.txn.Txn.id ~ts:r.txn.Txn.wound_ts ~high ~key
       ~exclusive ~on_granted:(fun () ->
         granted := true;
+        (if Trace.recording trace then begin
+           let now = Simcore.Engine.now engine in
+           if now > t0 then begin
+             Trace.span_begin trace ~txn:r.txn.Txn.id ~name:"lock-wait" ~at:t0;
+             Trace.span_end trace ~txn:r.txn.Txn.id ~name:"lock-wait" ~at:now
+           end
+         end);
         on_granted ());
     if not !granted then
       ignore
@@ -133,6 +160,9 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
           (fun () ->
             let c = coord_state ~txn_id:txn.Txn.id ~client ~n_participants:n in
             c.decided <- true);
+        if Trace.recording trace then
+          Trace.instant trace ~tid:client ~txn:txn.Txn.id ~name:"txn-abort"
+            ~at:(Simcore.Engine.now engine) ();
         on_done ~committed:false
       end
     in
@@ -154,6 +184,9 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
               (fun () ->
                 if not !finished then begin
                   finished := true;
+                  if Trace.recording trace then
+                    Trace.instant trace ~tid:client ~txn:txn.Txn.id ~name:"txn-commit"
+                      ~at:(Simcore.Engine.now engine) ();
                   on_done ~committed:true
                 end);
             List.iter
@@ -167,7 +200,7 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
                        the participant applies at the commit point and
                        replicates the write data in the background (as
                        Spanner leaders apply at the commit timestamp). *)
-                    Raft.Group.replicate cluster.Cluster.groups.(p)
+                    Raft.Group.replicate cluster.Cluster.groups.(p) ~background:true
                       ~size:(Msg.write_record_bytes ~writes:(List.length local))
                       ~tag:txn.Txn.id
                       ~on_committed:(fun () -> ())

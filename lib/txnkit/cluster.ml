@@ -17,12 +17,74 @@ type t = {
   groups : Raft.Group.t array;
   coordinator_partition : int array;
   recorder : Check.Recorder.t;
+  metrics : Metrics.Registry.t;
 }
+
+(* Cluster-level instruments. Every closure only reads simulator state, so
+   sampling is pure observation; nothing here runs unless the registry is
+   enabled and its sampler is started. *)
+let register_instruments ~(metrics : Metrics.Registry.t) ~engine ~net ~cpus ~replicas
+    ~groups ~proxies ~topo =
+  let now () = Engine.now engine in
+  Array.iteri
+    (fun p (members : int array) ->
+      let leader = members.(0) in
+      let cpu = cpus.(leader) in
+      Metrics.Registry.gauge metrics
+        (Printf.sprintf "cpu.leader%d.depth" p)
+        (fun () -> float_of_int (Cpu.pending_jobs cpu));
+      (* Monotone busy time; the per-window delta over the window length is
+         the partition leader's exact utilization in that window. *)
+      Metrics.Registry.cumulative metrics
+        (Printf.sprintf "cpu.leader%d.busy_us" p)
+        (fun () -> Sim_time.to_us (Cpu.busy_elapsed cpu ~now:(now ()))))
+    replicas;
+  let n_dcs = Topology.n_dcs topo in
+  for a = 0 to n_dcs - 1 do
+    for b = 0 to n_dcs - 1 do
+      if a <> b then
+        Metrics.Registry.gauge metrics
+          (Printf.sprintf "net.link.%d-%d.queue_us" a b)
+          (fun () -> float_of_int (Network.link_queue_us net ~src_dc:a ~dst_dc:b ~now:(now ())))
+    done
+  done;
+  Metrics.Registry.cumulative metrics "net.messages" (fun () -> Network.messages_sent net);
+  Metrics.Registry.cumulative metrics "net.bytes" (fun () -> Network.bytes_sent net);
+  Metrics.Registry.cumulative metrics "net.retransmissions" (fun () ->
+      Network.retransmissions net);
+  Array.iteri
+    (fun p g ->
+      Metrics.Registry.cumulative metrics
+        (Printf.sprintf "raft.p%d.commit_index" p)
+        (fun () -> Raft.Group.commit_index g);
+      Metrics.Registry.gauge metrics
+        (Printf.sprintf "raft.p%d.lag" p)
+        (fun () -> float_of_int (Raft.Group.replication_lag g)))
+    groups;
+  if Array.length proxies > 0 then
+    (* Mean absolute error of the measurement layer's one-way-delay
+       estimates against the topological truth, over every (proxy, target)
+       pair that has an estimate yet. *)
+    Metrics.Registry.gauge metrics "measure.est_err_us" (fun () ->
+        let sum = ref 0. and n = ref 0 in
+        Array.iter
+          (fun proxy ->
+            let pnode = Measure.Proxy.node proxy in
+            List.iter
+              (fun (target, est_us) ->
+                let truth =
+                  float_of_int (Sim_time.to_us (Network.mean_owd net ~src:pnode ~dst:target))
+                in
+                sum := !sum +. Float.abs (est_us -. truth);
+                incr n)
+              (Measure.Proxy.snapshot proxy))
+          proxies;
+        if !n = 0 then 0. else !sum /. float_of_int !n)
 
 let build ?(topo = Topology.azure5) ?(n_partitions = 5) ?(replication = 3)
     ?(clients_per_dc = 2) ?(net_config = Network.default_config)
     ?(raft_config = Raft.Node.default_config) ?(max_clock_skew = Sim_time.ms 1.)
-    ?(with_raft = true) ?(with_proxies = true) ?trace ~seed () =
+    ?(with_raft = true) ?(with_proxies = true) ?trace ?metrics ~seed () =
   let engine = Engine.create () in
   let rng = Rng.create ~seed in
   let n_dcs = Topology.n_dcs topo in
@@ -113,6 +175,11 @@ let build ?(topo = Topology.azure5) ?(n_partitions = 5) ?(replication = 3)
             !best
         | p -> p)
   in
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.Registry.create ()
+  in
+  if Metrics.Registry.enabled metrics then
+    register_instruments ~metrics ~engine ~net ~cpus ~replicas ~groups ~proxies ~topo;
   {
     engine;
     rng;
@@ -129,6 +196,7 @@ let build ?(topo = Topology.azure5) ?(n_partitions = 5) ?(replication = 3)
     groups;
     coordinator_partition;
     recorder = Check.Recorder.create ();
+    metrics;
   }
 
 let partition_of_key t key = ((key mod t.n_partitions) + t.n_partitions) mod t.n_partitions

@@ -28,6 +28,14 @@ type t = {
   recorder : Check.Recorder.t;
       (** history recorder, created disabled; [Check.Recorder.enable] turns
           the run into a checkable history at zero behavioral cost *)
+  metrics : Metrics.Registry.t;
+      (** metrics registry; when passed to {!build} already enabled, the
+          cluster registers its instruments into it (per-partition leader
+          CPU depth and busy time, per-DC-pair link queue occupancy, network
+          message/byte/retransmission counters, per-partition Raft commit
+          progress and replication lag, measurement estimation error).
+          Protocol layers add their own (lock tables, queues). Disabled by
+          default: nothing is registered and nothing is sampled. *)
 }
 
 val build :
@@ -41,6 +49,7 @@ val build :
   ?with_raft:bool ->
   ?with_proxies:bool ->
   ?trace:Trace.t ->
+  ?metrics:Metrics.Registry.t ->
   seed:int ->
   unit ->
   t

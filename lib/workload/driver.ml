@@ -97,7 +97,32 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
     end
   in
   let recorder = cluster.Cluster.recorder in
-  let rec attempt (txn : Txn.t) ~tries =
+  let metrics = cluster.Cluster.metrics in
+  let m_on = Metrics.Registry.enabled metrics in
+  let c_commits = if m_on then Some (Metrics.Registry.counter metrics "txn.commits") else None in
+  let c_aborts = if m_on then Some (Metrics.Registry.counter metrics "txn.aborts") else None in
+  let h_high = if m_on then Some (Metrics.Registry.histogram metrics "latency.high_ms") else None in
+  let h_low = if m_on then Some (Metrics.Registry.histogram metrics "latency.low_ms") else None in
+  let bump c = match c with Some c -> Metrics.Registry.add c 1 | None -> () in
+  let observe h v = match h with Some h -> Metrics.Registry.observe h v | None -> () in
+  (* Attempt lineage per logical transaction: retries get fresh attempt ids,
+     so the trace alone cannot reconnect them; the attribution engine needs
+     the driver to record which attempts made up each transaction. *)
+  let note_finished (txn : Txn.t) history =
+    if m_on && in_window txn.Txn.born then begin
+      let high = txn.Txn.priority = Txn.High in
+      observe (if high then h_high else h_low)
+        (Sim_time.to_ms (Sim_time.sub (Engine.now engine) txn.Txn.born));
+      Metrics.Registry.note_txn metrics
+        {
+          Metrics.Registry.born = txn.Txn.born;
+          finished = Engine.now engine;
+          high;
+          attempts = List.rev history;
+        }
+    end
+  in
+  let rec attempt (txn : Txn.t) ~tries ~history =
     st.attempts <- st.attempts + 1;
     (* Each attempt gets its own span on the trace's transaction track;
        retries show up as consecutive spans under fresh attempt ids. *)
@@ -111,7 +136,19 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
        strict serializability is entitled to. *)
     if Check.Recorder.enabled recorder then
       Check.Recorder.start recorder ~txn:txn.Txn.id ~at:(Engine.now engine);
+    let a_start = Engine.now engine in
     system.System.submit txn ~on_done:(fun ~committed ->
+        let history =
+          if m_on then
+            {
+              Metrics.Registry.a_txn = txn.Txn.id;
+              a_start;
+              a_end = Engine.now engine;
+              a_committed = committed;
+            }
+            :: history
+          else history
+        in
         if Trace.recording trace then
           Trace.span_end trace ~txn:txn.Txn.id ~name:span_name ~at:(Engine.now engine);
         if Check.Recorder.enabled recorder then
@@ -120,10 +157,13 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
           else Check.Recorder.aborted recorder ~txn:txn.Txn.id;
         if committed then begin
           st.inflight <- st.inflight - 1;
+          bump c_commits;
+          note_finished txn history;
           record_commit txn
         end
         else begin
           st.aborts <- st.aborts + 1;
+          bump c_aborts;
           if tries + 1 >= config.max_retries then begin
             st.inflight <- st.inflight - 1;
             if in_window txn.Txn.born then st.failed <- st.failed + 1
@@ -132,7 +172,7 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
             (* Immediate retry with a fresh attempt id; keys, priority, birth
                time and wound timestamp are preserved. *)
             let retry = { txn with Txn.id = fresh_id () } in
-            attempt retry ~tries:(tries + 1)
+            attempt retry ~tries:(tries + 1) ~history
           end
         end)
   in
@@ -147,7 +187,7 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
         ~priority
     in
     st.inflight <- st.inflight + 1;
-    attempt txn ~tries:0
+    attempt txn ~tries:0 ~history:[]
   in
   let rec arrival_loop () =
     let gap = Rng.exponential rng ~mean:(1e6 /. config.rate_tps) in
@@ -159,7 +199,9 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
              arrival_loop ()))
   in
   arrival_loop ();
-  Engine.run_until engine (Sim_time.add config.duration config.drain);
+  let horizon = Sim_time.add config.duration config.drain in
+  Metrics.Registry.run_sampler metrics ~engine ~until:horizon;
+  Engine.run_until engine horizon;
   let window_seconds = Sim_time.to_seconds (Sim_time.sub window_end window_start) in
   {
     high_latencies_ms = Vec.to_array st.high;

@@ -1,0 +1,403 @@
+(* Tests for the metrics registry (window/reset semantics, sampling
+   determinism) and the latency-attribution engine (hand-built span sets
+   with known answers, plus a QCheck property that segments are never
+   negative and always sum to the end-to-end latency). *)
+
+open Simcore
+open Metrics
+
+let ms = Sim_time.ms
+
+(* --- registry ---------------------------------------------------------- *)
+
+let test_windows () =
+  let engine = Engine.create () in
+  let reg = Registry.create () in
+  Registry.enable ~interval:(ms 10.) reg;
+  let depth = ref 0.0 in
+  Registry.gauge reg "depth" (fun () -> !depth);
+  let ext = ref 100 in
+  Registry.cumulative reg "ext" (fun () -> !ext);
+  let ctr = Registry.counter reg "ctr" in
+  (* Gauge changes mid-window are invisible; only the boundary value is
+     sampled. Counters/cumulatives record per-window deltas. *)
+  ignore (Engine.schedule_at engine (Sim_time.to_us (ms 4.)) (fun () -> depth := 7.0));
+  ignore
+    (Engine.schedule_at engine (Sim_time.to_us (ms 12.)) (fun () ->
+         depth := 3.0;
+         ext := 105;
+         Registry.add ctr 2));
+  ignore
+    (Engine.schedule_at engine (Sim_time.to_us (ms 25.)) (fun () ->
+         ext := 106;
+         Registry.add ctr 1));
+  Registry.run_sampler reg ~engine ~until:(ms 30.);
+  Engine.run_until engine (ms 30.);
+  let windows = Registry.windows reg in
+  Alcotest.(check int) "three windows" 3 (List.length windows);
+  let nth i = List.nth windows i in
+  let sample i name = List.assoc name (nth i).Registry.samples in
+  Alcotest.(check (float 0.)) "w0 gauge at boundary" 7.0 (sample 0 "depth");
+  Alcotest.(check (float 0.)) "w1 gauge" 3.0 (sample 1 "depth");
+  Alcotest.(check (float 0.)) "w0 cumulative delta" 0.0 (sample 0 "ext");
+  Alcotest.(check (float 0.)) "w1 cumulative delta" 5.0 (sample 1 "ext");
+  Alcotest.(check (float 0.)) "w2 cumulative delta" 1.0 (sample 2 "ext");
+  Alcotest.(check (float 0.)) "w1 counter delta" 2.0 (sample 1 "ctr");
+  Alcotest.(check (float 0.)) "w2 counter delta" 1.0 (sample 2 "ctr");
+  Alcotest.(check int) "counter total" 3 (Registry.counter_total ctr);
+  List.iteri
+    (fun i w ->
+      Alcotest.(check int)
+        (Printf.sprintf "w%d start" i)
+        (Sim_time.to_us (ms (float_of_int (10 * i))))
+        w.Registry.w_start)
+    windows
+
+let test_disabled_noop () =
+  let engine = Engine.create () in
+  let reg = Registry.create () in
+  Registry.gauge reg "g" (fun () -> 1.0);
+  Registry.run_sampler reg ~engine ~until:(ms 50.);
+  Engine.run_until engine (ms 50.);
+  Alcotest.(check int) "no windows when disabled" 0 (List.length (Registry.windows reg));
+  Alcotest.(check int) "no sampler events" 0 (Engine.events_processed engine)
+
+let test_reset () =
+  let reg = Registry.create () in
+  Registry.enable ~interval:(ms 10.) reg;
+  let ctr = Registry.counter reg "ctr" in
+  let h = Registry.histogram reg "lat" in
+  Registry.add ctr 5;
+  Registry.observe h 12.0;
+  Registry.sample_now reg ~now:(ms 10.);
+  Alcotest.(check int) "one window before reset" 1 (List.length (Registry.windows reg));
+  Registry.note_txn reg
+    { Registry.born = 0; finished = ms 1.; high = false; attempts = [] };
+  Registry.reset reg ~now:(ms 10.);
+  Alcotest.(check int) "windows dropped" 0 (List.length (Registry.windows reg));
+  Alcotest.(check int) "txn records dropped" 0 (List.length (Registry.txn_records reg));
+  Alcotest.(check int) "histogram emptied" 0 (Registry.hist_count h);
+  (* The counter handle survives and re-baselines: only post-reset bumps
+     land in the next window. *)
+  Registry.add ctr 2;
+  Registry.sample_now reg ~now:(ms 20.);
+  (match Registry.windows reg with
+  | [ w ] ->
+      Alcotest.(check (float 0.)) "post-reset delta" 2.0 (List.assoc "ctr" w.Registry.samples);
+      Alcotest.(check int) "window clock rebased" (Sim_time.to_us (ms 10.)) w.Registry.w_start
+  | ws -> Alcotest.failf "expected 1 window, got %d" (List.length ws));
+  Alcotest.(check int) "total restarts at reset" 2 (Registry.counter_total ctr)
+
+(* Two identical simulations must sample identical window series: sampling
+   draws no randomness and observes only simulation state. *)
+let test_sampling_deterministic () =
+  let run () =
+    let engine = Engine.create () in
+    let rng = Rng.create ~seed:9 in
+    let reg = Registry.create () in
+    Registry.enable ~interval:(ms 5.) reg;
+    let v = ref 0.0 in
+    Registry.gauge reg "v" (fun () -> !v);
+    (* A jittered writer: the jitter comes from the sim's own seeded RNG, so
+       both runs see the same schedule. *)
+    let rec bump t =
+      if Sim_time.compare t (ms 100.) < 0 then
+        ignore
+          (Engine.schedule_at engine t (fun () ->
+               v := !v +. Rng.uniform rng ~lo:0. ~hi:1.;
+               bump (Sim_time.add t (Sim_time.us (1000 + Rng.int rng 3000)))))
+    in
+    bump (ms 1.);
+    Registry.run_sampler reg ~engine ~until:(ms 100.);
+    Engine.run_until engine (ms 100.);
+    List.map
+      (fun w -> (w.Registry.w_start, w.Registry.w_end, w.Registry.samples))
+      (Registry.windows reg)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same window count" (List.length a) (List.length b);
+  Alcotest.(check bool) "identical series" true (a = b)
+
+(* --- attribution ------------------------------------------------------- *)
+
+let seg_list b = Attribution.to_list b.Attribution.t_seg
+
+let check_segments msg expected b =
+  List.iter
+    (fun (name, want) ->
+      Alcotest.(check int) (msg ^ " " ^ name) want (List.assoc name (seg_list b)))
+    expected
+
+(* One committed attempt with one message and non-overlapping spans:
+   every segment lands exactly where constructed, and exec absorbs the
+   uncovered remainder. *)
+let test_attribution_single_attempt () =
+  let trace = Trace.create () in
+  Trace.enable trace;
+  let h =
+    Trace.message trace ~kind:"prepare" ~txn:1 ~src:0 ~dst:1 ~src_dc:0 ~dst_dc:1 ~bytes:100
+      ~enqueue:(Sim_time.us 1000) ~depart:(Sim_time.us 1000) ~deliver:(Sim_time.us 1500) ()
+  in
+  (match h with Some h -> Trace.set_dequeue h (Sim_time.us 1600) | None -> Alcotest.fail "full mode");
+  Trace.span_begin trace ~txn:1 ~name:"lock-wait" ~at:(Sim_time.us 2000);
+  Trace.span_end trace ~txn:1 ~name:"lock-wait" ~at:(Sim_time.us 5000);
+  Trace.span_begin trace ~txn:1 ~name:"replication" ~at:(Sim_time.us 5000);
+  Trace.span_end trace ~txn:1 ~name:"replication" ~at:(Sim_time.us 7000);
+  let txn =
+    {
+      Registry.born = Sim_time.us 1000;
+      finished = Sim_time.us 9000;
+      high = true;
+      attempts =
+        [
+          {
+            Registry.a_txn = 1;
+            a_start = Sim_time.us 1000;
+            a_end = Sim_time.us 9000;
+            a_committed = true;
+          };
+        ];
+    }
+  in
+  (match Attribution.analyze ~trace ~txns:[ txn ] with
+  | [ b ] ->
+      Alcotest.(check int) "e2e" 8000 b.Attribution.t_e2e_us;
+      Alcotest.(check bool) "high" true b.Attribution.t_high;
+      check_segments "single"
+        [
+          ("wan", 500);
+          ("cpu_queue", 100);
+          ("lock_wait", 3000);
+          ("replication", 2000);
+          ("backoff", 0);
+          ("exec", 2400);
+          ("residual", 0);
+        ]
+        b;
+      Alcotest.(check int) "sums to e2e" b.Attribution.t_e2e_us
+        (Attribution.total b.Attribution.t_seg)
+  | bs -> Alcotest.failf "expected 1 breakdown, got %d" (List.length bs))
+
+(* Overlapping lock-wait and replication spans: each microsecond goes to
+   exactly one segment, with lock_wait taking priority on the overlap. *)
+let test_attribution_overlap_priority () =
+  let trace = Trace.create () in
+  Trace.enable trace;
+  Trace.span_begin trace ~txn:2 ~name:"lock-wait" ~at:(Sim_time.us 2000);
+  Trace.span_end trace ~txn:2 ~name:"lock-wait" ~at:(Sim_time.us 6000);
+  Trace.span_begin trace ~txn:2 ~name:"replication" ~at:(Sim_time.us 5000);
+  Trace.span_end trace ~txn:2 ~name:"replication" ~at:(Sim_time.us 7000);
+  let txn =
+    {
+      Registry.born = Sim_time.us 1000;
+      finished = Sim_time.us 8000;
+      high = false;
+      attempts =
+        [
+          {
+            Registry.a_txn = 2;
+            a_start = Sim_time.us 1000;
+            a_end = Sim_time.us 8000;
+            a_committed = true;
+          };
+        ];
+    }
+  in
+  (match Attribution.analyze ~trace ~txns:[ txn ] with
+  | [ b ] ->
+      check_segments "overlap"
+        [ ("lock_wait", 4000); ("replication", 1000); ("exec", 2000); ("residual", 0) ]
+        b
+  | bs -> Alcotest.failf "expected 1 breakdown, got %d" (List.length bs))
+
+(* Aborted attempts are charged wholly to backoff (their spans don't leak
+   into other segments), and time between attempts shows up as residual. *)
+let test_attribution_retry_and_residual () =
+  let trace = Trace.create () in
+  Trace.enable trace;
+  (* Span inside the aborted attempt: must be folded into backoff. *)
+  Trace.span_begin trace ~txn:10 ~name:"lock-wait" ~at:(Sim_time.us 1500);
+  Trace.span_end trace ~txn:10 ~name:"lock-wait" ~at:(Sim_time.us 3000);
+  let txn =
+    {
+      Registry.born = Sim_time.us 1000;
+      finished = Sim_time.us 10000;
+      high = false;
+      attempts =
+        [
+          {
+            Registry.a_txn = 10;
+            a_start = Sim_time.us 1000;
+            a_end = Sim_time.us 4000;
+            a_committed = false;
+          };
+          (* 500us gap before the retry -> residual *)
+          {
+            Registry.a_txn = 11;
+            a_start = Sim_time.us 4500;
+            a_end = Sim_time.us 10000;
+            a_committed = true;
+          };
+        ];
+    }
+  in
+  (match Attribution.analyze ~trace ~txns:[ txn ] with
+  | [ b ] ->
+      check_segments "retry"
+        [ ("backoff", 3000); ("residual", 500); ("exec", 5500); ("lock_wait", 0) ]
+        b;
+      Alcotest.(check int) "sums to e2e" 9000 (Attribution.total b.Attribution.t_seg)
+  | bs -> Alcotest.failf "expected 1 breakdown, got %d" (List.length bs))
+
+(* --- QCheck: attribution is total and non-negative --------------------- *)
+
+(* A random transaction: sequential attempts over sorted random boundaries,
+   random (possibly overlapping, possibly out-of-attempt) spans and
+   messages. Whatever the shape, every segment must be >= 0 and the seven
+   must sum exactly to the end-to-end latency. *)
+type rand_txn = {
+  r_born : int;
+  r_finished : int;
+  r_attempts : (int * int * int) list;  (** (txn id, start, end); last commits *)
+  r_spans : (int * string * int * int) list;  (** (txn id, name, begin, end) *)
+  r_msgs : (int * int * int * int) list;  (** (txn id, enqueue, deliver, dequeue) *)
+}
+
+let rand_txn_gen =
+  QCheck.Gen.(
+    let time = int_bound 20_000 in
+    let sorted2 = map (fun (a, b) -> (min a b, max a b)) (pair time time) in
+    let sorted3 =
+      map
+        (fun (a, b, c) ->
+          let l = List.sort compare [ a; b; c ] in
+          (List.nth l 0, List.nth l 1, List.nth l 2))
+        (triple time time time)
+    in
+    int_range 1 3 >>= fun n_attempts ->
+    list_size (return (2 * n_attempts)) time >>= fun bounds ->
+    let bounds = List.sort compare bounds in
+    let attempts =
+      List.init n_attempts (fun i ->
+          (100 + i, List.nth bounds (2 * i), List.nth bounds ((2 * i) + 1)))
+    in
+    let born = match attempts with (_, s, _) :: _ -> s | [] -> 0 in
+    let last_end = List.fold_left (fun _ (_, _, e) -> e) born attempts in
+    int_bound 1000 >>= fun extra ->
+    let ids = List.map (fun (id, _, _) -> id) attempts in
+    let span =
+      pair (oneofl ids) (pair (oneofl [ "lock-wait"; "replication" ]) sorted2)
+      |> map (fun (id, (name, (b, e))) -> (id, name, b, e))
+    in
+    let msg = pair (oneofl ids) sorted3 |> map (fun (id, (e, d, q)) -> (id, e, d, q)) in
+    pair (list_size (int_bound 6) span) (list_size (int_bound 4) msg)
+    >>= fun (spans, msgs) ->
+    return
+      {
+        r_born = born;
+        r_finished = last_end + extra;
+        r_attempts = attempts;
+        r_spans = spans;
+        r_msgs = msgs;
+      })
+
+let rand_txn_print r =
+  Printf.sprintf "born=%d finished=%d attempts=[%s] spans=[%s] msgs=[%s]" r.r_born
+    r.r_finished
+    (String.concat ";"
+       (List.map (fun (id, s, e) -> Printf.sprintf "%d:%d-%d" id s e) r.r_attempts))
+    (String.concat ";"
+       (List.map (fun (id, n, b, e) -> Printf.sprintf "%d:%s:%d-%d" id n b e) r.r_spans))
+    (String.concat ";"
+       (List.map (fun (id, e, d, q) -> Printf.sprintf "%d:%d/%d/%d" id e d q) r.r_msgs))
+
+let build_and_analyze r =
+  let trace = Trace.create () in
+  Trace.enable trace;
+  List.iter
+    (fun (id, name, b, e) ->
+      Trace.span_begin trace ~txn:id ~name ~at:b;
+      Trace.span_end trace ~txn:id ~name ~at:e)
+    r.r_spans;
+  List.iter
+    (fun (id, enq, del, deq) ->
+      match
+        Trace.message trace ~kind:"m" ~txn:id ~src:0 ~dst:1 ~src_dc:0 ~dst_dc:1 ~bytes:10
+          ~enqueue:enq ~depart:enq ~deliver:del ()
+      with
+      | Some h -> Trace.set_dequeue h deq
+      | None -> ())
+    r.r_msgs;
+  let n = List.length r.r_attempts in
+  let attempts =
+    List.mapi
+      (fun i (id, s, e) ->
+        { Registry.a_txn = id; a_start = s; a_end = e; a_committed = i = n - 1 })
+      r.r_attempts
+  in
+  Attribution.analyze ~trace
+    ~txns:[ { Registry.born = r.r_born; finished = r.r_finished; high = false; attempts } ]
+
+let prop_non_negative_and_total =
+  QCheck.Test.make ~name:"segments non-negative and sum to e2e" ~count:500
+    (QCheck.make ~print:rand_txn_print rand_txn_gen)
+    (fun r ->
+      match build_and_analyze r with
+      | [ b ] ->
+          List.for_all (fun (_, v) -> v >= 0) (seg_list b)
+          && Attribution.total b.Attribution.t_seg = b.Attribution.t_e2e_us
+          && b.Attribution.t_e2e_us = r.r_finished - r.r_born
+      | _ -> false)
+
+(* --- aggregation ------------------------------------------------------- *)
+
+let test_aggregate () =
+  Alcotest.(check bool) "empty aggregates to None" true (Attribution.aggregate [] = None);
+  let mk e2e lock =
+    {
+      Attribution.t_high = false;
+      t_e2e_us = e2e;
+      t_seg =
+        {
+          Attribution.wan = 0;
+          cpu_queue = 0;
+          lock_wait = lock;
+          replication = 0;
+          backoff = 0;
+          exec = e2e - lock;
+          residual = 0;
+        };
+    }
+  in
+  match Attribution.aggregate [ mk 1000 400; mk 3000 800 ] with
+  | None -> Alcotest.fail "aggregate"
+  | Some a ->
+      Alcotest.(check int) "n" 2 a.Attribution.n;
+      Alcotest.(check (float 1e-6)) "e2e mean ms" 2.0 a.Attribution.e2e_mean_ms;
+      Alcotest.(check (float 1e-6)) "lock mean us" 600.0
+        (List.assoc "lock_wait" a.Attribution.mean_us);
+      Alcotest.(check bool) "residual fraction tiny" true
+        (Attribution.residual_fraction a < 0.01)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "window deltas and boundaries" `Quick test_windows;
+          Alcotest.test_case "disabled registry is inert" `Quick test_disabled_noop;
+          Alcotest.test_case "reset drops data, keeps handles" `Quick test_reset;
+          Alcotest.test_case "sampling is deterministic" `Quick test_sampling_deterministic;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "single attempt, known segments" `Quick
+            test_attribution_single_attempt;
+          Alcotest.test_case "overlap resolves by priority" `Quick
+            test_attribution_overlap_priority;
+          Alcotest.test_case "retries charge backoff, gaps residual" `Quick
+            test_attribution_retry_and_residual;
+          Alcotest.test_case "aggregate means" `Quick test_aggregate;
+          QCheck_alcotest.to_alcotest prop_non_negative_and_total;
+        ] );
+    ]
