@@ -20,6 +20,18 @@ let micro_tests () =
        let rec drain () = match Event_queue.pop q with Some _ -> drain () | None -> () in
        drain ())
   in
+  let queue_cancel_churn =
+    (* Watchdog pattern: almost every timer is cancelled before firing. *)
+    Test.make ~name:"event_queue push+cancel x100"
+      (Staged.stage @@ fun () ->
+       let q = Event_queue.create () in
+       for i = 1 to 100 do
+         let h = Event_queue.push q ~time:(1000 + i) i in
+         if i mod 10 <> 0 then Event_queue.cancel h
+       done;
+       let rec drain () = match Event_queue.pop q with Some _ -> drain () | None -> () in
+       drain ())
+  in
   let zipf = Workload.Zipf.create ~n:1_000_000 ~theta:0.95 in
   let zipf_rng = Rng.create ~seed:1 in
   let zipf_sample =
@@ -64,7 +76,31 @@ let micro_tests () =
       (Staged.stage @@ fun () -> ignore (Rng.pareto rng ~mean:40.0 ~cv:0.3))
   in
   Test.make_grouped ~name:"core"
-    [ queue_churn; zipf_sample; occ_cycle; tsq_cycle; percentile; pareto ]
+    [ queue_churn; queue_cancel_churn; zipf_sample; occ_cycle; tsq_cycle; percentile; pareto ]
+
+(* Peak physical heap size under the watchdog pattern: a long-lived queue
+   where nearly every pushed timer is cancelled well before its deadline.
+   Without compaction the dead entries sit in the heap until pop reaches
+   their (far-future) timestamps and the peak tracks the total number of
+   pushes; with compaction it stays within ~2x the live count. *)
+let cancel_heavy_report () =
+  let open Simcore in
+  let pushes = 100_000 in
+  let q = Event_queue.create () in
+  let peak = ref 0 in
+  for i = 1 to pushes do
+    (* Timer armed 1000 ticks out; 99% are cancelled immediately (the
+       guarded operation completed), and we also pop the occasional due
+       event so the queue behaves like a live engine's. *)
+    let h = Event_queue.push q ~time:(i + 1000) i in
+    if i mod 100 <> 0 then Event_queue.cancel h;
+    if i mod 50 = 0 then ignore (Event_queue.pop q);
+    if Event_queue.size q > !peak then peak := Event_queue.size q
+  done;
+  Printf.printf
+    "event_queue cancel-heavy: %d pushes (99%% cancelled), peak heap %d entries, %d live \
+     at end\n%!"
+    pushes !peak (Event_queue.live_size q)
 
 let run_micro () =
   Printf.printf "\n# Micro-benchmarks (Bechamel, OLS estimate per call)\n%!";
@@ -81,7 +117,8 @@ let run_micro () =
       results []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
-  List.iter (fun (name, ns) -> Printf.printf "%-40s %12.1f ns/call\n%!" name ns) rows
+  List.iter (fun (name, ns) -> Printf.printf "%-40s %12.1f ns/call\n%!" name ns) rows;
+  cancel_heavy_report ()
 
 (* --- machine-readable results ----------------------------------------- *)
 
@@ -113,7 +150,7 @@ let git_rev () =
    figure id -> series -> point list, with run metadata. The CSV on stdout
    stays the human-readable copy; this file is for plotting scripts and
    regression diffs. *)
-let write_results ~scale ~wall_s file =
+let write_results ~scale ~wall_s ~jobs file =
   let open Harness.Figures in
   let points = collected_points () in
   if points <> [] then begin
@@ -121,13 +158,18 @@ let write_results ~scale ~wall_s file =
     let uniq xs =
       List.rev (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
     in
+    (* busy / wall is the achieved parallel speedup: total time spent inside
+       simulation jobs over the elapsed wall clock. At --jobs 1 it is ~1. *)
+    let busy_s = Harness.Pool.busy_seconds () in
+    let speedup = if wall_s > 0. then busy_s /. wall_s else 1.0 in
     Printf.fprintf oc
-      "{\"meta\":{\"scale\":\"%s\",\"seeds\":[%s],\"git_rev\":\"%s\",\"wall_time_s\":%.1f},\n\
+      "{\"meta\":{\"scale\":\"%s\",\"seeds\":[%s],\"git_rev\":\"%s\",\"wall_time_s\":%.1f,\
+       \"jobs\":%d,\"busy_time_s\":%.1f,\"speedup\":%.2f},\n\
        \"figures\":{"
       (match scale with Quick -> "quick" | Full -> "full")
       (String.concat "," (List.map string_of_int (seeds scale)))
       (json_escape (git_rev ()))
-      wall_s;
+      wall_s jobs busy_s speedup;
     let figures = uniq (List.map (fun p -> p.pt_figure) points) in
     List.iteri
       (fun fi fig ->
@@ -180,6 +222,30 @@ let () =
   in
   let args = List.filter (fun a -> a <> "--trace-summary") args in
   if trace_summary then Harness.Experiment.set_trace_counters true;
+  (* --jobs N / --jobs=N caps the Domain pool for figure cells; the default
+     is min(cores, cells) and NATTO_JOBS also overrides it. Results are
+     byte-for-byte identical at any setting. *)
+  let jobs_raw, args =
+    let rec scan acc = function
+      | [] -> (None, List.rev acc)
+      | "--jobs" :: n :: rest -> (Some n, List.rev_append acc rest)
+      | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+          (Some (String.sub arg 7 (String.length arg - 7)), List.rev_append acc rest)
+      | arg :: rest -> scan (arg :: acc) rest
+    in
+    scan [] args
+  in
+  let jobs_setting =
+    match jobs_raw with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Some n
+        | _ ->
+            Printf.eprintf "bench: --jobs expects a positive integer, got %S\n" s;
+            exit 1)
+  in
+  Harness.Pool.set_jobs jobs_setting;
   let t0 = Unix.gettimeofday () in
   let run_all () =
     Harness.Figures.all scale;
@@ -199,5 +265,10 @@ let () =
         names);
   if trace_summary then print_trace_summary ();
   let wall_s = Unix.gettimeofday () -. t0 in
-  write_results ~scale ~wall_s "BENCH_results.json";
-  Printf.printf "\n# bench wall time: %.1fs\n%!" wall_s
+  let jobs =
+    match jobs_setting with Some n -> n | None -> Harness.Pool.jobs_for ~cells:max_int
+  in
+  write_results ~scale ~wall_s ~jobs "BENCH_results.json";
+  Printf.printf "\n# bench wall time: %.1fs (jobs=%d, busy %.1fs, speedup %.2fx)\n%!" wall_s
+    jobs (Harness.Pool.busy_seconds ())
+    (if wall_s > 0. then Harness.Pool.busy_seconds () /. wall_s else 1.0)

@@ -175,37 +175,61 @@ let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
   let metered = ref [] in
   Printf.printf
     "system,workload,rate_tps,zipf,p95_high_ms,ci,p95_low_ms,ci,goodput_high,goodput_low,failed,aborts\n%!";
+  (* Every (system, seed) pair is an independent simulation: farm the whole
+     grid out to the Domain pool, then walk it back in the sequential order
+     for merging and printing, so --jobs N output is byte-for-byte that of
+     --jobs 1. *)
+  let cells =
+    List.concat_map
+      (fun name ->
+        let spec = List.assoc name system_names in
+        List.map (fun seed -> (name, spec, seed)) seeds)
+      systems
+  in
+  let runs =
+    Harness.Pool.map_ordered_auto
+      (fun (_name, spec, seed) ->
+        match metrics_file with
+        | Some _ when not check ->
+            `Metered (Harness.Experiment.run_metrics ?faults setup spec ~gen ~seed)
+        | _ -> `Outcome (Harness.Experiment.run_outcome ?faults ~check setup spec ~gen ~seed))
+      cells
+  in
+  let by_cell = List.combine cells runs in
   List.iter
     (fun name ->
       let spec = List.assoc name system_names in
       let results =
-        List.map
-          (fun seed ->
-            match metrics_file with
-            | Some _ when not check ->
-                let m = Harness.Experiment.run_metrics ?faults setup spec ~gen ~seed in
-                metered := (name, seed, m) :: !metered;
-                m.Harness.Experiment.m_result
-            | _ ->
-            if not check then Harness.Experiment.run ?faults setup spec ~gen ~seed
-            else begin
-              let result, history, report =
-                Harness.Experiment.run_checked ?faults setup spec ~gen ~seed
-              in
-              if Check.Checker.ok report then
-                Printf.printf "# check: %s seed %d ok (%d txns, %d edges)\n%!"
-                  (Harness.Experiment.spec_name spec)
-                  seed report.Check.Checker.checked_txns report.Check.Checker.edges
-              else begin
-                violations := !violations + List.length report.Check.Checker.violations;
-                Printf.printf "# check: %s seed %d FAILED\n%s%!"
-                  (Harness.Experiment.spec_name spec)
-                  seed
-                  (Check.Checker.render history report)
-              end;
-              result
-            end)
-          seeds
+        List.filter_map
+          (fun ((cell_name, _, seed), run) ->
+            if cell_name <> name then None
+            else
+              Some
+                (match run with
+                | `Metered m ->
+                    metered := (name, seed, m) :: !metered;
+                    m.Harness.Experiment.m_result
+                | `Outcome o when not check -> Harness.Experiment.merge_outcome o
+                | `Outcome o ->
+                    Harness.Experiment.merge_counters o;
+                    let history, report =
+                      match o.Harness.Experiment.o_check with
+                      | Some hr -> hr
+                      | None -> assert false
+                    in
+                    if Check.Checker.ok report then
+                      Printf.printf "# check: %s seed %d ok (%d txns, %d edges)\n%!"
+                        (Harness.Experiment.spec_name spec)
+                        seed report.Check.Checker.checked_txns report.Check.Checker.edges
+                    else begin
+                      violations := !violations + List.length report.Check.Checker.violations;
+                      Printf.printf "# check: %s seed %d FAILED\n%s%!"
+                        (Harness.Experiment.spec_name spec)
+                        seed
+                        (Check.Checker.render history report)
+                    end;
+                    o.Harness.Experiment.o_result))
+          by_cell
       in
       let s = Harness.Experiment.summarize results in
       Printf.printf "%s,%s,%.0f,%.2f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%d,%d\n%!"
@@ -385,6 +409,16 @@ let faults_arg =
   in
   Arg.(value & opt (some string) None & info [ "faults" ] ~doc ~docv:"SPEC")
 
+let jobs_arg =
+  let doc =
+    "Run up to $(docv) independent simulations in parallel on separate domains (default: \
+     min(number of cores, runs); the NATTO_JOBS environment variable also overrides the \
+     default). Each (system, seed) cell — and each figure cell under --figure — runs \
+     fully self-contained, and results are merged and printed in the sequential order, \
+     so output is byte-for-byte identical to --jobs 1."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc ~docv:"N")
+
 let check_arg =
   let doc =
     "Verify each run against the strict-serializability history checker (lib/check). \
@@ -412,10 +446,14 @@ let print_trace_totals () =
     (Harness.Experiment.trace_link_totals ())
 
 let main systems workload rate zipf duration seeds high_fraction topo variance loss partitions
-    histograms trace_file metrics_file trace_summary faults_spec check figure =
+    histograms trace_file metrics_file trace_summary faults_spec jobs check figure =
   (* NATTO_TRACE_SUMMARY=1 is the deprecated spelling of --trace-summary. *)
   let trace_summary = trace_summary || Sys.getenv_opt "NATTO_TRACE_SUMMARY" <> None in
   if trace_summary then Harness.Experiment.set_trace_counters true;
+  match jobs with
+  | Some n when n < 1 -> `Error (false, "--jobs must be >= 1")
+  | _ -> (
+  Harness.Pool.set_jobs jobs;
   match figure with
   | Some name ->
       if Harness.Figures.run_by_name name (Harness.Figures.scale_of_env ()) then begin
@@ -455,7 +493,7 @@ let main systems workload rate zipf duration seeds high_fraction topo variance l
                     ( false,
                       Printf.sprintf "%d serializability violation%s detected" violations
                         (if violations = 1 then "" else "s") )
-              end))
+              end)))
 
 let cmd =
   let doc = "Simulate Natto and its baselines on a geo-distributed deployment" in
@@ -466,6 +504,6 @@ let cmd =
         (const main $ systems_arg $ workload_arg $ rate_arg $ zipf_arg $ duration_arg
        $ seeds_arg $ high_arg $ topo_arg $ variance_arg $ loss_arg $ partitions_arg
        $ histograms_arg $ trace_arg $ metrics_arg $ trace_summary_arg $ faults_arg
-       $ check_arg $ figure_arg))
+       $ jobs_arg $ check_arg $ figure_arg))
 
 let () = exit (Cmd.eval cmd)

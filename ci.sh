@@ -85,4 +85,31 @@ print("metrics JSON ok: %d runs" % len(d["runs"]))
 EOF
 rm -f "$metrics_out" "$csv_off" "$csv_on"
 
+echo "== parallel harness determinism gate =="
+# The Domain pool must not change a single output byte: one full figure at
+# --jobs 1 and --jobs 4 must produce byte-identical CSV streams and
+# byte-identical BENCH_results.json figure data (only the meta line — wall
+# time, jobs, speedup — may differ).
+par_dir="$(mktemp -d)"
+mkdir -p "$par_dir/j1" "$par_dir/j4"
+bench_exe="$PWD/_build/default/bench/main.exe"
+(cd "$par_dir/j1" && "$bench_exe" --jobs 1 fig13 >out.csv)
+(cd "$par_dir/j4" && "$bench_exe" --jobs 4 fig13 >out.csv)
+grep -v '^# bench wall time' "$par_dir/j1/out.csv" >"$par_dir/j1.csv"
+grep -v '^# bench wall time' "$par_dir/j4/out.csv" >"$par_dir/j4.csv"
+cmp "$par_dir/j1.csv" "$par_dir/j4.csv"
+tail -n +2 "$par_dir/j1/BENCH_results.json" >"$par_dir/j1.json"
+tail -n +2 "$par_dir/j4/BENCH_results.json" >"$par_dir/j4.json"
+cmp "$par_dir/j1.json" "$par_dir/j4.json"
+# The CLI's (system x seed) grid too, with the checker's per-seed verdict
+# lines and the trace-summary counters in the byte-compare.
+cli_j1="${TMPDIR:-/tmp}/natto_ci_jobs1.csv"
+cli_j4="${TMPDIR:-/tmp}/natto_ci_jobs4.csv"
+dune exec bin/natto_sim.exe -- -s 2pl,natto-recsf -d 4 --seeds 1,2 -r 80 -z 0.95 \
+  --check --trace-summary --jobs 1 >"$cli_j1"
+dune exec bin/natto_sim.exe -- -s 2pl,natto-recsf -d 4 --seeds 1,2 -r 80 -z 0.95 \
+  --check --trace-summary --jobs 4 >"$cli_j4"
+cmp "$cli_j1" "$cli_j4"
+rm -rf "$par_dir" "$cli_j1" "$cli_j4"
+
 echo "== OK =="

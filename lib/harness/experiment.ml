@@ -80,7 +80,12 @@ let build_cluster ?trace ?metrics setup spec ~seed =
 
 (* Process-wide message accounting, opted into by the bench harness
    (NATTO_TRACE_SUMMARY=1). Counters mode only: constant memory per run and
-   no effect on event ordering, so figure results are unchanged. *)
+   no effect on event ordering, so figure results are unchanged.
+
+   [counters_on] is written once at startup (before any domain spawns) and
+   only read afterwards; the totals tables are only ever mutated on the
+   main domain, by [merge_outcome] — worker domains carry their counts in
+   the per-run [outcome] instead. *)
 let counters_on = ref false
 let set_trace_counters on = counters_on := on
 
@@ -113,7 +118,21 @@ let trace_link_totals () =
   Hashtbl.fold (fun link n acc -> (link, n) :: acc) link_totals []
   |> List.sort compare
 
-let run_core ?trace ?faults ~check setup spec ~gen ~seed =
+type outcome = {
+  o_spec : system_spec;
+  o_seed : int;
+  o_result : Workload.Driver.result;
+  o_check : (Check.History.t * Check.Checker.report) option;
+  o_counters : Trace.t option;
+  o_trace : Trace.t option;
+}
+
+(* The worker half of a run: everything here is per-run state (fresh
+   cluster, engine, RNG, recorder, counting trace), so this function is
+   safe to call from any domain, never prints, never raises on a checker
+   violation, and never touches the process-wide totals. The main domain
+   folds the returned observations in via [merge_outcome]. *)
+let run_outcome ?trace ?faults ?(check = false) setup spec ~gen ~seed =
   let counting =
     match trace with
     | None when !counters_on ->
@@ -142,21 +161,34 @@ let run_core ?trace ?faults ~check setup spec ~gen ~seed =
     end
     else None
   in
-  (match counting with Some t -> accumulate t | None -> ());
-  (result, checked, trace)
+  {
+    o_spec = spec;
+    o_seed = seed;
+    o_result = result;
+    o_check = checked;
+    o_counters = counting;
+    o_trace = trace;
+  }
 
-let run ?trace ?faults ?(check = false) setup spec ~gen ~seed =
-  let result, checked, trace = run_core ?trace ?faults ~check setup spec ~gen ~seed in
-  (match checked with
+let merge_counters o = match o.o_counters with Some t -> accumulate t | None -> ()
+
+let merge_outcome o =
+  merge_counters o;
+  (match o.o_check with
   | Some (history, report) ->
-      Check.Checker.assert_ok ?trace ~label:(spec_name spec) history report
+      Check.Checker.assert_ok ?trace:o.o_trace ~label:(spec_name o.o_spec) history report
   | None -> ());
-  result
+  o.o_result
+
+let run ?trace ?faults ?check setup spec ~gen ~seed =
+  merge_outcome (run_outcome ?trace ?faults ?check setup spec ~gen ~seed)
 
 let run_checked ?trace ?faults setup spec ~gen ~seed =
-  match run_core ?trace ?faults ~check:true setup spec ~gen ~seed with
-  | result, Some (history, report), _ -> (result, history, report)
-  | _ -> assert false
+  let o = run_outcome ?trace ?faults ~check:true setup spec ~gen ~seed in
+  merge_counters o;
+  match o.o_check with
+  | Some (history, report) -> (o.o_result, history, report)
+  | None -> assert false
 
 type traced = {
   result : Workload.Driver.result;
@@ -226,31 +258,50 @@ type summary = {
 }
 
 let summarize results =
-  let finite a = Array.of_list (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list a)) in
-  let p95s_high =
-    finite (Array.of_list (List.map Workload.Driver.p95_high results))
-  in
-  let p95s_low = finite (Array.of_list (List.map Workload.Driver.p95_low results)) in
+  (* Percentiles are kept per-seed (dropping NaN reps, e.g. a class with no
+     commits); every count and goodput accumulates in the same single pass
+     over [results]. *)
+  let finite f = Array.of_list (List.filter_map (fun r -> let x = f r in if Float.is_nan x then None else Some x) results) in
+  let p95s_high = finite Workload.Driver.p95_high in
+  let p95s_low = finite Workload.Driver.p95_low in
   let ci a = if Array.length a = 0 then (nan, nan) else Simstats.Confidence.interval95 a in
   let p95_high_ms, p95_high_ci = ci p95s_high in
   let p95_low_ms, p95_low_ci = ci p95s_low in
-  let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
-  let avg f =
-    List.fold_left (fun acc r -> acc +. f r) 0.0 results /. float_of_int (List.length results)
-  in
+  let n = ref 0
+  and gp_high = ref 0.0
+  and gp_low = ref 0.0
+  and failed = ref 0
+  and unfinished = ref 0
+  and aborts = ref 0
+  and commits = ref 0 in
+  List.iter
+    (fun r ->
+      incr n;
+      gp_high := !gp_high +. r.Workload.Driver.goodput_high_tps;
+      gp_low := !gp_low +. r.Workload.Driver.goodput_low_tps;
+      failed := !failed + r.Workload.Driver.failed;
+      unfinished := !unfinished + r.Workload.Driver.unfinished;
+      aborts := !aborts + r.Workload.Driver.total_aborts;
+      commits := !commits + r.Workload.Driver.committed_high + r.Workload.Driver.committed_low)
+    results;
+  let reps = float_of_int (max 1 !n) in
   {
     p95_high_ms;
     p95_high_ci;
     p95_low_ms;
     p95_low_ci;
-    goodput_high_tps = avg (fun r -> r.Workload.Driver.goodput_high_tps);
-    goodput_low_tps = avg (fun r -> r.Workload.Driver.goodput_low_tps);
-    failed = sum (fun r -> r.Workload.Driver.failed);
-    unfinished = sum (fun r -> r.Workload.Driver.unfinished);
-    aborts = sum (fun r -> r.Workload.Driver.total_aborts);
-    commits =
-      sum (fun r -> r.Workload.Driver.committed_high + r.Workload.Driver.committed_low);
+    goodput_high_tps = !gp_high /. reps;
+    goodput_low_tps = !gp_low /. reps;
+    failed = !failed;
+    unfinished = !unfinished;
+    aborts = !aborts;
+    commits = !commits;
   }
 
-let run_repeated ?faults ?check setup spec ~gen ~seeds =
-  summarize (List.map (fun seed -> run ?faults ?check setup spec ~gen ~seed) seeds)
+let run_outcomes ?faults ?check ?(jobs = 1) setup spec ~gen ~seeds =
+  Pool.map_ordered ~jobs
+    (fun seed -> run_outcome ?faults ?check setup spec ~gen ~seed)
+    seeds
+
+let run_repeated ?faults ?check ?jobs setup spec ~gen ~seeds =
+  summarize (List.map merge_outcome (run_outcomes ?faults ?check ?jobs setup spec ~gen ~seeds))

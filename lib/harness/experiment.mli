@@ -32,6 +32,43 @@ type setup = {
 val default_setup : setup
 (** §5.1 defaults: azure5, 5 partitions, 2 clients per DC. *)
 
+type outcome = {
+  o_spec : system_spec;
+  o_seed : int;
+  o_result : Workload.Driver.result;
+  o_check : (Check.History.t * Check.Checker.report) option;
+      (** present iff the run was checked; not yet asserted *)
+  o_counters : Trace.t option;
+      (** counters-only trace to fold into the process-wide totals *)
+  o_trace : Trace.t option;  (** whatever trace sink the run used *)
+}
+(** Everything one run observed, as a value. [run_outcome] is the
+    domain-safe worker half of {!run}: it builds per-run state only, never
+    prints, never raises on a checker violation, and never touches the
+    process-wide totals, so the {!Pool} can execute it on any domain.
+    {!merge_outcome} is the main-domain half: it folds the counters into
+    the process totals and raises {!Check.Checker.Violation} if the run's
+    check failed. Merging outcomes in input order is what keeps parallel
+    harness output byte-for-byte identical to a sequential run. *)
+
+val run_outcome :
+  ?trace:Trace.t ->
+  ?faults:Faults.schedule ->
+  ?check:bool ->
+  setup ->
+  system_spec ->
+  gen:Workload.Gen.t ->
+  seed:int ->
+  outcome
+
+val merge_outcome : outcome -> Workload.Driver.result
+(** Fold [o_counters] into the aggregate totals, assert the check report
+    (if any), return the run's result. Main domain only. *)
+
+val merge_counters : outcome -> unit
+(** The counters half of {!merge_outcome} alone, for callers that want the
+    check report un-asserted (the check figure, the CLI's [--check]). *)
+
 val run :
   ?trace:Trace.t ->
   ?faults:Faults.schedule ->
@@ -140,12 +177,29 @@ val summarize : Workload.Driver.result list -> summary
     repetitions with 95% confidence intervals (§5.1's error bars); counts
     are summed. *)
 
+val run_outcomes :
+  ?faults:Faults.schedule ->
+  ?check:bool ->
+  ?jobs:int ->
+  setup ->
+  system_spec ->
+  gen:Workload.Gen.t ->
+  seeds:int list ->
+  outcome list
+(** One {!run_outcome} per seed, farmed out over [jobs] domains (default
+    [1]) via {!Pool.map_ordered}; outcomes come back in seed order and are
+    not yet merged. *)
+
 val run_repeated :
   ?faults:Faults.schedule ->
   ?check:bool ->
+  ?jobs:int ->
   setup ->
   system_spec ->
   gen:Workload.Gen.t ->
   seeds:int list ->
   summary
-(** [summarize] over one {!run} per seed. *)
+(** [summarize] over one {!run} per seed. With [jobs > 1] the seeds run in
+    parallel ({!run_outcomes}); outcomes are merged in seed order on the
+    calling domain, so the summary — and any process-wide accounting — is
+    identical to the sequential run's. *)

@@ -75,19 +75,28 @@ let row figure x_label x system (s : Experiment.summary) =
       ("aborts", float_of_int s.Experiment.aborts);
     ]
 
+(* Parallel cell fan-out: every (x, system) cell of a figure is an
+   independent batch of simulations, so cells are farmed out to the
+   Domain pool, each worker returning its runs' observations as values
+   ([Experiment.outcome]). The main domain then walks the cells in the
+   exact sequential order, merging outcomes (process-wide counters,
+   checker assertions) and printing rows — which is what keeps the CSV
+   stream and the collected points byte-for-byte identical to a
+   [--jobs 1] run. *)
+let map_cells cells f = Pool.map_ordered_auto f cells
+
 let sweep ~figure ~x_label ~setup_of ~gen_of ~xs ~systems ~scale ~show =
-  List.iter
-    (fun x ->
-      List.iter
-        (fun spec ->
-          let setup = setup_of x in
-          let gen = gen_of x in
-          let summary =
-            Experiment.run_repeated ~check:true setup spec ~gen ~seeds:(seeds scale)
-          in
-          row figure x_label (show x) (Experiment.spec_name spec) summary)
-        systems)
-    xs
+  let cells = List.concat_map (fun x -> List.map (fun spec -> (x, spec)) systems) xs in
+  let outcomes =
+    map_cells cells (fun (x, spec) ->
+        Experiment.run_outcomes ~check:true (setup_of x) spec ~gen:(gen_of x)
+          ~seeds:(seeds scale))
+  in
+  List.iter2
+    (fun (x, spec) outs ->
+      let summary = Experiment.summarize (List.map Experiment.merge_outcome outs) in
+      row figure x_label (show x) (Experiment.spec_name spec) summary)
+    cells outcomes
 
 let table1 () =
   Printf.printf "\n# Table 1 — network roundtrip delays between datacenters (ms)\n";
@@ -192,33 +201,36 @@ let fig10 scale =
     ]
   in
   let rates = [ 100.; 1500.; 3500.; 6000. ] in
-  List.iter
-    (fun spec ->
-      let baseline = ref nan in
-      List.iter
-        (fun rate ->
-          let setup =
-            { Experiment.default_setup with Experiment.driver = driver_config scale ~rate }
-          in
-          let summary =
-            Experiment.run_repeated ~check:true setup spec ~gen ~seeds:(seeds scale)
-          in
-          if Float.is_nan !baseline then baseline := summary.Experiment.p95_high_ms;
-          let increase_pct =
-            100. *. (summary.Experiment.p95_high_ms -. !baseline) /. !baseline
-          in
-          Printf.printf "fig10,rate_tps,%.0f,%s,%.1f,%.1f,increase_pct,%.1f\n%!" rate
-            (Experiment.spec_name spec) summary.Experiment.p95_high_ms
-            summary.Experiment.p95_high_ci increase_pct;
-          collect ~figure:"fig10" ~x_label:"rate_tps" ~x:(Printf.sprintf "%.0f" rate)
-            ~system:(Experiment.spec_name spec)
-            [
-              ("p95_high_ms", summary.Experiment.p95_high_ms);
-              ("p95_high_ci", summary.Experiment.p95_high_ci);
-              ("increase_pct", increase_pct);
-            ])
-        rates)
-    systems
+  let cells = List.concat_map (fun spec -> List.map (fun rate -> (spec, rate)) rates) systems in
+  let outcomes =
+    map_cells cells (fun (spec, rate) ->
+        let setup =
+          { Experiment.default_setup with Experiment.driver = driver_config scale ~rate }
+        in
+        Experiment.run_outcomes ~check:true setup spec ~gen ~seeds:(seeds scale))
+  in
+  (* The 100 txn/s baseline each ratio is computed against is the first
+     rate of the system's cells, so emission walks rates in order. *)
+  let baseline = ref nan in
+  List.iter2
+    (fun (spec, rate) outs ->
+      if rate = List.hd rates then baseline := nan;
+      let summary = Experiment.summarize (List.map Experiment.merge_outcome outs) in
+      if Float.is_nan !baseline then baseline := summary.Experiment.p95_high_ms;
+      let increase_pct =
+        100. *. (summary.Experiment.p95_high_ms -. !baseline) /. !baseline
+      in
+      Printf.printf "fig10,rate_tps,%.0f,%s,%.1f,%.1f,increase_pct,%.1f\n%!" rate
+        (Experiment.spec_name spec) summary.Experiment.p95_high_ms
+        summary.Experiment.p95_high_ci increase_pct;
+      collect ~figure:"fig10" ~x_label:"rate_tps" ~x:(Printf.sprintf "%.0f" rate)
+        ~system:(Experiment.spec_name spec)
+        [
+          ("p95_high_ms", summary.Experiment.p95_high_ms);
+          ("p95_high_ci", summary.Experiment.p95_high_ci);
+          ("increase_pct", increase_pct);
+        ])
+    cells outcomes
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 11 and 12: network pathologies *)
@@ -301,49 +313,59 @@ let fig14 scale =
   in
   let partitions = match scale with Quick -> [ 2; 4; 8; 12 ] | Full -> [ 2; 4; 6; 8; 10; 12 ] in
   let duration = match scale with Quick -> 3. | Full -> 10. in
-  List.iter
-    (fun n_partitions ->
-      List.iter
-        (fun spec ->
-          (* Ramp the offered load and report the best goodput achieved. *)
-          let rates =
-            let factors = match scale with Quick -> [ 700.; 1400. ] | Full -> [ 500.; 1000.; 1500.; 2000.; 2500. ] in
-            List.map (fun f -> f *. float_of_int n_partitions) factors
-          in
-          let best = ref 0.0 in
-          List.iter
-            (fun rate ->
-              let driver =
-                {
-                  (driver_config scale ~rate) with
-                  Workload.Driver.duration = Sim_time.seconds duration;
-                  warmup = Sim_time.seconds (duration /. 4.);
-                  cooldown = Sim_time.seconds (duration /. 4.);
-                  drain = Sim_time.seconds 10.;
-                }
-              in
-              let setup =
-                {
-                  Experiment.default_setup with
-                  Experiment.topo = Netsim.Topology.local3;
-                  Experiment.n_partitions;
-                  Experiment.net_config;
-                  Experiment.driver;
-                }
-              in
-              let r = Experiment.run ~check:true setup spec ~gen ~seed:1 in
-              let goodput =
-                r.Workload.Driver.goodput_high_tps +. r.Workload.Driver.goodput_low_tps
-              in
-              if goodput > !best then best := goodput)
-            rates;
-          Printf.printf "fig14,partitions,%d,%s,peak_goodput_tps,%.0f\n%!" n_partitions
-            (Experiment.spec_name spec) !best;
-          collect ~figure:"fig14" ~x_label:"partitions" ~x:(string_of_int n_partitions)
-            ~system:(Experiment.spec_name spec)
-            [ ("peak_goodput_tps", !best) ])
-        systems)
-    partitions
+  let cells =
+    List.concat_map
+      (fun n_partitions -> List.map (fun spec -> (n_partitions, spec)) systems)
+      partitions
+  in
+  let outcomes =
+    map_cells cells (fun (n_partitions, spec) ->
+        (* Ramp the offered load; the peak goodput is picked at merge time. *)
+        let rates =
+          let factors = match scale with Quick -> [ 700.; 1400. ] | Full -> [ 500.; 1000.; 1500.; 2000.; 2500. ] in
+          List.map (fun f -> f *. float_of_int n_partitions) factors
+        in
+        List.map
+          (fun rate ->
+            let driver =
+              {
+                (driver_config scale ~rate) with
+                Workload.Driver.duration = Sim_time.seconds duration;
+                warmup = Sim_time.seconds (duration /. 4.);
+                cooldown = Sim_time.seconds (duration /. 4.);
+                drain = Sim_time.seconds 10.;
+              }
+            in
+            let setup =
+              {
+                Experiment.default_setup with
+                Experiment.topo = Netsim.Topology.local3;
+                Experiment.n_partitions;
+                Experiment.net_config;
+                Experiment.driver;
+              }
+            in
+            Experiment.run_outcome ~check:true setup spec ~gen ~seed:1)
+          rates)
+  in
+  List.iter2
+    (fun (n_partitions, spec) outs ->
+      let best =
+        List.fold_left
+          (fun best o ->
+            let r = Experiment.merge_outcome o in
+            let goodput =
+              r.Workload.Driver.goodput_high_tps +. r.Workload.Driver.goodput_low_tps
+            in
+            if goodput > best then goodput else best)
+          0.0 outs
+      in
+      Printf.printf "fig14,partitions,%d,%s,peak_goodput_tps,%.0f\n%!" n_partitions
+        (Experiment.spec_name spec) best;
+      collect ~figure:"fig14" ~x_label:"partitions" ~x:(string_of_int n_partitions)
+        ~system:(Experiment.spec_name spec)
+        [ ("peak_goodput_tps", best) ])
+    cells outcomes
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: design knobs the paper mentions but does not sweep. *)
@@ -365,17 +387,19 @@ let ablation scale =
         { Natto.Features.recsf with Natto.Features.ts_pad = Sim_time.ms 10. } );
     ]
   in
-  List.iter
-    (fun (label, features) ->
-      let setup =
-        { Experiment.default_setup with Experiment.driver = driver_config scale ~rate:350. }
-      in
-      let summary =
-        Experiment.run_repeated ~check:true setup (Experiment.Natto features) ~gen
-          ~seeds:(seeds scale)
-      in
+  let outcomes =
+    map_cells variants (fun (_label, features) ->
+        let setup =
+          { Experiment.default_setup with Experiment.driver = driver_config scale ~rate:350. }
+        in
+        Experiment.run_outcomes ~check:true setup (Experiment.Natto features) ~gen
+          ~seeds:(seeds scale))
+  in
+  List.iter2
+    (fun (label, _features) outs ->
+      let summary = Experiment.summarize (List.map Experiment.merge_outcome outs) in
       row "ablation" "variant" label label summary)
-    variants
+    variants outcomes
 
 (* ------------------------------------------------------------------ *)
 (* Failure experiments: recovery around a partition-leader crash. *)
@@ -423,13 +447,14 @@ let failover scale =
       Experiment.Natto Natto.Features.recsf;
     ]
   in
-  List.iter
-    (fun spec ->
-      let results =
-        List.map
-          (fun seed -> Experiment.run ~faults:schedule ~check:true setup spec ~gen ~seed)
-          (seeds scale)
-      in
+  let outcomes =
+    map_cells systems (fun spec ->
+        Experiment.run_outcomes ~faults:schedule ~check:true setup spec ~gen
+          ~seeds:(seeds scale))
+  in
+  List.iter2
+    (fun spec outs ->
+      let results = List.map Experiment.merge_outcome outs in
       (* Phases are bucketed by submission time, pooled across seeds. *)
       let entries =
         List.concat_map (fun r -> Array.to_list r.Workload.Driver.commit_log) results
@@ -465,7 +490,7 @@ let failover scale =
           ("commits_after_heal", float_of_int commits_after_heal);
           ("unfinished", float_of_int unfinished);
         ])
-    systems
+    systems outcomes
 
 (* ------------------------------------------------------------------ *)
 (* Checker figure: the strict-serializability checker run explicitly over
@@ -512,14 +537,22 @@ let check_figure scale =
       Experiment.Natto Natto.Features.recsf;
     ]
   in
-  List.iter
-    (fun (label, faults) ->
-      List.iter
-        (fun spec ->
-          let _, history, report =
-            Experiment.run_checked ?faults setup spec ~gen ~seed:(List.hd (seeds scale))
-          in
-          let n_violations = List.length report.Check.Checker.violations in
+  let schedules = [ ("none", None); ("crash+cut", Some fault_schedule) ] in
+  let cells =
+    List.concat_map (fun sched -> List.map (fun spec -> (sched, spec)) systems) schedules
+  in
+  let outcomes =
+    map_cells cells (fun ((_label, faults), spec) ->
+        Experiment.run_outcome ?faults ~check:true setup spec ~gen
+          ~seed:(List.hd (seeds scale)))
+  in
+  List.iter2
+    (fun ((label, _faults), spec) o ->
+      Experiment.merge_counters o;
+      let history, report =
+        match o.Experiment.o_check with Some hr -> hr | None -> assert false
+      in
+      let n_violations = List.length report.Check.Checker.violations in
           Printf.printf "check,%s,%s,%d,%d,%d\n%!" label (Experiment.spec_name spec)
             report.Check.Checker.checked_txns report.Check.Checker.edges n_violations;
           collect ~figure:"check" ~x_label:"schedule" ~x:label
@@ -535,8 +568,7 @@ let check_figure scale =
               (Printf.sprintf "check figure: %s under schedule %s violated serializability"
                  (Experiment.spec_name spec) label)
           end)
-        systems)
-    [ ("none", None); ("crash+cut", Some fault_schedule) ]
+    cells outcomes
 
 (* ------------------------------------------------------------------ *)
 (* Attribution: where does commit latency go, per family? The Fig. 7(c)
@@ -564,10 +596,13 @@ let attribution scale =
       Experiment.Natto Natto.Features.recsf;
     ]
   in
-  List.iter
-    (fun spec ->
+  let metered =
+    map_cells systems (fun spec ->
+        Experiment.run_metrics setup spec ~gen ~seed:(List.hd (seeds scale)))
+  in
+  List.iter2
+    (fun spec m ->
       let system = Experiment.spec_name spec in
-      let m = Experiment.run_metrics setup spec ~gen ~seed:(List.hd (seeds scale)) in
       let classes =
         [
           ("all", m.Experiment.m_breakdowns);
@@ -611,7 +646,7 @@ let attribution scale =
       String.split_on_char '\n' (Metrics.Attribution.render ~title:system aggs)
       |> List.iter (fun line -> if line <> "" then Printf.printf "# %s\n" line);
       flush stdout)
-    systems
+    systems metered
 
 let all scale =
   table1 ();

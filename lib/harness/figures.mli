@@ -14,6 +14,23 @@ val scale_of_env : unit -> scale
 val seeds : scale -> int list
 (** Repetition seeds each figure runs at this scale. *)
 
+val sweep :
+  figure:string ->
+  x_label:string ->
+  setup_of:('a -> Experiment.setup) ->
+  gen_of:('a -> Workload.Gen.t) ->
+  xs:'a list ->
+  systems:Experiment.system_spec list ->
+  scale:scale ->
+  show:('a -> string) ->
+  unit
+(** The generic (x × system) grid behind most figures: every cell is an
+    independent batch of checked runs (one per seed of [scale]) farmed out
+    to the {!Pool}, with rows printed — and points collected — on the
+    calling domain in the sequential cell order. Output is byte-for-byte
+    independent of the pool's job count. Exposed for the determinism
+    tests. *)
+
 val table1 : unit -> unit
 (** Prints the Table 1 RTT matrix the simulation uses. *)
 

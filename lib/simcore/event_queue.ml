@@ -2,6 +2,7 @@ type entry = {
   time : Sim_time.t;
   seq : int;
   mutable dead : bool;
+  live : int ref;  (* the owning queue's live-entry counter *)
 }
 
 type handle = entry
@@ -11,11 +12,16 @@ type 'a t = {
   mutable payloads : 'a option array;
   mutable size : int;
   mutable next_seq : int;
+  live : int ref;
 }
 
 let initial_capacity = 256
 
-let dummy_entry = { time = 0; seq = -1; dead = true }
+(* Below this physical size, dead entries are too few to be worth
+   compacting away; the lazy pop-time skip handles them. *)
+let compact_min = 64
+
+let dummy_entry = { time = 0; seq = -1; dead = true; live = ref 0 }
 
 let create () =
   {
@@ -23,6 +29,7 @@ let create () =
     payloads = Array.make initial_capacity None;
     size = 0;
     next_seq = 0;
+    live = ref 0;
   }
 
 let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
@@ -63,17 +70,59 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
+(* Drop every dead entry and re-heapify (Floyd's bottom-up build). Pop
+   order only depends on the (time, seq) total order — all seqs are
+   distinct — so rebuilding the internal layout cannot change which event
+   comes out next. *)
+let compact t =
+  let n = t.size in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    if not t.entries.(i).dead then begin
+      if !j < i then begin
+        t.entries.(!j) <- t.entries.(i);
+        t.payloads.(!j) <- t.payloads.(i)
+      end;
+      incr j
+    end
+  done;
+  for i = !j to n - 1 do
+    t.entries.(i) <- dummy_entry;
+    t.payloads.(i) <- None
+  done;
+  t.size <- !j;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
+let maybe_compact t =
+  if t.size >= compact_min && 2 * (t.size - !(t.live)) > t.size then compact t
+
 let push t ~time payload =
+  (* Cancel-heavy runs (watchdog timers that almost always get cancelled)
+     would otherwise accumulate dead entries until pop reaches them;
+     compacting when they exceed half the heap bounds the physical size at
+     ~2x the live count. Checked before the insert so compaction can spare
+     a grow, and again after it: a majority-dead heap only becomes
+     eligible (size >= compact_min) once this push crosses the
+     threshold. *)
+  maybe_compact t;
   if t.size = Array.length t.entries then grow t;
-  let entry = { time; seq = t.next_seq; dead = false } in
+  let entry = { time; seq = t.next_seq; dead = false; live = t.live } in
   t.next_seq <- t.next_seq + 1;
   t.entries.(t.size) <- entry;
   t.payloads.(t.size) <- Some payload;
   t.size <- t.size + 1;
+  incr t.live;
   sift_up t (t.size - 1);
+  maybe_compact t;
   entry
 
-let cancel (h : handle) = h.dead <- true
+let cancel (h : handle) =
+  if not h.dead then begin
+    h.dead <- true;
+    decr h.live
+  end
 
 let remove_root t =
   let entry = t.entries.(0) in
@@ -87,6 +136,10 @@ let remove_root t =
   (entry, payload)
 
 let rec pop t =
+  (* [cancel] is queue-blind (handle-only), so a burst of cancels can leave
+     the heap more than half dead until the next queue operation; push and
+     pop both restore the bound. *)
+  maybe_compact t;
   if t.size = 0 then None
   else begin
     let entry, payload = remove_root t in
@@ -94,6 +147,7 @@ let rec pop t =
     else begin
       (* Marked dead so that a late [cancel] on this handle is harmless. *)
       entry.dead <- true;
+      decr t.live;
       match payload with
       | Some p -> Some (entry.time, p)
       | None -> assert false
@@ -110,13 +164,6 @@ let peek_time t =
   drop_dead_root t;
   if t.size = 0 then None else Some t.entries.(0).time
 
-let live_size t =
-  let count = ref 0 in
-  for i = 0 to t.size - 1 do
-    if not t.entries.(i).dead then incr count
-  done;
-  !count
-
-let is_empty t =
-  drop_dead_root t;
-  t.size = 0
+let live_size t = !(t.live)
+let size t = t.size
+let is_empty t = !(t.live) = 0

@@ -2,7 +2,16 @@
 
     Events with equal timestamps are delivered in insertion order, which
     (together with {!Rng}) makes whole simulations deterministic.
-    Cancellation is O(1): the entry is marked dead and skipped on pop. *)
+    Cancellation is O(1): the entry is marked dead and skipped on pop.
+    When dead entries outnumber live ones, the next push or pop compacts
+    the heap (dropping them and re-heapifying), so the physical size stays
+    within ~2x the live count at every queue-operation boundary even under
+    cancel-heavy timer churn. ({!cancel} is handle-only and cannot reach
+    the queue, so a burst of cancels with no intervening push/pop may
+    transiently exceed the bound — irrelevant in a simulation, where time
+    only advances by popping.) Pop order depends only on the
+    (time, insertion-sequence) total order, so compaction never changes
+    which event is delivered next. *)
 
 type 'a t
 type handle
@@ -22,7 +31,12 @@ val peek_time : 'a t -> Sim_time.t option
 (** Timestamp of the earliest live event. *)
 
 val live_size : 'a t -> int
-(** Number of live (non-cancelled) events. *)
+(** Number of live (non-cancelled) events. O(1): maintained incrementally
+    by push/cancel/pop. *)
+
+val size : 'a t -> int
+(** Physical heap size, including not-yet-collected dead entries. Exposed
+    for the compaction micro-benchmark and tests. *)
 
 val is_empty : 'a t -> bool
 (** [true] iff there is no live event. *)

@@ -1,0 +1,319 @@
+(* The Domain pool, the parallel harness's determinism contract, and the
+   event queue's compaction.
+
+   - Pool.map_ordered preserves input order and propagates exceptions
+     deterministically at any job count.
+   - A small figure sweep run at --jobs 4 produces byte-identical CSV text
+     and identical collected points to --jobs 1; run_repeated over several
+     seeds produces the identical summary.
+   - QCheck: under random push/cancel/pop interleavings the event queue
+     (whose heap now compacts away dead entries) pops exactly what a naive
+     model pops, and its O(1) live counter always agrees with the model. *)
+
+open Simcore
+
+(* ------------------------------------------------------------------ *)
+(* Pool.map_ordered *)
+
+let test_pool_order () =
+  let items = List.init 100 Fun.id in
+  let expect = List.map (fun x -> x * x) items in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expect
+        (Harness.Pool.map_ordered ~jobs (fun x -> x * x) items))
+    [ 1; 2; 4; 7; 100; 200 ]
+
+let test_pool_order_uneven () =
+  (* Jobs that finish in scrambled wall-clock order still collect in input
+     order. *)
+  let items = List.init 20 Fun.id in
+  let f x =
+    (* Later items sleep less, so with several workers the completions
+       arrive roughly in reverse. *)
+    Unix.sleepf (float_of_int (20 - x) *. 0.002);
+    10 * x
+  in
+  Alcotest.(check (list int))
+    "reverse-completing jobs" (List.map (fun x -> 10 * x) items)
+    (Harness.Pool.map_ordered ~jobs:4 f items)
+
+exception Boom of int
+
+let test_pool_exception () =
+  List.iter
+    (fun jobs ->
+      match
+        Harness.Pool.map_ordered ~jobs
+          (fun x -> if x mod 7 = 3 then raise (Boom x) else x)
+          (List.init 30 Fun.id)
+      with
+      | _ -> Alcotest.failf "jobs=%d: expected Boom" jobs
+      | exception Boom x ->
+          (* The lowest-indexed failure wins, whatever finishes first. *)
+          Alcotest.(check int) (Printf.sprintf "jobs=%d first failure" jobs) 3 x)
+    [ 1; 4 ]
+
+let test_pool_empty_and_jobs_floor () =
+  Alcotest.(check (list int)) "empty" [] (Harness.Pool.map_ordered ~jobs:4 Fun.id []);
+  Alcotest.(check (list int)) "jobs=0 clamps" [ 1; 2 ] (Harness.Pool.map_ordered ~jobs:0 Fun.id [ 1; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Harness determinism: --jobs 4 output == --jobs 1 output *)
+
+(* Run [f] with stdout redirected to a temp file; return what it printed. *)
+let capture_stdout f =
+  let tmp = Filename.temp_file "natto_test_sweep" ".csv" in
+  let saved = Unix.dup Unix.stdout in
+  let out = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  flush stdout;
+  Unix.dup2 out Unix.stdout;
+  Unix.close out;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f;
+  let ic = open_in_bin tmp in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  s
+
+let small_sweep () =
+  let gen = Workload.Ycsbt.gen () in
+  Harness.Figures.sweep ~figure:"testfig" ~x_label:"rate_tps"
+    ~setup_of:(fun rate ->
+      {
+        Harness.Experiment.default_setup with
+        Harness.Experiment.driver =
+          {
+            Workload.Driver.default_config with
+            Workload.Driver.rate_tps = rate;
+            duration = Sim_time.seconds 2.;
+            warmup = Sim_time.seconds 0.5;
+            cooldown = Sim_time.seconds 0.5;
+          };
+      })
+    ~gen_of:(fun _ -> gen)
+    ~xs:[ 50.; 100. ]
+    ~systems:[ Harness.Experiment.Twopl Twopl.Plain; Harness.Experiment.Tapir ]
+    ~scale:Harness.Figures.Quick
+    ~show:(fun r -> string_of_float r)
+
+let with_jobs n f =
+  Harness.Pool.set_jobs (Some n);
+  Fun.protect ~finally:(fun () -> Harness.Pool.set_jobs None) f
+
+let test_sweep_jobs_identical () =
+  Harness.Figures.reset_points ();
+  let csv1 = with_jobs 1 (fun () -> capture_stdout small_sweep) in
+  let points1 = Harness.Figures.collected_points () in
+  Harness.Figures.reset_points ();
+  let csv4 = with_jobs 4 (fun () -> capture_stdout small_sweep) in
+  let points4 = Harness.Figures.collected_points () in
+  Harness.Figures.reset_points ();
+  Alcotest.(check string) "CSV text byte-identical" csv1 csv4;
+  Alcotest.(check bool) "CSV non-empty" true (String.length csv1 > 0);
+  Alcotest.(check int) "point count" (List.length points1) (List.length points4);
+  Alcotest.(check bool) "collected points identical" true (points1 = points4)
+
+let test_run_repeated_jobs_identical () =
+  let gen = Workload.Ycsbt.gen () in
+  let setup =
+    {
+      Harness.Experiment.default_setup with
+      Harness.Experiment.driver =
+        {
+          Workload.Driver.default_config with
+          Workload.Driver.rate_tps = 100.;
+          duration = Sim_time.seconds 2.;
+          warmup = Sim_time.seconds 0.5;
+          cooldown = Sim_time.seconds 0.5;
+        };
+    }
+  in
+  let spec = Harness.Experiment.Natto Natto.Features.recsf in
+  let s1 =
+    Harness.Experiment.run_repeated ~check:true ~jobs:1 setup spec ~gen ~seeds:[ 1; 2 ]
+  in
+  let s4 =
+    Harness.Experiment.run_repeated ~check:true ~jobs:4 setup spec ~gen ~seeds:[ 1; 2 ]
+  in
+  Alcotest.(check bool) "summaries identical" true (s1 = s4);
+  Alcotest.(check bool) "ran transactions" true (s1.Harness.Experiment.commits > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Event-queue compaction: model-based QCheck *)
+
+type op = Push of int | Cancel of int | Pop
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map (fun t -> Push t) (int_bound 20));
+        (4, map (fun i -> Cancel i) (int_bound 511));
+        (2, return Pop);
+      ])
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Push t -> Printf.sprintf "push %d" t
+             | Cancel i -> Printf.sprintf "cancel %d" i
+             | Pop -> "pop")
+           ops))
+    QCheck.Gen.(list_size (int_range 0 400) op_gen)
+
+(* The model: every pushed entry in order, with its liveness; pop scans for
+   the minimum (time, seq) among the live ones. *)
+type mentry = { m_time : int; m_seq : int; mutable m_alive : bool }
+
+let model_pop entries =
+  let best = ref None in
+  List.iter
+    (fun e ->
+      if e.m_alive then
+        match !best with
+        | Some b when b.m_time < e.m_time || (b.m_time = e.m_time && b.m_seq < e.m_seq) -> ()
+        | _ -> best := Some e)
+    entries;
+  match !best with
+  | None -> None
+  | Some e ->
+      e.m_alive <- false;
+      Some (e.m_time, e.m_seq)
+
+let queue_vs_model ops =
+  let q = Event_queue.create () in
+  let handles = ref [||] in
+  let model = ref [] in
+  (* entries in push order *)
+  let n_pushed = ref 0 in
+  let ok = ref true in
+  List.iter
+    (fun op ->
+      (match op with
+      | Push t ->
+          let h = Event_queue.push q ~time:t !n_pushed in
+          handles := Array.append !handles [| h |];
+          model := !model @ [ { m_time = t; m_seq = !n_pushed; m_alive = true } ];
+          incr n_pushed
+      | Cancel i ->
+          if !n_pushed > 0 then begin
+            let i = i mod !n_pushed in
+            Event_queue.cancel !handles.(i);
+            (List.nth !model i).m_alive <- false
+          end
+      | Pop ->
+          let got = Event_queue.pop q in
+          let want = model_pop !model in
+          let matches =
+            match (got, want) with
+            | None, None -> true
+            | Some (t, payload), Some (mt, mseq) -> t = mt && payload = mseq
+            | _ -> false
+          in
+          if not matches then ok := false);
+      (* The incremental live counter must agree with the model after every
+         operation; the compaction bound on physical size holds at every
+         queue-operation boundary (cancel is handle-only and cannot
+         compact, so it is checked after push/pop, not after cancel). *)
+      let live_model = List.length (List.filter (fun e -> e.m_alive) !model) in
+      if Event_queue.live_size q <> live_model then ok := false;
+      (match op with
+      | Push _ | Pop ->
+          if
+            Event_queue.size q >= 64
+            && Event_queue.size q > 2 * (Event_queue.live_size q + 1)
+          then ok := false
+      | Cancel _ -> ()))
+    ops;
+  (* Drain: the full remaining pop sequences must agree. *)
+  let rec drain () =
+    let got = Event_queue.pop q in
+    let want = model_pop !model in
+    (match (got, want) with
+    | None, None -> ()
+    | Some (t, payload), Some (mt, mseq) ->
+        if not (t = mt && payload = mseq) then ok := false;
+        drain ()
+    | _ -> ok := false);
+    ()
+  in
+  drain ();
+  !ok
+
+let compaction_qcheck =
+  QCheck.Test.make ~count:300 ~name:"event queue == model under push/cancel/pop" ops_arb
+    queue_vs_model
+
+let test_compaction_bounds_heap () =
+  (* Watchdog pattern: push many far-future timers, cancel 99% immediately.
+     Without compaction the physical heap grows to the number of pushes. *)
+  let q = Event_queue.create () in
+  let peak = ref 0 in
+  for i = 1 to 100_000 do
+    let h = Event_queue.push q ~time:(i + 1_000_000) i in
+    if i mod 100 <> 0 then Event_queue.cancel h;
+    if Event_queue.size q > !peak then peak := Event_queue.size q
+  done;
+  let live = Event_queue.live_size q in
+  Alcotest.(check int) "live entries" 1000 live;
+  if !peak > 4 * live then
+    Alcotest.failf "peak physical size %d not bounded by compaction (live %d)" !peak live;
+  (* Cancel semantics survive compaction: the 1000 survivors pop in order. *)
+  let rec drain last n =
+    match Event_queue.pop q with
+    | None -> n
+    | Some (t, _) ->
+        if t < last then Alcotest.failf "pop went backwards: %d after %d" t last;
+        drain t (n + 1)
+  in
+  Alcotest.(check int) "survivors pop in order" 1000 (drain min_int 0)
+
+let test_live_size_o1_consistency () =
+  let q = Event_queue.create () in
+  let hs = Array.init 500 (fun i -> Event_queue.push q ~time:i i) in
+  Alcotest.(check int) "all live" 500 (Event_queue.live_size q);
+  Array.iteri (fun i h -> if i mod 2 = 0 then Event_queue.cancel h) hs;
+  Alcotest.(check int) "half live" 250 (Event_queue.live_size q);
+  (* Double-cancel is a no-op on the counter. *)
+  Event_queue.cancel hs.(0);
+  Alcotest.(check int) "double cancel" 250 (Event_queue.live_size q);
+  ignore (Event_queue.pop q);
+  Alcotest.(check int) "pop decrements" 249 (Event_queue.live_size q);
+  (* Cancelling an already-popped handle is a no-op. *)
+  Event_queue.cancel hs.(1);
+  Alcotest.(check int) "cancel after pop" 249 (Event_queue.live_size q)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map_ordered preserves order" `Quick test_pool_order;
+          Alcotest.test_case "order with uneven job times" `Quick test_pool_order_uneven;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "empty input, jobs floor" `Quick test_pool_empty_and_jobs_floor;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "sweep --jobs 4 == --jobs 1" `Quick test_sweep_jobs_identical;
+          Alcotest.test_case "run_repeated --jobs 4 == --jobs 1" `Quick
+            test_run_repeated_jobs_identical;
+        ] );
+      ( "event_queue",
+        [
+          QCheck_alcotest.to_alcotest compaction_qcheck;
+          Alcotest.test_case "compaction bounds heap" `Quick test_compaction_bounds_heap;
+          Alcotest.test_case "live counter consistency" `Quick test_live_size_o1_consistency;
+        ] );
+    ]
