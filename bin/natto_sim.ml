@@ -132,7 +132,7 @@ let write_metrics_json ~file metered =
   close_out oc
 
 let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo ~variance
-    ~loss ~partitions ~histograms ~trace_file ~metrics_file ~faults ~check =
+    ~loss ~partitions ~batching ~histograms ~trace_file ~metrics_file ~faults ~check =
   let gen =
     match workload with
     | "ycsbt" -> Workload.Ycsbt.gen ~theta:zipf ()
@@ -166,6 +166,8 @@ let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
       Harness.Experiment.clients_per_dc = 2;
       Harness.Experiment.net_config;
       Harness.Experiment.driver;
+      Harness.Experiment.batching =
+        (if batching then Some Rpc.Batcher.default_config else None);
     }
   in
   let violations = ref 0 in
@@ -371,6 +373,16 @@ let variance_arg =
 let loss_arg = Arg.(value & opt float 0. & info [ "loss" ] ~doc:"Packet loss probability.")
 let partitions_arg = Arg.(value & opt int 5 & info [ "p"; "partitions" ] ~doc:"Partitions.")
 
+let batching_arg =
+  let doc =
+    "Coalesce messages sharing a DC link into batch envelopes and switch Raft \
+     replication to group commit. Adaptive: sends immediately on an idle path, grows \
+     batches under pressure; high-priority transactions cut the batch boundary. Off by \
+     default — without this flag the commit path is byte-for-byte that of earlier \
+     versions."
+  in
+  Arg.(value & flag & info [ "b"; "batching" ] ~doc)
+
 let histograms_arg =
   Arg.(value & flag & info [ "histograms" ] ~doc:"Also print latency distribution sketches.")
 
@@ -446,7 +458,7 @@ let print_trace_totals () =
     (Harness.Experiment.trace_link_totals ())
 
 let main systems workload rate zipf duration seeds high_fraction topo variance loss partitions
-    histograms trace_file metrics_file trace_summary faults_spec jobs check figure =
+    batching histograms trace_file metrics_file trace_summary faults_spec jobs check figure =
   (* NATTO_TRACE_SUMMARY=1 is the deprecated spelling of --trace-summary. *)
   let trace_summary = trace_summary || Sys.getenv_opt "NATTO_TRACE_SUMMARY" <> None in
   if trace_summary then Harness.Experiment.set_trace_counters true;
@@ -483,8 +495,8 @@ let main systems workload rate zipf duration seeds high_fraction topo variance l
               else begin
                 let violations =
                   run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction
-                    ~topo ~variance ~loss ~partitions ~histograms ~trace_file ~metrics_file
-                    ~faults ~check
+                    ~topo ~variance ~loss ~partitions ~batching ~histograms ~trace_file
+                    ~metrics_file ~faults ~check
                 in
                 if trace_summary then print_trace_totals ();
                 if violations = 0 then `Ok ()
@@ -503,7 +515,7 @@ let cmd =
       ret
         (const main $ systems_arg $ workload_arg $ rate_arg $ zipf_arg $ duration_arg
        $ seeds_arg $ high_arg $ topo_arg $ variance_arg $ loss_arg $ partitions_arg
-       $ histograms_arg $ trace_arg $ metrics_arg $ trace_summary_arg $ faults_arg
-       $ jobs_arg $ check_arg $ figure_arg))
+       $ batching_arg $ histograms_arg $ trace_arg $ metrics_arg $ trace_summary_arg
+       $ faults_arg $ jobs_arg $ check_arg $ figure_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -112,4 +112,27 @@ dune exec bin/natto_sim.exe -- -s 2pl,natto-recsf -d 4 --seeds 1,2 -r 80 -z 0.95
 cmp "$cli_j1" "$cli_j4"
 rm -rf "$par_dir" "$cli_j1" "$cli_j4"
 
+echo "== batching gates =="
+# Batching is strictly opt-in: without --batching no batcher is installed
+# and Raft group commit stays off, so the commit path must reproduce the
+# pre-batching golden CSVs byte for byte — fault-free and under failover.
+bat_off="${TMPDIR:-/tmp}/natto_ci_batch_off.csv"
+dune exec bin/natto_sim.exe -- -s natto-recsf,2pl,tapir,carousel-basic,carousel-fast \
+  -d 2 --seeds 1 -r 50 >"$bat_off"
+cmp test/golden/batching_off_smoke.csv "$bat_off"
+dune exec bin/natto_sim.exe -- -s natto-recsf,2pl,tapir,carousel-basic,carousel-fast \
+  -d 8 --seeds 1 -r 50 --faults 'crash-leader:0@2s,restart@6s' >"$bat_off"
+cmp test/golden/failover_smoke.csv "$bat_off"
+# Batched runs must stay strictly serializable and, like everything else,
+# byte-identical at any --jobs count.
+bat_j1="${TMPDIR:-/tmp}/natto_ci_batch_j1.csv"
+bat_j4="${TMPDIR:-/tmp}/natto_ci_batch_j4.csv"
+dune exec bin/natto_sim.exe -- -s 2pl,natto-recsf -d 4 --seeds 1,2 -r 80 -z 0.95 \
+  --batching --check --jobs 1 >"$bat_j1"
+dune exec bin/natto_sim.exe -- -s 2pl,natto-recsf -d 4 --seeds 1,2 -r 80 -z 0.95 \
+  --batching --check --jobs 4 >"$bat_j4"
+cmp "$bat_j1" "$bat_j4"
+grep -q '# check: .* ok' "$bat_j1"
+rm -f "$bat_off" "$bat_j1" "$bat_j4"
+
 echo "== OK =="

@@ -28,7 +28,6 @@ type client_attempt = {
 let make (cluster : Cluster.t) : System.t =
   let net = cluster.Cluster.net in
   let send ~src ~dst ~msg f = Rpc.send net ~src ~dst ~msg f in
-  let attempt_timeout = Simcore.Sim_time.seconds 2.5 in
   let recorder = cluster.Cluster.recorder in
   let servers =
     Array.init cluster.Cluster.n_partitions (fun p ->
@@ -119,13 +118,10 @@ let make (cluster : Cluster.t) : System.t =
     let n = List.length plan.Txnkit.Exec.participants in
     let attempt = { txn; plan; pending = n; failed = false; replies = [] } in
     let client = txn.Txn.client in
-    let failover = Cluster.failover_active cluster in
     (* Re-resolve the partition leaders per attempt, so retries after a
        leader crash land on the newly elected node. *)
-    if failover then
-      List.iter
-        (fun p -> servers.(p).node <- Cluster.leader_node cluster p)
-        plan.Txnkit.Exec.participants;
+    Failover.refresh_leaders cluster ~participants:plan.Txnkit.Exec.participants
+      ~set:(fun p node -> servers.(p).node <- node);
     let coordinator = coord_node ~client in
     let finished = ref false in
     let trace = Netsim.Network.trace net in
@@ -244,9 +240,6 @@ let make (cluster : Cluster.t) : System.t =
     (* Failover watchdog: with a dead leader (or coordinator) in the path
        this attempt would otherwise hang forever. Armed only under fault
        injection. *)
-    if failover then
-      ignore
-        (Simcore.Engine.schedule_after cluster.Cluster.engine attempt_timeout (fun () ->
-             if not !finished then abort_attempt ()))
+    Failover.arm_watchdog cluster ~finished ~on_timeout:abort_attempt
   in
   System.make ~name:"Carousel Basic" ~submit

@@ -33,7 +33,6 @@ let make (cluster : Cluster.t) : System.t =
             })
           cluster.Cluster.replicas.(p))
   in
-  let attempt_timeout = Simcore.Sim_time.seconds 2.5 in
   (* Replicas seen down; on rejoin they adopt the current leader's store
      (modeling the Raft log catch-up a returning group member gets) and
      discard prepares whose outcomes they missed while dead — otherwise the
@@ -52,7 +51,8 @@ let make (cluster : Cluster.t) : System.t =
        the attempt falls back to the slow path). *)
     let current_leader =
       List.map
-        (fun p -> (p, if failover then Cluster.leader_node cluster p else replicas.(p).(0).node))
+        (fun p ->
+          (p, Failover.current_leader cluster ~partition:p ~static:replicas.(p).(0).node))
         participants
     in
     let leader_replica p =
@@ -269,12 +269,8 @@ let make (cluster : Cluster.t) : System.t =
       plan.Txnkit.Exec.participants;
     (* Failover watchdog: bound an attempt stalled on replies (or a 2PC
        round) that will never arrive because a node died mid-flight. *)
-    if failover then
-      ignore
-        (Simcore.Engine.schedule_after cluster.Cluster.engine attempt_timeout (fun () ->
-             if not !finished then begin
-               release_everywhere ();
-               finish ~committed:false
-             end))
+    Failover.arm_watchdog cluster ~finished ~on_timeout:(fun () ->
+        release_everywhere ();
+        finish ~committed:false)
   in
   System.make ~name:"Carousel Fast" ~submit

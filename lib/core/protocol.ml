@@ -113,10 +113,6 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
   let check_invariants = Sys.getenv_opt "NATTO_CHECK_INVARIANTS" <> None in
   let send ~src ~dst ~msg f = Rpc.send net ~src ~dst ~msg f in
   let trace = Netsim.Network.trace net in
-  (* Per-attempt failover timeout: longer than any healthy WAN commit,
-     shorter than the driver would tolerate hanging. Must exceed the Raft
-     election timeout so retries land after a new leader exists. *)
-  let attempt_timeout = Sim_time.seconds 2.5 in
   (* Lifecycle instants land on the transactions track of the Chrome trace;
      [Trace.recording] is false outside --trace runs, so this is one branch. *)
   let mark ~tid ~txn name =
@@ -746,13 +742,12 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
     let plan = Exec.plan_of cluster txn in
     let participants = plan.Exec.participants in
     let client = txn.Txn.client in
-    let failover = Cluster.failover_active cluster in
     (* Under fault injection each attempt re-resolves the partition leaders,
        so a retry after a leader crash lands on the newly elected node. The
        per-partition server state survives the move (it is replicated via
        Raft in the real system). *)
-    if failover then
-      List.iter (fun p -> servers.(p).node <- Cluster.leader_node cluster p) participants;
+    Failover.refresh_leaders cluster ~participants ~set:(fun p node ->
+        servers.(p).node <- node);
     let leaders = List.map (fun p -> servers.(p).node) participants in
     let ts, arrivals = Estimate.timestamps cluster features ~client ~leaders in
     let coordinator = Cluster.coordinator_for cluster ~client in
@@ -882,10 +877,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
        release path and let the driver retry against the re-resolved
        leaders. Armed only under fault injection — fault-free runs schedule
        nothing extra. *)
-    if failover then
-      ignore
-        (Engine.schedule_after engine attempt_timeout (fun () ->
-             if not !finished then deliver_abort ()))
+    Failover.arm_watchdog cluster ~finished ~on_timeout:deliver_abort
   in
   (System.make ~name:(Features.name features) ~submit, stats)
 

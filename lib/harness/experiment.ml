@@ -50,6 +50,7 @@ type setup = {
   clients_per_dc : int;
   net_config : Netsim.Network.config;
   driver : Workload.Driver.config;
+  batching : Rpc.Batcher.config option;
 }
 
 let default_setup =
@@ -59,6 +60,7 @@ let default_setup =
     clients_per_dc = 2;
     net_config = Netsim.Network.default_config;
     driver = Workload.Driver.default_config;
+    batching = None;
   }
 
 let instantiate spec cluster =
@@ -75,8 +77,8 @@ let needs_proxies = function Natto _ -> true | _ -> false
 let build_cluster ?trace ?metrics setup spec ~seed =
   Txnkit.Cluster.build ~topo:setup.topo ~n_partitions:setup.n_partitions
     ~clients_per_dc:setup.clients_per_dc ~net_config:setup.net_config
-    ~with_raft:(needs_raft spec) ~with_proxies:(needs_proxies spec) ?trace ?metrics ~seed
-    ()
+    ~with_raft:(needs_raft spec) ~with_proxies:(needs_proxies spec)
+    ?batching:setup.batching ?trace ?metrics ~seed ()
 
 (* Process-wide message accounting, opted into by the bench harness
    (NATTO_TRACE_SUMMARY=1). Counters mode only: constant memory per run and
@@ -125,6 +127,7 @@ type outcome = {
   o_check : (Check.History.t * Check.Checker.report) option;
   o_counters : Trace.t option;
   o_trace : Trace.t option;
+  o_batch : Rpc.Batcher.stats option;
 }
 
 (* The worker half of a run: everything here is per-run state (fresh
@@ -168,6 +171,7 @@ let run_outcome ?trace ?faults ?(check = false) setup spec ~gen ~seed =
     o_check = checked;
     o_counters = counting;
     o_trace = trace;
+    o_batch = Option.map Rpc.Batcher.stats cluster.Txnkit.Cluster.batcher;
   }
 
 let merge_counters o = match o.o_counters with Some t -> accumulate t | None -> ()

@@ -27,6 +27,10 @@ type setup = {
   clients_per_dc : int;
   net_config : Netsim.Network.config;
   driver : Workload.Driver.config;
+  batching : Rpc.Batcher.config option;
+      (** install an [Rpc.Batcher] + Raft group commit on every cluster the
+          experiment builds; [None] (the default) is byte-identical to the
+          pre-batching harness *)
 }
 
 val default_setup : setup
@@ -41,6 +45,8 @@ type outcome = {
   o_counters : Trace.t option;
       (** counters-only trace to fold into the process-wide totals *)
   o_trace : Trace.t option;  (** whatever trace sink the run used *)
+  o_batch : Rpc.Batcher.stats option;
+      (** batcher occupancy/flush statistics, present iff the setup batched *)
 }
 (** Everything one run observed, as a value. [run_outcome] is the
     domain-safe worker half of {!run}: it builds per-run state only, never

@@ -582,7 +582,7 @@ let attribution scale =
     "\n\
      # attribution — commit-latency critical path, YCSB+T zipf 0.95 @100 txn/s per family\n";
   Printf.printf
-    "attribution,system,class,n,e2e_mean_ms,e2e_p95_ms,e2e_p99_ms,wan_pct,cpu_queue_pct,lock_wait_pct,replication_pct,backoff_pct,exec_pct,residual_pct\n%!";
+    "attribution,system,class,n,e2e_mean_ms,e2e_p95_ms,e2e_p99_ms,wan_pct,cpu_queue_pct,lock_wait_pct,replication_pct,batching_pct,backoff_pct,exec_pct,residual_pct\n%!";
   let gen = Workload.Ycsbt.gen ~theta:0.95 () in
   let setup =
     { Experiment.default_setup with Experiment.driver = driver_config scale ~rate:100. }
@@ -626,11 +626,11 @@ let attribution scale =
             else 100. *. List.assoc name agg.Metrics.Attribution.mean_us /. tot
           in
           Printf.printf
-            "attribution,%s,%s,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f\n%!"
+            "attribution,%s,%s,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f\n%!"
             system label agg.Metrics.Attribution.n agg.Metrics.Attribution.e2e_mean_ms
             agg.Metrics.Attribution.e2e_p95_ms agg.Metrics.Attribution.e2e_p99_ms
             (pct "wan") (pct "cpu_queue") (pct "lock_wait") (pct "replication")
-            (pct "backoff") (pct "exec") (pct "residual");
+            (pct "batching") (pct "backoff") (pct "exec") (pct "residual");
           collect ~figure:"attribution" ~x_label:"class" ~x:label ~system
             ([
                ("n", float_of_int agg.Metrics.Attribution.n);
@@ -648,6 +648,203 @@ let attribution scale =
       flush stdout)
     systems metered
 
+(* ------------------------------------------------------------------ *)
+(* Batch sweep: the group-commit batching layer's throughput story.
+   Uniform Retwis on the 3-DC local cluster — the CPU-bound regime where
+   per-message receive cost dominates and batching has something to
+   amortize. Offered load ramps from idle to far past saturation, once
+   with batching off and once with the adaptive batcher on. Each mode's
+   sustainable throughput is summarized by its knee: the highest measured
+   goodput among rates whose overall p95 stays within 2x that mode's
+   idle-load p95. Envelope occupancy and flush-reason counts show where
+   the amortization comes from (idle flushes at light load, timer/size
+   flushes under pressure), and a metered pair of runs shows the batching
+   segment appearing in the latency attribution while cpu_queue
+   shrinks. *)
+
+let batchsweep scale =
+  Printf.printf
+    "\n\
+     # batchsweep — adaptive group-commit batching: goodput and p95 vs offered load, \
+     batched vs unbatched; uniform Retwis, 3 local DCs, 4 partitions\n";
+  Printf.printf
+    "batchsweep,mode,rate_tps,goodput_tps,p95_ms,p95_high_ms,envelopes,batched_msgs,msgs_per_envelope,flush_idle,flush_timer,flush_size,flush_bytes,flush_cut\n%!";
+  let gen = Workload.Retwis.gen ~theta:0.0 () in
+  let n_partitions = 4 in
+  (* Same per-RPC station cost as fig14's local cluster. *)
+  let net_config =
+    { Netsim.Network.default_config with Netsim.Network.msg_cost = Sim_time.us 25 }
+  in
+  let duration = match scale with Quick -> 2. | Full -> 6. in
+  (* Per-mode ladders: both modes share the low rungs; the unbatched ladder
+     stops one rung past its collapse (deep-overload cells simulate an
+     ever-growing backlog and cost minutes for no information), while the
+     batched ladder keeps climbing until the amortized commit path
+     saturates. *)
+  let scaled fs = List.map (fun f -> f *. float_of_int n_partitions) fs in
+  let rates_unbatched =
+    scaled
+      (match scale with
+      | Quick -> [ 50.; 200.; 400.; 800.; 1600. ]
+      | Full -> [ 50.; 100.; 200.; 400.; 600.; 800.; 1200.; 1600. ])
+  in
+  let rates_batched =
+    rates_unbatched
+    @ scaled
+        (match scale with
+        | Quick -> [ 2400.; 3200.; 4000.; 4800.; 5600. ]
+        | Full -> [ 2000.; 2400.; 2800.; 3200.; 3600.; 4000.; 4400.; 4800.; 5200.; 5600. ])
+  in
+  let modes = [ ("unbatched", None); ("batched", Some Rpc.Batcher.default_config) ] in
+  let rates_of = function "batched" -> rates_batched | _ -> rates_unbatched in
+  let spec = Experiment.Natto Natto.Features.recsf in
+  let setup_of ~batching ~rate =
+    let driver =
+      {
+        (driver_config scale ~rate) with
+        Workload.Driver.duration = Sim_time.seconds duration;
+        warmup = Sim_time.seconds (duration /. 4.);
+        cooldown = Sim_time.seconds (duration /. 4.);
+        drain = Sim_time.seconds 5.;
+      }
+    in
+    {
+      Experiment.default_setup with
+      Experiment.topo = Netsim.Topology.local3;
+      Experiment.n_partitions;
+      Experiment.net_config;
+      Experiment.driver;
+      Experiment.batching = batching;
+    }
+  in
+  let cells =
+    List.concat_map (fun ((name, _) as mode) -> List.map (fun r -> (mode, r)) (rates_of name)) modes
+  in
+  let outcomes =
+    map_cells cells (fun ((_mode, batching), rate) ->
+        (* The history checker is O(committed txns); running it on the
+           low-rate rungs proves batched histories stay serializable
+           without dominating the sweep's cost (ci.sh gates the rest). *)
+        Experiment.run_outcome ~check:(rate <= 1000.) (setup_of ~batching ~rate) spec ~gen
+          ~seed:1)
+  in
+  let p95 a = if Array.length a = 0 then nan else Simstats.Percentile.p95 a in
+  let curves = ref [] in
+  (* mode -> (rate, goodput, p95) in ladder order *)
+  List.iter2
+    (fun ((mode, _batching), rate) o ->
+      let r = Experiment.merge_outcome o in
+      let goodput = r.Workload.Driver.goodput_high_tps +. r.Workload.Driver.goodput_low_tps in
+      let p95_all =
+        p95 (Array.append r.Workload.Driver.high_latencies_ms r.Workload.Driver.low_latencies_ms)
+      in
+      let p95_high = p95 r.Workload.Driver.high_latencies_ms in
+      let envelopes, batched_msgs, per_env, flushes, occupancy, hold_ms =
+        match o.Experiment.o_batch with
+        | None -> (0, 0, 0., [], [||], 0.)
+        | Some s ->
+            ( s.Rpc.Batcher.s_envelopes,
+              s.Rpc.Batcher.s_messages,
+              Rpc.Batcher.mean_occupancy s,
+              s.Rpc.Batcher.s_flushes,
+              s.Rpc.Batcher.s_occupancy,
+              float_of_int s.Rpc.Batcher.s_hold_us /. 1000. )
+      in
+      let flush name = try List.assoc name flushes with Not_found -> 0 in
+      Printf.printf "batchsweep,%s,%.0f,%.1f,%.1f,%.1f,%d,%d,%.2f,%d,%d,%d,%d,%d\n%!" mode
+        rate goodput p95_all p95_high envelopes batched_msgs per_env (flush "idle")
+        (flush "timer") (flush "size") (flush "bytes") (flush "cut");
+      (* Nonzero occupancy buckets ride along so BENCH_results.json carries
+         the full envelope-size histogram, not just its mean. *)
+      let occ_fields =
+        Array.to_list occupancy
+        |> List.mapi (fun n c -> (n, c))
+        |> List.filter (fun (_, c) -> c > 0)
+        |> List.map (fun (n, c) -> (Printf.sprintf "occ_%d" n, float_of_int c))
+      in
+      collect ~figure:"batchsweep" ~x_label:"rate_tps" ~x:(Printf.sprintf "%.0f" rate)
+        ~system:mode
+        ([
+           ("goodput_tps", goodput);
+           ("p95_ms", p95_all);
+           ("p95_high_ms", p95_high);
+           ("envelopes", float_of_int envelopes);
+           ("batched_msgs", float_of_int batched_msgs);
+           ("msgs_per_envelope", per_env);
+           ("hold_total_ms", hold_ms);
+           ("flush_idle", float_of_int (flush "idle"));
+           ("flush_timer", float_of_int (flush "timer"));
+           ("flush_size", float_of_int (flush "size"));
+           ("flush_bytes", float_of_int (flush "bytes"));
+           ("flush_cut", float_of_int (flush "cut"));
+         ]
+        @ occ_fields);
+      curves := (mode, rate, goodput, p95_all) :: !curves)
+    cells outcomes;
+  let curve mode =
+    List.rev !curves
+    |> List.filter_map (fun (m, rate, g, p) -> if m = mode then Some (rate, g, p) else None)
+  in
+  (* Knee: highest goodput among ladder rungs whose p95 is still within 2x
+     the idle (lowest-rate) p95 — "throughput you can have without giving
+     up latency". *)
+  let knee mode =
+    match curve mode with
+    | [] -> (nan, nan)
+    | (_, _, idle_p95) :: _ as pts ->
+        let k =
+          List.fold_left
+            (fun best (_, g, p) -> if p <= 2. *. idle_p95 && g > best then g else best)
+            0. pts
+        in
+        (k, idle_p95)
+  in
+  let k_un, idle_un = knee "unbatched" in
+  let k_b, idle_b = knee "batched" in
+  let ratio = k_b /. k_un in
+  Printf.printf
+    "batchsweep,knee,unbatched,knee_goodput_tps,%.1f,idle_p95_ms,%.1f\n\
+     batchsweep,knee,batched,knee_goodput_tps,%.1f,idle_p95_ms,%.1f\n\
+     batchsweep,knee,ratio,batched_over_unbatched,%.2f\n\
+     %!"
+    k_un idle_un k_b idle_b ratio;
+  List.iter
+    (fun (mode, k, idle) ->
+      collect ~figure:"batchsweep" ~x_label:"knee" ~x:mode ~system:mode
+        [ ("knee_goodput_tps", k); ("idle_p95_ms", idle); ("knee_ratio", ratio) ])
+    [ ("unbatched", k_un, idle_un); ("batched", k_b, idle_b) ];
+  (* Attribution evidence at a mid-ladder rate: the batched run's critical
+     path gains a batching segment (time held in envelopes) while the
+     cpu_queue share shrinks — the amortization made visible per txn. *)
+  let attr_rate = 400. *. float_of_int n_partitions in
+  let metered =
+    map_cells modes (fun (_mode, batching) ->
+        Experiment.run_metrics (setup_of ~batching ~rate:attr_rate) spec ~gen ~seed:1)
+  in
+  List.iter2
+    (fun (mode, _) m ->
+      match Metrics.Attribution.aggregate m.Experiment.m_breakdowns with
+      | None -> ()
+      | Some a ->
+          let tot =
+            List.fold_left (fun acc (_, v) -> acc +. v) 0. a.Metrics.Attribution.mean_us
+          in
+          let pct name =
+            if tot <= 0. then 0.
+            else 100. *. List.assoc name a.Metrics.Attribution.mean_us /. tot
+          in
+          Printf.printf
+            "batchsweep,attribution,%s,e2e_mean_ms,%.1f,batching_pct,%.1f,replication_pct,%.1f,cpu_queue_pct,%.1f,wan_pct,%.1f\n%!"
+            mode a.Metrics.Attribution.e2e_mean_ms (pct "batching") (pct "replication")
+            (pct "cpu_queue") (pct "wan");
+          collect ~figure:"batchsweep" ~x_label:"attribution" ~x:(Printf.sprintf "%.0f" attr_rate)
+            ~system:mode
+            ([ ("e2e_mean_ms", a.Metrics.Attribution.e2e_mean_ms) ]
+            @ List.map
+                (fun name -> (name ^ "_pct", pct name))
+                Metrics.Attribution.segment_names))
+    modes metered
+
 let all scale =
   table1 ();
   fig7_ycsbt scale;
@@ -661,6 +858,7 @@ let all scale =
   fig12 scale;
   fig13 scale;
   fig14 scale;
+  batchsweep scale;
   ablation scale;
   failover scale;
   attribution scale;
@@ -669,7 +867,7 @@ let all scale =
 let names =
   [
     "table1"; "fig7ab"; "fig7cd"; "fig7ef"; "fig8a"; "fig8b"; "fig9"; "fig10"; "fig11";
-    "fig12"; "fig13"; "fig14"; "ablation"; "failover"; "attribution"; "check";
+    "fig12"; "fig13"; "fig14"; "batchsweep"; "ablation"; "failover"; "attribution"; "check";
   ]
 
 let run_by_name name scale =
@@ -686,6 +884,7 @@ let run_by_name name scale =
   | "fig12" -> fig12 scale; true
   | "fig13" -> fig13 scale; true
   | "fig14" -> fig14 scale; true
+  | "batchsweep" -> batchsweep scale; true
   | "ablation" -> ablation scale; true
   | "failover" -> failover scale; true
   | "attribution" -> attribution scale; true

@@ -5,13 +5,14 @@ type segments = {
   cpu_queue : int;
   lock_wait : int;
   replication : int;
+  batching : int;
   backoff : int;
   exec : int;
   residual : int;
 }
 
 let segment_names =
-  [ "wan"; "cpu_queue"; "lock_wait"; "replication"; "backoff"; "exec"; "residual" ]
+  [ "wan"; "cpu_queue"; "lock_wait"; "replication"; "batching"; "backoff"; "exec"; "residual" ]
 
 let to_list s =
   [
@@ -19,16 +20,27 @@ let to_list s =
     ("cpu_queue", s.cpu_queue);
     ("lock_wait", s.lock_wait);
     ("replication", s.replication);
+    ("batching", s.batching);
     ("backoff", s.backoff);
     ("exec", s.exec);
     ("residual", s.residual);
   ]
 
 let total s =
-  s.wan + s.cpu_queue + s.lock_wait + s.replication + s.backoff + s.exec + s.residual
+  s.wan + s.cpu_queue + s.lock_wait + s.replication + s.batching + s.backoff + s.exec
+  + s.residual
 
 let zero =
-  { wan = 0; cpu_queue = 0; lock_wait = 0; replication = 0; backoff = 0; exec = 0; residual = 0 }
+  {
+    wan = 0;
+    cpu_queue = 0;
+    lock_wait = 0;
+    replication = 0;
+    batching = 0;
+    backoff = 0;
+    exec = 0;
+    residual = 0;
+  }
 
 type txn_breakdown = { t_high : bool; t_e2e_us : int; t_seg : segments }
 
@@ -36,9 +48,14 @@ type txn_breakdown = { t_high : bool; t_e2e_us : int; t_seg : segments }
    two classes cover the same microsecond of a committed attempt (the
    coordinator is e.g. both replicating and holding a message in flight),
    the more specific cause wins. *)
-type cls = Lock_wait | Replication | Cpu_queue | Wan
+type cls = Lock_wait | Replication | Cpu_queue | Batching | Wan
 
-let rank = function Lock_wait -> 0 | Replication -> 1 | Cpu_queue -> 2 | Wan -> 3
+let rank = function
+  | Lock_wait -> 0
+  | Replication -> 1
+  | Cpu_queue -> 2
+  | Batching -> 3
+  | Wan -> 4
 
 (* Per-attempt intervals, collected in one pass over the trace. Span pairs
    are matched with a per-(txn, name) stack of pending begins: an End pops
@@ -75,8 +92,14 @@ let gather trace =
           | Some d ->
               add_interval txn Cpu_queue (Sim_time.to_us deliver) (Sim_time.to_us d)
           | None -> ())
-      | Trace.V_span { txn; name = ("lock-wait" | "replication") as name; phase; at } -> (
-          let cls = if name = "lock-wait" then Lock_wait else Replication in
+      | Trace.V_span { txn; name = ("lock-wait" | "replication" | "batching") as name; phase; at }
+        -> (
+          let cls =
+            match name with
+            | "lock-wait" -> Lock_wait
+            | "replication" -> Replication
+            | _ -> Batching
+          in
           match phase with
           | `Begin -> push_begin (txn, name) (Sim_time.to_us at)
           | `End -> (
@@ -104,7 +127,7 @@ let sweep ~lo ~hi intervals =
     List.sort_uniq compare
       (lo :: hi :: List.concat_map (fun (_, s, e) -> [ s; e ]) clipped)
   in
-  let covered = [| 0; 0; 0; 0 |] in
+  let covered = [| 0; 0; 0; 0; 0 |] in
   let rec go = function
     | a :: (b :: _ as rest) ->
         let best =
@@ -152,13 +175,16 @@ let analyze ~trace ~txns =
                 | None -> []
               in
               let covered = sweep ~lo ~hi ivs in
-              let in_class = covered.(0) + covered.(1) + covered.(2) + covered.(3) in
+              let in_class =
+                covered.(0) + covered.(1) + covered.(2) + covered.(3) + covered.(4)
+              in
               seg :=
                 {
                   !seg with
                   lock_wait = !seg.lock_wait + covered.(rank Lock_wait);
                   replication = !seg.replication + covered.(rank Replication);
                   cpu_queue = !seg.cpu_queue + covered.(rank Cpu_queue);
+                  batching = !seg.batching + covered.(rank Batching);
                   wan = !seg.wan + covered.(rank Wan);
                   exec = !seg.exec + (hi - lo - in_class);
                 }

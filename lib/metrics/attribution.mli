@@ -14,6 +14,9 @@
       Natto's timestamp-queue residency;
     - [replication] — ["replication"] span pairs emitted by
       [Raft.Group.replicate] for critical-path replications;
+    - [batching] — ["batching"] span pairs emitted by [Rpc.Batcher] for
+      time a transaction's message waited in a batch queue before its
+      envelope flushed (zero in unbatched runs and for cut-through sends);
     - [backoff] — the entire duration of every {e aborted} attempt of the
       logical transaction (wasted work plus waits before the abort);
     - [exec] — time inside the committed attempt covered by none of the
@@ -24,8 +27,8 @@
 
     Within the committed attempt, each microsecond is charged to exactly one
     segment; overlaps resolve by priority lock_wait > replication >
-    cpu_queue > wan. All arithmetic is integer microseconds, so the seven
-    segments sum {e exactly} to the end-to-end latency for every
+    cpu_queue > batching > wan. All arithmetic is integer microseconds, so
+    the eight segments sum {e exactly} to the end-to-end latency for every
     transaction. *)
 
 type segments = {
@@ -33,6 +36,7 @@ type segments = {
   cpu_queue : int;
   lock_wait : int;
   replication : int;
+  batching : int;
   backoff : int;
   exec : int;
   residual : int;

@@ -25,6 +25,24 @@ let default_config =
     pareto_threshold = 0.005;
   }
 
+type batch_item = {
+  bi_kind : string;
+  bi_txn : int option;
+  bi_priority : int option;
+  bi_bytes : int;
+  bi_f : unit -> unit;
+}
+
+type batch_sink =
+  kind:string ->
+  txn:int option ->
+  priority:int option ->
+  src:int ->
+  dst:int ->
+  bytes:int ->
+  (unit -> unit) ->
+  unit
+
 type t = {
   engine : Engine.t;
   rng : Rng.t;
@@ -33,6 +51,12 @@ type t = {
   cpus : Cpu.t array;
   config : config;
   trace : Trace.t;
+  mutable batch_sink : batch_sink option;
+      (** when set (by [Rpc.Batcher.install]), [Rpc.send] diverts through it
+          instead of calling {!send}; [None] keeps the unbatched path
+          byte-identical *)
+  mutable envelopes : int;
+  mutable batched_msgs : int;
   mutable faults_on : bool;
       (** set when a fault schedule is installed; protocols consult it to
           arm failover watchdogs (zero-cost in fault-free runs) *)
@@ -86,6 +110,9 @@ let create ~engine ~rng ~topo ~node_dc ~cpus ?(config = default_config)
     cpus;
     config;
     trace;
+    batch_sink = None;
+    envelopes = 0;
+    batched_msgs = 0;
     faults_on = false;
     node_down = Array.make (Array.length node_dc) false;
     dc_cut = Array.make_matrix n n false;
@@ -264,6 +291,110 @@ let send t ?kind ?txn ?priority ~src ~dst ~bytes f =
 
 let send_isolated t ?kind ?txn ?priority ~src ~dst ~bytes f =
   deliver t ?kind ?txn ?priority ~src ~dst ~bytes ~to_cpu:false f
+
+(* --- batch envelopes --- *)
+
+let set_batch_sink t sink = t.batch_sink <- sink
+let batch_sink t = t.batch_sink
+
+(* Per-message framing inside an envelope (length prefix + kind tag); the
+   header is paid once per envelope instead of once per message — that is
+   the wire-level amortization batching buys. *)
+let batch_frame_bytes = 4
+
+(* One coalesced envelope on the (src, dst) connection: a single
+   transmission-queue occupancy, one propagation sample, one loss draw and
+   one CPU job for the whole batch, with [cpu_cost] supplied by the caller
+   (the batcher charges the first message full price and later ones a
+   marginal cost). Every inner message is still traced individually, with
+   the envelope's wire bytes distributed so per-kind counts and bytes keep
+   summing exactly to [messages_sent] / [bytes_sent]. *)
+let send_batch t ~src ~dst ~cpu_cost msgs =
+  match msgs with
+  | [] -> ()
+  | _ ->
+      let src_dc = t.node_dc.(src) and dst_dc = t.node_dc.(dst) in
+      let n = List.length msgs in
+      let payload =
+        List.fold_left (fun acc m -> acc + m.bi_bytes + batch_frame_bytes) 0 msgs
+      in
+      let bytes = payload + t.config.header_bytes in
+      let msg_bytes i m =
+        m.bi_bytes + batch_frame_bytes + if i = 0 then t.config.header_bytes else 0
+      in
+      t.messages <- t.messages + n;
+      t.bytes <- t.bytes + bytes;
+      t.envelopes <- t.envelopes + 1;
+      t.batched_msgs <- t.batched_msgs + n;
+      if
+        t.faults_on
+        && (t.node_down.(src) || t.node_down.(dst) || t.dc_cut.(src_dc).(dst_dc))
+      then begin
+        (* The whole envelope vanishes together, like the single-message
+           path: traced per inner message under kind "dropped". *)
+        t.drops <- t.drops + n;
+        if Trace.enabled t.trace then begin
+          let now = Engine.now t.engine in
+          List.iteri
+            (fun i m ->
+              ignore
+                (Trace.message t.trace ~kind:"dropped" ?txn:m.bi_txn ?priority:m.bi_priority
+                   ~src ~dst ~src_dc ~dst_dc ~bytes:(msg_bytes i m) ~enqueue:now ~depart:now
+                   ~deliver:now ()))
+            msgs
+        end
+      end
+      else begin
+        let now = Engine.now t.engine in
+        if now >= t.next_prune then prune t ~now;
+        let depart, arrival =
+          if src = dst then (now, Sim_time.add now (Sim_time.us 20))
+          else begin
+            let depart = transmission_depart t ~src_dc ~dst_dc ~bytes in
+            let owd = sample_owd t ~src_dc ~dst_dc in
+            let retrans = retrans_delay t ~src ~dst ~src_dc ~dst_dc in
+            (depart, Sim_time.add depart (Sim_time.add owd retrans))
+          end
+        in
+        let arrival =
+          if src <> dst then begin
+            let ordered =
+              match Hashtbl.find_opt t.fifo_last (src, dst) with
+              | Some last when last >= arrival -> Sim_time.add last (Sim_time.us 1)
+              | _ -> arrival
+            in
+            Hashtbl.replace t.fifo_last (src, dst) ordered;
+            if ordered > t.max_fifo then t.max_fifo <- ordered;
+            ordered
+          end
+          else arrival
+        in
+        let handles =
+          if not (Trace.enabled t.trace) then []
+          else
+            List.mapi
+              (fun i m ->
+                Trace.message t.trace ~kind:m.bi_kind ?txn:m.bi_txn ?priority:m.bi_priority
+                  ~src ~dst ~src_dc ~dst_dc ~bytes:(msg_bytes i m) ~enqueue:now ~depart
+                  ~deliver:arrival ())
+              msgs
+            |> List.filter_map Fun.id
+        in
+        ignore
+          (Engine.schedule_at t.engine arrival (fun () ->
+               Cpu.submit t.cpus.(dst) ~cost:cpu_cost (fun () ->
+                   (match handles with
+                   | [] -> ()
+                   | hs ->
+                       let d = Engine.now t.engine in
+                       List.iter (fun h -> Trace.set_dequeue h d) hs);
+                   List.iter (fun m -> m.bi_f ()) msgs)))
+      end
+
+let envelopes_sent t = t.envelopes
+let batched_messages t = t.batched_msgs
+let config t = t.config
+let cpu_depth t ~node = Cpu.pending_jobs t.cpus.(node)
 
 let messages_sent t = t.messages
 let bytes_sent t = t.bytes

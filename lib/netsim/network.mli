@@ -122,6 +122,63 @@ val send_isolated :
     measurement probes, which in the real system are tiny UDP packets
     answered in the kernel fast path. Loss and capacity still apply. *)
 
+(** {2 Batch envelopes}
+
+    The transport half of pervasive batching: [Rpc.Batcher] (policy —
+    when to flush, what rides together) coalesces messages per (src, dst)
+    connection and hands each flush to {!send_batch} (mechanism — one
+    wire-level envelope). Nothing here runs unless a sink is installed, so
+    the unbatched path stays byte-identical. *)
+
+type batch_item = {
+  bi_kind : string;
+  bi_txn : int option;
+  bi_priority : int option;
+  bi_bytes : int;
+  bi_f : unit -> unit;
+}
+
+type batch_sink =
+  kind:string ->
+  txn:int option ->
+  priority:int option ->
+  src:int ->
+  dst:int ->
+  bytes:int ->
+  (unit -> unit) ->
+  unit
+(** What [Rpc.send] calls instead of {!send} when batching is on. *)
+
+val set_batch_sink : t -> batch_sink option -> unit
+val batch_sink : t -> batch_sink option
+
+val batch_frame_bytes : int
+(** Per-message framing overhead inside an envelope; the [header_bytes]
+    envelope header is paid once per flush instead of once per message. *)
+
+val send_batch :
+  t -> src:int -> dst:int -> cpu_cost:Simcore.Sim_time.t -> batch_item list -> unit
+(** Deliver a coalesced envelope on one connection: a single
+    transmission-queue occupancy, propagation sample, loss draw and CPU
+    job ([cpu_cost], supplied by the batcher) for the whole batch.
+    Callbacks run in list order at the destination. Each inner message is
+    traced individually with the envelope's wire bytes distributed across
+    them (header charged to the first), so per-kind counts and bytes still
+    sum exactly to {!messages_sent} / {!bytes_sent}. *)
+
+val envelopes_sent : t -> int
+(** Batch envelopes delivered via {!send_batch} so far. *)
+
+val batched_messages : t -> int
+(** Messages that rode inside those envelopes (each also counted in
+    {!messages_sent}). *)
+
+val config : t -> config
+
+val cpu_depth : t -> node:int -> int
+(** Jobs pending (including in service) at a node's CPU station — the
+    queuing-pressure signal the batcher's adaptive flush policy reads. *)
+
 val messages_sent : t -> int
 val bytes_sent : t -> int
 

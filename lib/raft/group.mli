@@ -11,13 +11,16 @@ val create :
   net:Netsim.Network.t ->
   rng:Simcore.Rng.t ->
   ?config:Node.config ->
+  ?group_commit:bool ->
   members:int array ->
   ?initial_leader:int ->
   unit ->
   t
 (** [members] are network node ids. With [initial_leader] the group starts
     with an installed term-1 leader and no cold-start election; without it,
-    all members start as followers and elect normally. *)
+    all members start as followers and elect normally. [group_commit]
+    (default false) turns on coalesced replication rounds on every member
+    (see {!Node.set_group_commit}). *)
 
 val members : t -> int array
 

@@ -31,6 +31,11 @@ type t = {
   mutable stopped : bool;
   mutable leader_hint : int option;
   mutable fired_up_to : int;  (** highest index whose commit callback ran *)
+  mutable group_commit : bool;
+      (** leader coalesces log entries into one AppendEntries per
+          replication round (one in flight per peer); off by default *)
+  inflight : (int, unit) Hashtbl.t;
+      (** group-commit mode: peers with an unacknowledged AppendEntries *)
 }
 
 let create ~engine ~rng ~config ~id ~peers =
@@ -55,9 +60,16 @@ let create ~engine ~rng ~config ~id ~peers =
     stopped = false;
     leader_hint = None;
     fired_up_to = 0;
+    group_commit = false;
+    inflight = Hashtbl.create 7;
   }
 
 let set_transport t send = t.send <- send
+let set_group_commit t on = t.group_commit <- on
+
+(* Caps one AppendEntries in group-commit mode so a long backlog ships as a
+   few bounded envelopes rather than one unbounded message. *)
+let group_commit_max_entries = 256
 
 let majority t = (Array.length t.peers / 2) + 1
 let last_log_index t = Vec.length t.log
@@ -103,6 +115,7 @@ and become_candidate t =
 and become_leader t =
   t.role <- Leader;
   t.leader_hint <- Some t.id;
+  Hashtbl.reset t.inflight;
   cancel_timer t.election_timer;
   t.election_timer <- None;
   Array.iter
@@ -124,14 +137,20 @@ and arm_heartbeat t =
            end))
 
 and send_heartbeats t =
+  (* Group commit treats the heartbeat as its retransmission timer: any
+     append still unacknowledged after a full heartbeat interval is
+     presumed lost, so the in-flight marks are dropped and the heartbeat
+     itself (which carries the pending suffix) resends the batch. *)
+  if t.group_commit then Hashtbl.reset t.inflight;
   Array.iter (fun peer -> if peer <> t.id then send_append t peer) t.peers
 
 and send_append t peer =
   let next = try Hashtbl.find t.next_index peer with Not_found -> last_log_index t + 1 in
   let prev_index = next - 1 in
+  let limit = if t.group_commit then next + group_commit_max_entries - 1 else max_int in
   let entries =
     let rec collect i acc =
-      if i > last_log_index t then List.rev acc
+      if i > last_log_index t || i > limit then List.rev acc
       else collect (i + 1) (Vec.get t.log (i - 1) :: acc)
     in
     collect next []
@@ -149,7 +168,8 @@ and send_append t peer =
   (* Pipelining (as in etcd/raft): advance next_index optimistically so the
      suffix is not resent on every subsequent append; a failure reply resets
      it via the hint. *)
-  if entries <> [] then Hashtbl.replace t.next_index peer (last_log_index t + 1)
+  if entries <> [] then Hashtbl.replace t.next_index peer (next + List.length entries);
+  if t.group_commit then Hashtbl.replace t.inflight peer ()
 
 (* --- state transitions --- *)
 
@@ -159,6 +179,7 @@ let become_follower t ~term =
   t.role <- Follower;
   t.voted_for <- None;
   t.votes_granted <- [];
+  Hashtbl.reset t.inflight;
   if was_leader then begin
     cancel_timer t.heartbeat_timer;
     t.heartbeat_timer <- None
@@ -282,10 +303,20 @@ let handle_append_reply t ~term ~from ~success ~match_index ~hint_index =
       let prev = try Hashtbl.find t.match_index from with Not_found -> 0 in
       if match_index > prev then Hashtbl.replace t.match_index from match_index;
       Hashtbl.replace t.next_index from (Stdlib.max (match_index + 1) 1);
+      if t.group_commit then begin
+        (* The acked round is done; everything that accumulated while it
+           was in flight ships as the next round's single batch. *)
+        Hashtbl.remove t.inflight from;
+        let next =
+          try Hashtbl.find t.next_index from with Not_found -> last_log_index t + 1
+        in
+        if next <= last_log_index t then send_append t from
+      end;
       advance_commit t
     end
     else begin
       Hashtbl.replace t.next_index from (Stdlib.max 1 hint_index);
+      if t.group_commit then Hashtbl.remove t.inflight from;
       send_append t from
     end
   end
@@ -315,7 +346,15 @@ let replicate t ~size ~tag ~on_committed =
   Vec.push t.log { Types.term = t.term; index; size; tag };
   Hashtbl.replace t.callbacks index on_committed;
   Hashtbl.replace t.match_index t.id index;
-  Array.iter (fun peer -> if peer <> t.id then send_append t peer) t.peers;
+  (* Group commit keeps one AppendEntries in flight per peer; entries
+     arriving while a round is outstanding accumulate and ride the next
+     round together, so the per-entry replication cost is amortized and the
+     batch grows exactly as fast as the network round trip allows. *)
+  Array.iter
+    (fun peer ->
+      if peer <> t.id && not (t.group_commit && Hashtbl.mem t.inflight peer) then
+        send_append t peer)
+    t.peers;
   (* Single-node groups commit immediately. *)
   advance_commit t;
   index
@@ -332,6 +371,7 @@ let restart t =
   t.role <- Follower;
   t.votes_granted <- [];
   t.leader_hint <- None;
+  Hashtbl.reset t.inflight;
   reset_election_timer t
 
 let id t = t.id

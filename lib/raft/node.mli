@@ -36,6 +36,17 @@ val create :
 
 val set_transport : t -> (dst:int -> Types.message -> unit) -> unit
 
+val set_group_commit : t -> bool -> unit
+(** Group-commit replication (off by default): the leader keeps at most one
+    AppendEntries in flight per peer, so entries arriving while a round is
+    outstanding coalesce and ship as the next round's single batch — the
+    whole batch is acked (and committed) on one quorum of replies. Batch
+    size adapts to load by construction: an idle group replicates each
+    entry immediately, a busy one accumulates for exactly one network round
+    trip. Heartbeats double as the retransmission timer (they clear the
+    in-flight marks and resend the pending suffix). With it off, behavior
+    is bit-for-bit the pipelined per-entry protocol. *)
+
 val start : t -> unit
 (** Arms the election timer (normal cold start: an election will occur). *)
 

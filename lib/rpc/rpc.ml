@@ -1,8 +1,14 @@
 module Msg = Msg
+module Batcher = Batcher
 
 let send net ~src ~dst ~(msg : Msg.t) f =
-  Netsim.Network.send net ~kind:(Msg.label msg.Msg.kind) ?txn:msg.Msg.txn
-    ?priority:msg.Msg.priority ~src ~dst ~bytes:msg.Msg.bytes f
+  match Netsim.Network.batch_sink net with
+  | Some sink ->
+      sink ~kind:(Msg.label msg.Msg.kind) ~txn:msg.Msg.txn ~priority:msg.Msg.priority ~src
+        ~dst ~bytes:msg.Msg.bytes f
+  | None ->
+      Netsim.Network.send net ~kind:(Msg.label msg.Msg.kind) ?txn:msg.Msg.txn
+        ?priority:msg.Msg.priority ~src ~dst ~bytes:msg.Msg.bytes f
 
 let send_isolated net ~src ~dst ~(msg : Msg.t) f =
   Netsim.Network.send_isolated net ~kind:(Msg.label msg.Msg.kind) ?txn:msg.Msg.txn

@@ -9,10 +9,14 @@
     implementations. *)
 
 module Msg = Msg
+module Batcher = Batcher
 
 val send :
   Netsim.Network.t -> src:int -> dst:int -> msg:Msg.t -> (unit -> unit) -> unit
-(** [Netsim.Network.send] with the envelope's size and tracing metadata. *)
+(** [Netsim.Network.send] with the envelope's size and tracing metadata.
+    When a {!Batcher} is installed on the network, the send is diverted
+    into its per-connection queue instead — same arguments, coalesced
+    delivery. *)
 
 val send_isolated :
   Netsim.Network.t -> src:int -> dst:int -> msg:Msg.t -> (unit -> unit) -> unit

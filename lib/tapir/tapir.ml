@@ -44,7 +44,6 @@ let make (cluster : Cluster.t) : System.t =
       replicas.(p);
     !best
   in
-  let attempt_timeout = Simcore.Sim_time.seconds 2.5 in
   let submit (txn : Txn.t) ~on_done =
     let plan = Exec.plan_of cluster txn in
     let participants = plan.Exec.participants in
@@ -240,20 +239,16 @@ let make (cluster : Cluster.t) : System.t =
     (* Failover watchdog: a replica that died mid-round leaves reads or
        votes outstanding forever; bound the attempt and let the driver
        retry against the live set. *)
-    if failover then
-      ignore
-        (Simcore.Engine.schedule_after cluster.Cluster.engine attempt_timeout (fun () ->
-             if not !finished then begin
-               List.iter
-                 (fun p ->
-                   Array.iter
-                     (fun r ->
-                       send ~src:client ~dst:r.node
-                         ~msg:(Msg.control ~txn:txn.Txn.id Msg.Release)
-                         (fun () -> Store.Occ.release r.occ ~txn:txn.Txn.id))
-                     replicas.(p))
-                 participants;
-               finish ~committed:false
-             end))
+    Failover.arm_watchdog cluster ~finished ~on_timeout:(fun () ->
+        List.iter
+          (fun p ->
+            Array.iter
+              (fun r ->
+                send ~src:client ~dst:r.node
+                  ~msg:(Msg.control ~txn:txn.Txn.id Msg.Release)
+                  (fun () -> Store.Occ.release r.occ ~txn:txn.Txn.id))
+              replicas.(p))
+          participants;
+        finish ~committed:false)
   in
   System.make ~name:"TAPIR" ~submit

@@ -132,17 +132,15 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
     | None -> ());
     Store.Locks.release_all server.locks ~txn:txn_id
   in
-  let attempt_timeout = Simcore.Sim_time.seconds 2.5 in
   let submit (txn : Txn.t) ~on_done =
     let plan = Exec.plan_of cluster txn in
     let participants = plan.Exec.participants in
     let n = List.length participants in
     let client = txn.Txn.client in
-    let failover = Cluster.failover_active cluster in
     (* Re-resolve the partition leaders per attempt, so retries after a
        leader crash land on the newly elected node. *)
-    if failover then
-      List.iter (fun p -> servers.(p).node <- Cluster.leader_node cluster p) participants;
+    Failover.refresh_leaders cluster ~participants ~set:(fun p node ->
+        servers.(p).node <- node);
     let coordinator = Cluster.coordinator_for cluster ~client in
     let high = Txn.is_high txn in
     let finished = ref false in
@@ -284,10 +282,7 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
     (* Failover watchdog: locks held by a crashed leader's server — or a
        vote that can never reach a dead coordinator — would hang the attempt
        past the lock timeout; bound it, release everywhere, and retry. *)
-    if failover then
-      ignore
-        (Simcore.Engine.schedule_after engine attempt_timeout (fun () ->
-             if not !finished then abort_attempt ()));
+    Failover.arm_watchdog cluster ~finished ~on_timeout:abort_attempt;
     if read_partitions = [] then phase_one_done ()
     else
       List.iter

@@ -18,13 +18,14 @@ type t = {
   coordinator_partition : int array;
   recorder : Check.Recorder.t;
   metrics : Metrics.Registry.t;
+  batcher : Rpc.Batcher.t option;
 }
 
 (* Cluster-level instruments. Every closure only reads simulator state, so
    sampling is pure observation; nothing here runs unless the registry is
    enabled and its sampler is started. *)
 let register_instruments ~(metrics : Metrics.Registry.t) ~engine ~net ~cpus ~replicas
-    ~groups ~proxies ~topo =
+    ~groups ~proxies ~topo ~batcher =
   let now () = Engine.now engine in
   Array.iteri
     (fun p (members : int array) ->
@@ -52,6 +53,25 @@ let register_instruments ~(metrics : Metrics.Registry.t) ~engine ~net ~cpus ~rep
   Metrics.Registry.cumulative metrics "net.bytes" (fun () -> Network.bytes_sent net);
   Metrics.Registry.cumulative metrics "net.retransmissions" (fun () ->
       Network.retransmissions net);
+  (match batcher with
+  | None -> ()
+  | Some b ->
+      (* Batch occupancy and flush reasons: the windowed envelope/message
+         deltas give mean occupancy per window; the pending gauge shows how
+         much is held at each sample. *)
+      Metrics.Registry.cumulative metrics "batch.envelopes" (fun () ->
+          Network.envelopes_sent net);
+      Metrics.Registry.cumulative metrics "batch.messages" (fun () ->
+          Network.batched_messages net);
+      Metrics.Registry.cumulative metrics "batch.hold_us" (fun () ->
+          (Rpc.Batcher.stats b).Rpc.Batcher.s_hold_us);
+      Metrics.Registry.gauge metrics "batch.pending" (fun () ->
+          float_of_int (Rpc.Batcher.pending b));
+      List.iter
+        (fun reason ->
+          Metrics.Registry.cumulative metrics ("batch.flush." ^ reason) (fun () ->
+              List.assoc reason (Rpc.Batcher.stats b).Rpc.Batcher.s_flushes))
+        [ "idle"; "timer"; "size"; "bytes"; "cut" ]);
   Array.iteri
     (fun p g ->
       Metrics.Registry.cumulative metrics
@@ -84,7 +104,7 @@ let register_instruments ~(metrics : Metrics.Registry.t) ~engine ~net ~cpus ~rep
 let build ?(topo = Topology.azure5) ?(n_partitions = 5) ?(replication = 3)
     ?(clients_per_dc = 2) ?(net_config = Network.default_config)
     ?(raft_config = Raft.Node.default_config) ?(max_clock_skew = Sim_time.ms 1.)
-    ?(with_raft = true) ?(with_proxies = true) ?trace ?metrics ~seed () =
+    ?(with_raft = true) ?(with_proxies = true) ?batching ?trace ?metrics ~seed () =
   let engine = Engine.create () in
   let rng = Rng.create ~seed in
   let n_dcs = Topology.n_dcs topo in
@@ -133,12 +153,18 @@ let build ?(topo = Topology.azure5) ?(n_partitions = 5) ?(replication = 3)
     Network.create ~engine ~rng:(Rng.split rng) ~topo ~node_dc ~cpus ~config:net_config ?trace
       ()
   in
+  (* Installed before the Raft groups so even constructor-time traffic
+     (elections, heartbeats) rides the batched transport. *)
+  let batcher =
+    Option.map (fun config -> Rpc.Batcher.create ~net ~config ()) batching
+  in
   let clock = Clock.create ~rng:(Rng.split rng) ~max_skew:max_clock_skew ~n_nodes in
   let groups =
     if with_raft then
       Array.init n_partitions (fun p ->
           Raft.Group.create ~engine ~net ~rng:(Rng.split rng) ~config:raft_config
-            ~members:replicas.(p) ~initial_leader:replicas.(p).(0) ())
+            ~group_commit:(Option.is_some batcher) ~members:replicas.(p)
+            ~initial_leader:replicas.(p).(0) ())
     else [||]
   in
   let leaders = Array.init n_partitions (fun p -> replicas.(p).(0)) in
@@ -179,7 +205,8 @@ let build ?(topo = Topology.azure5) ?(n_partitions = 5) ?(replication = 3)
     match metrics with Some m -> m | None -> Metrics.Registry.create ()
   in
   if Metrics.Registry.enabled metrics then
-    register_instruments ~metrics ~engine ~net ~cpus ~replicas ~groups ~proxies ~topo;
+    register_instruments ~metrics ~engine ~net ~cpus ~replicas ~groups ~proxies ~topo
+      ~batcher;
   {
     engine;
     rng;
@@ -197,6 +224,7 @@ let build ?(topo = Topology.azure5) ?(n_partitions = 5) ?(replication = 3)
     coordinator_partition;
     recorder = Check.Recorder.create ();
     metrics;
+    batcher;
   }
 
 let partition_of_key t key = ((key mod t.n_partitions) + t.n_partitions) mod t.n_partitions

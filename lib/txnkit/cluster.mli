@@ -36,6 +36,9 @@ type t = {
           progress and replication lag, measurement estimation error).
           Protocol layers add their own (lock tables, queues). Disabled by
           default: nothing is registered and nothing is sampled. *)
+  batcher : Rpc.Batcher.t option;
+      (** the batch coalescing layer, present iff {!build} got [~batching];
+          already installed as the network's batch sink *)
 }
 
 val build :
@@ -48,6 +51,7 @@ val build :
   ?max_clock_skew:Simcore.Sim_time.t ->
   ?with_raft:bool ->
   ?with_proxies:bool ->
+  ?batching:Rpc.Batcher.config ->
   ?trace:Trace.t ->
   ?metrics:Metrics.Registry.t ->
   seed:int ->
@@ -59,7 +63,12 @@ val build :
     [trace] installs a tracing sink at network creation, so even the
     messages sent while the cluster is being built (Raft elections,
     measurement probes) are accounted — per-kind counts then match
-    {!Netsim.Network.messages_sent} exactly. *)
+    {!Netsim.Network.messages_sent} exactly.
+
+    [batching] installs an {!Rpc.Batcher} on the network (before the Raft
+    groups, so election and heartbeat traffic batches too) and switches
+    every Raft group to group-commit replication. Omitted, the cluster is
+    byte-identical to a build without the batching layer. *)
 
 val partition_of_key : t -> int -> int
 val leader : t -> int -> int

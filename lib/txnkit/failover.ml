@@ -1,0 +1,17 @@
+(* Per-attempt failover timeout: longer than any healthy WAN commit,
+   shorter than the driver would tolerate hanging. Must exceed the Raft
+   election timeout so retries land after a new leader exists. *)
+let attempt_timeout = Simcore.Sim_time.seconds 2.5
+
+let refresh_leaders cluster ~participants ~set =
+  if Cluster.failover_active cluster then
+    List.iter (fun p -> set p (Cluster.leader_node cluster p)) participants
+
+let current_leader cluster ~partition ~static =
+  if Cluster.failover_active cluster then Cluster.leader_node cluster partition else static
+
+let arm_watchdog cluster ~finished ~on_timeout =
+  if Cluster.failover_active cluster then
+    ignore
+      (Simcore.Engine.schedule_after cluster.Cluster.engine attempt_timeout (fun () ->
+           if not !finished then on_timeout ()))

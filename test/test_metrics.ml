@@ -363,6 +363,7 @@ let test_aggregate () =
           cpu_queue = 0;
           lock_wait = lock;
           replication = 0;
+          batching = 0;
           backoff = 0;
           exec = e2e - lock;
           residual = 0;
