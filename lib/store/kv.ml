@@ -4,10 +4,11 @@ type t = { table : (int, value) Hashtbl.t }
 
 let create () = { table = Hashtbl.create 4096 }
 
-let get t key =
-  match Hashtbl.find_opt t.table key with
-  | Some v -> v
-  | None -> { data = 0; version = 0; writer = 0 }
+(* Shared default for unwritten keys: [get] on the miss path is
+   per-operation critical, so it must not allocate. *)
+let default = { data = 0; version = 0; writer = 0 }
+
+let get t key = match Hashtbl.find_opt t.table key with Some v -> v | None -> default
 
 let put t ~key ~data ~writer =
   let prev = get t key in
