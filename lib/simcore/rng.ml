@@ -35,8 +35,12 @@ let exponential t ~mean =
   -.mean *. log u
 
 let normal t ~mean ~stddev =
-  (* Box-Muller; we discard the second variate for simplicity. *)
-  let u1 = 1.0 -. float t and u2 = float t in
+  (* Box-Muller; we discard the second variate for simplicity. The two
+     draws are sequenced explicitly: [u1] consumes the first generator
+     step and [u2] the second. (A [let … and …] binding leaves the order
+     unspecified; every golden CSV depends on this one.) *)
+  let u1 = 1.0 -. float t in
+  let u2 = float t in
   let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
   mean +. (stddev *. z)
 
