@@ -114,6 +114,7 @@ let make (cluster : Cluster.t) : System.t =
 
   (* --- client side --- *)
   let submit (txn : Txn.t) ~on_done =
+    let txn_id = txn.Txn.id in
     let plan = Txnkit.Exec.plan_of cluster txn in
     let n = List.length plan.Txnkit.Exec.participants in
     let attempt = { txn; plan; pending = n; failed = false; replies = [] } in
@@ -129,7 +130,7 @@ let make (cluster : Cluster.t) : System.t =
       if not !finished then begin
         finished := true;
         if Trace.recording trace then
-          Trace.instant trace ~tid:client ~txn:txn.Txn.id
+          Trace.instant trace ~tid:client ~txn:txn_id
             ~name:(if committed then "txn-commit" else "txn-abort")
             ~at:(Simcore.Engine.now cluster.Cluster.engine) ();
         on_done ~committed
@@ -138,35 +139,35 @@ let make (cluster : Cluster.t) : System.t =
     (* Client-side commit notification: the coordinator replies over the
        network; latency to the client is the intra-DC hop. *)
     let notify_client_commit () =
-      send ~src:coordinator ~dst:client ~msg:(Msg.control ~txn:txn.Txn.id Msg.Commit_notify)
+      send ~src:coordinator ~dst:client ~msg:(Msg.control ~txn:txn_id Msg.Commit_notify)
         (fun () -> finish ~committed:true)
     in
     let on_vote ~ok =
-      let c = coord_state ~txn_id:txn.Txn.id ~client ~n_participants:n in
+      let c = coord_state ~txn_id ~client ~n_participants:n in
       if not c.decided then
         if ok then begin
           c.ok_votes <- c.ok_votes + 1;
-          try_commit ~txn_id:txn.Txn.id ~txn ~notify_client:notify_client_commit c
+          try_commit ~txn_id ~txn ~notify_client:notify_client_commit c
         end
-        else decide_abort ~txn_id:txn.Txn.id ~txn c
+        else decide_abort ~txn_id ~txn c
     in
     let on_commit_request pairs =
-      let c = coord_state ~txn_id:txn.Txn.id ~client ~n_participants:n in
+      let c = coord_state ~txn_id ~client ~n_participants:n in
       if not c.decided then begin
         c.commit_pairs <- Some pairs;
         Raft.Group.replicate
           (Cluster.coordinator_group cluster ~client)
           ~size:(Msg.write_record_bytes ~writes:(List.length pairs))
-          ~tag:txn.Txn.id
+          ~tag:txn_id
           ~on_committed:(fun () ->
             c.writes_replicated <- true;
-            try_commit ~txn_id:txn.Txn.id ~txn ~notify_client:notify_client_commit c)
+            try_commit ~txn_id ~txn ~notify_client:notify_client_commit c)
           ()
       end
     in
     let on_abort_notice () =
-      let c = coord_state ~txn_id:txn.Txn.id ~client ~n_participants:n in
-      if not c.decided then decide_abort ~txn_id:txn.Txn.id ~txn c
+      let c = coord_state ~txn_id ~client ~n_participants:n in
+      if not c.decided then decide_abort ~txn_id ~txn c
     in
     let abort_attempt () =
       (* Release prepares directly from the client, before the retry's
@@ -176,11 +177,11 @@ let make (cluster : Cluster.t) : System.t =
       List.iter
         (fun p ->
           let server = servers.(p) in
-          send ~src:client ~dst:server.node ~msg:(Msg.control ~txn:txn.Txn.id Msg.Release)
-            (fun () -> abort_at_participant server txn.Txn.id))
+          send ~src:client ~dst:server.node ~msg:(Msg.control ~txn:txn_id Msg.Release)
+            (fun () -> abort_at_participant server txn_id))
         plan.Txnkit.Exec.participants;
       send ~src:client ~dst:coordinator
-        ~msg:(Msg.control ~txn:txn.Txn.id Msg.Abort_notice)
+        ~msg:(Msg.control ~txn:txn_id Msg.Abort_notice)
         on_abort_notice;
       finish ~committed:false
     in
@@ -190,7 +191,7 @@ let make (cluster : Cluster.t) : System.t =
         let reads = Txnkit.Exec.assemble_reads txn attempt.replies in
         let pairs = Txnkit.Exec.write_pairs txn reads in
         send ~src:client ~dst:coordinator
-          ~msg:(Msg.commit_request ~txn:txn.Txn.id ~writes:(List.length pairs) ())
+          ~msg:(Msg.commit_request ~txn:txn_id ~writes:(List.length pairs) ())
           (fun () -> on_commit_request pairs)
       end
     in
@@ -206,33 +207,33 @@ let make (cluster : Cluster.t) : System.t =
         let reads = plan.Txnkit.Exec.reads_of p and writes = plan.Txnkit.Exec.writes_of p in
         send ~src:client ~dst:server.node
           ~msg:
-            (Msg.read_prepare ~txn:txn.Txn.id ~reads:(Array.length reads)
+            (Msg.read_prepare ~txn:txn_id ~reads:(Array.length reads)
                ~writes:(Array.length writes) ())
           (fun () ->
             let conflicting = Store.Occ.conflicts server.occ ~reads ~writes in
             if conflicting <> [] then begin
               send ~src:server.node ~dst:client
-                ~msg:(Msg.control ~txn:txn.Txn.id Msg.Abort_notice)
+                ~msg:(Msg.control ~txn:txn_id Msg.Abort_notice)
                 (fun () -> on_read_reply ~ok:false []);
-              send ~src:server.node ~dst:coordinator ~msg:(Msg.vote ~txn:txn.Txn.id ())
+              send ~src:server.node ~dst:coordinator ~msg:(Msg.vote ~txn:txn_id ())
                 (fun () -> on_vote ~ok:false)
             end
             else begin
-              Store.Occ.prepare server.occ ~txn:txn.Txn.id ~reads ~writes;
+              Store.Occ.prepare server.occ ~txn:txn_id ~reads ~writes;
               if Check.Recorder.enabled recorder then
-                Check.Recorder.reads_from_kv recorder ~txn:txn.Txn.id server.kv reads;
+                Check.Recorder.reads_from_kv recorder ~txn:txn_id server.kv reads;
               let values = Txnkit.Exec.read_values server.kv reads in
               send ~src:server.node ~dst:client
-                ~msg:(Msg.read_reply ~txn:txn.Txn.id ~reads:(Array.length reads) ())
+                ~msg:(Msg.read_reply ~txn:txn_id ~reads:(Array.length reads) ())
                 (fun () -> on_read_reply ~ok:true values);
               (* Replicate the prepare record, then vote. *)
               Raft.Group.replicate cluster.Cluster.groups.(p)
                 ~size:
                   (Msg.prepare_record_bytes ~reads:(Array.length reads)
                      ~writes:(Array.length writes))
-                ~tag:txn.Txn.id
+                ~tag:txn_id
                 ~on_committed:(fun () ->
-                  send ~src:server.node ~dst:coordinator ~msg:(Msg.vote ~txn:txn.Txn.id ())
+                  send ~src:server.node ~dst:coordinator ~msg:(Msg.vote ~txn:txn_id ())
                     (fun () -> on_vote ~ok:true))
                 ()
             end))

@@ -39,6 +39,7 @@ let make (cluster : Cluster.t) : System.t =
      stale footprints veto the fast path on those keys forever. *)
   let down_seen : (int, unit) Hashtbl.t = Hashtbl.create 7 in
   let submit (txn : Txn.t) ~on_done =
+    let txn_id = txn.Txn.id in
     let plan = Txnkit.Exec.plan_of cluster txn in
     let participants = plan.Txnkit.Exec.participants in
     let client = txn.Txn.client in
@@ -95,7 +96,7 @@ let make (cluster : Cluster.t) : System.t =
       if not !finished then begin
         finished := true;
         if Trace.recording trace then
-          Trace.instant trace ~tid:client ~txn:txn.Txn.id
+          Trace.instant trace ~tid:client ~txn:txn_id
             ~name:(if committed then "txn-commit" else "txn-abort")
             ~at:(Simcore.Engine.now cluster.Cluster.engine) ();
         on_done ~committed
@@ -108,8 +109,8 @@ let make (cluster : Cluster.t) : System.t =
         (fun p ->
           Array.iter
             (fun r ->
-              send ~src:client ~dst:r.node ~msg:(Msg.control ~txn:txn.Txn.id Msg.Release)
-                (fun () -> Store.Occ.release r.occ ~txn:txn.Txn.id))
+              send ~src:client ~dst:r.node ~msg:(Msg.control ~txn:txn_id Msg.Release)
+                (fun () -> Store.Occ.release r.occ ~txn:txn_id))
             replicas.(p))
         participants
     in
@@ -117,16 +118,16 @@ let make (cluster : Cluster.t) : System.t =
       (* [after_durable] fires at the coordinator once the decision can be
          made; used by the slow path to wait for participant votes. *)
       send ~src:client ~dst:coordinator
-        ~msg:(Msg.commit_request ~txn:txn.Txn.id ~writes:(List.length pairs) ())
+        ~msg:(Msg.commit_request ~txn:txn_id ~writes:(List.length pairs) ())
         (fun () ->
           let write_replicated = ref false and votes_ok = ref false in
           let try_finish () =
             if !write_replicated && !votes_ok then begin
               if Check.Recorder.enabled recorder then
-                Check.Recorder.write_set recorder ~txn:txn.Txn.id ~pairs;
+                Check.Recorder.write_set recorder ~txn:txn_id ~pairs;
               if not already_committed then
                 send ~src:coordinator ~dst:client
-                  ~msg:(Msg.control ~txn:txn.Txn.id Msg.Commit_notify)
+                  ~msg:(Msg.control ~txn:txn_id Msg.Commit_notify)
                   (fun () -> finish ~committed:true);
               List.iter
                 (fun p ->
@@ -134,14 +135,14 @@ let make (cluster : Cluster.t) : System.t =
                   Array.iter
                     (fun r ->
                       send ~src:coordinator ~dst:r.node
-                        ~msg:(Msg.decision ~txn:txn.Txn.id ~writes:(List.length local) ())
+                        ~msg:(Msg.decision ~txn:txn_id ~writes:(List.length local) ())
                         (fun () ->
                           List.iter
                             (fun (key, data) ->
-                              Store.Kv.put r.kv ~key ~data ~writer:txn.Txn.id;
-                              Check.Recorder.applied recorder ~txn:txn.Txn.id ~key)
+                              Store.Kv.put r.kv ~key ~data ~writer:txn_id;
+                              Check.Recorder.applied recorder ~txn:txn_id ~key)
                             local;
-                          Store.Occ.release r.occ ~txn:txn.Txn.id))
+                          Store.Occ.release r.occ ~txn:txn_id))
                     replicas.(p))
                 participants
             end
@@ -149,7 +150,7 @@ let make (cluster : Cluster.t) : System.t =
           Raft.Group.replicate
             (Cluster.coordinator_group cluster ~client)
             ~size:(Msg.write_record_bytes ~writes:(List.length pairs))
-            ~tag:txn.Txn.id
+            ~tag:txn_id
             ~on_committed:(fun () ->
               write_replicated := true;
               try_finish ())
@@ -195,7 +196,7 @@ let make (cluster : Cluster.t) : System.t =
              participant, so the transaction commits in one WAN round trip
              (paper §5.2.1). Write data distribution is asynchronous. *)
           if Check.Recorder.enabled recorder then
-            Check.Recorder.write_set recorder ~txn:txn.Txn.id ~pairs;
+            Check.Recorder.write_set recorder ~txn:txn_id ~pairs;
           finish ~committed:true;
           commit_via_coordinator ~pairs ~already_committed:true ~after_durable:(fun k -> k ())
         end
@@ -211,16 +212,16 @@ let make (cluster : Cluster.t) : System.t =
                   let reads_p = plan.Txnkit.Exec.reads_of p
                   and writes_p = plan.Txnkit.Exec.writes_of p in
                   send ~src:coordinator ~dst:leader.node
-                    ~msg:(Msg.control ~txn:txn.Txn.id Msg.Control)
+                    ~msg:(Msg.control ~txn:txn_id Msg.Control)
                     (fun () ->
                       Raft.Group.replicate cluster.Cluster.groups.(p)
                         ~size:
                           (Msg.prepare_record_bytes ~reads:(Array.length reads_p)
                              ~writes:(Array.length writes_p))
-                        ~tag:txn.Txn.id
+                        ~tag:txn_id
                         ~on_committed:(fun () ->
                           send ~src:leader.node ~dst:coordinator
-                            ~msg:(Msg.vote ~txn:txn.Txn.id ())
+                            ~msg:(Msg.vote ~txn:txn_id ())
                             (fun () ->
                               incr votes;
                               if !votes = n then k ()))
@@ -245,24 +246,24 @@ let make (cluster : Cluster.t) : System.t =
               let from_leader = r.node = leader_node in
               send ~src:client ~dst:r.node
                 ~msg:
-                  (Msg.read_prepare ~txn:txn.Txn.id ~reads:(Array.length reads)
+                  (Msg.read_prepare ~txn:txn_id ~reads:(Array.length reads)
                      ~writes:(Array.length writes) ())
                 (fun () ->
                   let conflicting = Store.Occ.conflicts r.occ ~reads ~writes in
                   if conflicting <> [] then
                     send ~src:r.node ~dst:client
-                      ~msg:(Msg.control ~txn:txn.Txn.id Msg.Abort_notice)
+                      ~msg:(Msg.control ~txn:txn_id Msg.Abort_notice)
                       (fun () ->
                         on_reply { partition = p; from_leader; ok = false; values = [] })
                   else begin
-                    Store.Occ.prepare r.occ ~txn:txn.Txn.id ~reads ~writes;
+                    Store.Occ.prepare r.occ ~txn:txn_id ~reads ~writes;
                     (* Only the leader's values feed the write computation;
                        follower replies merely vote on the fast path. *)
                     if from_leader && Check.Recorder.enabled recorder then
-                      Check.Recorder.reads_from_kv recorder ~txn:txn.Txn.id r.kv reads;
+                      Check.Recorder.reads_from_kv recorder ~txn:txn_id r.kv reads;
                     let values = Txnkit.Exec.read_values r.kv reads in
                     send ~src:r.node ~dst:client
-                      ~msg:(Msg.read_reply ~txn:txn.Txn.id ~reads:(Array.length reads) ())
+                      ~msg:(Msg.read_reply ~txn:txn_id ~reads:(Array.length reads) ())
                       (fun () -> on_reply { partition = p; from_leader; ok = true; values })
                   end))
           replicas.(p))

@@ -37,6 +37,7 @@ type srec_state = Queued | Waiting | Prepared | Done
 (* Per-server view of one transaction attempt. *)
 type srec = {
   txn : Txn.t;
+  txn_id : int;  (** attempt id snapshot; [txn.id] moves on when the driver retries *)
   ts : int;
   reads : int array;  (** read keys on this partition *)
   writes : int array;
@@ -74,6 +75,7 @@ type server = {
 (* Coordinator-side 2PC state. *)
 type cstate = {
   c_txn : Txn.t;
+  c_txn_id : int;  (** attempt id snapshot, like {!srec.txn_id} *)
   c_client : int;
   c_node : int;
   c_participants : int list;
@@ -130,8 +132,8 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         if Trace.recording trace then begin
           let now = Engine.now engine in
           if now > t0 then begin
-            Trace.span_begin trace ~txn:r.txn.Txn.id ~name:"lock-wait" ~at:t0;
-            Trace.span_end trace ~txn:r.txn.Txn.id ~name:"lock-wait" ~at:now
+            Trace.span_begin trace ~txn:r.txn_id ~name:"lock-wait" ~at:t0;
+            Trace.span_end trace ~txn:r.txn_id ~name:"lock-wait" ~at:now
           end
         end
   in
@@ -171,13 +173,14 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
   let commit_hooks : (int, unit -> unit) Hashtbl.t = Hashtbl.create 4096 in
   let pa_counts : (int, int) Hashtbl.t = Hashtbl.create 256 in
 
-  let cstate_for (txn : Txn.t) ~participants =
-    match Hashtbl.find_opt cstates txn.Txn.id with
+  let cstate_for (txn : Txn.t) ~id ~participants =
+    match Hashtbl.find_opt cstates id with
     | Some c -> c
     | None ->
         let c =
           {
             c_txn = txn;
+            c_txn_id = id;
             c_client = txn.Txn.client;
             c_node = Cluster.coordinator_for cluster ~client:txn.Txn.client;
             c_participants = participants;
@@ -192,7 +195,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
             recsf_waiters = [];
           }
         in
-        Hashtbl.replace cstates txn.Txn.id c;
+        Hashtbl.replace cstates id c;
         c
   in
 
@@ -212,13 +215,13 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
   and coord_decide_commit c =
     c.decided <- true;
     c.committed <- true;
-    mark ~tid:c.c_node ~txn:c.c_txn.Txn.id "txn-commit";
+    mark ~tid:c.c_node ~txn:c.c_txn_id "txn-commit";
     if Check.Recorder.enabled recorder then
-      Check.Recorder.write_set recorder ~txn:c.c_txn.Txn.id ~pairs:c.gen_pairs;
+      Check.Recorder.write_set recorder ~txn:c.c_txn_id ~pairs:c.gen_pairs;
     send ~src:c.c_node ~dst:c.c_client
-      ~msg:(Msg.control ~txn:c.c_txn.Txn.id Msg.Commit_notify)
+      ~msg:(Msg.control ~txn:c.c_txn_id Msg.Commit_notify)
       (fun () ->
-        match Hashtbl.find_opt commit_hooks c.c_txn.Txn.id with
+        match Hashtbl.find_opt commit_hooks c.c_txn_id with
         | Some hook -> hook ()
         | None -> ());
     (* Serve RECSF reads registered against this transaction: its commit is
@@ -231,7 +234,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
                  List.assoc_opt key c.gen_pairs |> Option.map (fun data -> (key, data, 0)))
         in
         send ~src:c.c_node ~dst:requester
-          ~msg:(Msg.recsf_reply ~txn:c.c_txn.Txn.id ~reads:(List.length values) ())
+          ~msg:(Msg.recsf_reply ~txn:c.c_txn_id ~reads:(List.length values) ())
           (fun () -> deliver values))
       c.recsf_waiters;
     c.recsf_waiters <- [];
@@ -240,21 +243,21 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         let server = servers.(p) in
         let local = Exec.pairs_on_partition cluster ~partition:p c.gen_pairs in
         send ~src:c.c_node ~dst:server.node
-          ~msg:(Msg.decision ~txn:c.c_txn.Txn.id ~writes:(List.length local) ())
-          (fun () -> server_on_commit server c.c_txn.Txn.id local))
+          ~msg:(Msg.decision ~txn:c.c_txn_id ~writes:(List.length local) ())
+          (fun () -> server_on_commit server c.c_txn_id local))
       c.c_participants
 
   and coord_decide_abort c =
     if not c.decided then begin
       c.decided <- true;
       c.recsf_waiters <- [];
-      mark ~tid:c.c_node ~txn:c.c_txn.Txn.id "txn-abort";
+      mark ~tid:c.c_node ~txn:c.c_txn_id "txn-abort";
       List.iter
         (fun p ->
           let server = servers.(p) in
           send ~src:c.c_node ~dst:server.node
-            ~msg:(Msg.decision ~txn:c.c_txn.Txn.id ~writes:0 ())
-            (fun () -> server_on_abort server c.c_txn.Txn.id))
+            ~msg:(Msg.decision ~txn:c.c_txn_id ~writes:0 ())
+            (fun () -> server_on_abort server c.c_txn_id))
         c.c_participants
     end
 
@@ -279,7 +282,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
       Raft.Group.replicate
         (Cluster.coordinator_group cluster ~client:c.c_client)
         ~size:(Msg.write_record_bytes ~writes:(List.length pairs))
-        ~tag:c.c_txn.Txn.id
+        ~tag:c.c_txn_id
         ~on_committed:(fun () ->
           if c.gen = gen && not c.decided then begin
             c.gen_replicated <- true;
@@ -296,7 +299,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
                List.assoc_opt key c.gen_pairs |> Option.map (fun data -> (key, data, 0)))
       in
       send ~src:c.c_node ~dst:requester
-        ~msg:(Msg.recsf_reply ~txn:c.c_txn.Txn.id ~reads:(List.length values) ())
+        ~msg:(Msg.recsf_reply ~txn:c.c_txn_id ~reads:(List.length values) ())
         (fun () -> deliver values)
     end
     else if not c.decided then
@@ -307,35 +310,35 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
   and server_local_now server = Netsim.Clock.now clock engine ~node:server.node
 
   and server_send_vote server (r : srec) v =
-    send ~src:server.node ~dst:r.coord_node ~msg:(Msg.vote ~txn:r.txn.Txn.id ()) (fun () ->
-        let c = cstate_for r.txn ~participants:r.participants in
+    send ~src:server.node ~dst:r.coord_node ~msg:(Msg.vote ~txn:r.txn_id ()) (fun () ->
+        let c = cstate_for r.txn ~id:r.txn_id ~participants:r.participants in
         coord_on_vote c ~partition:server.partition v)
 
   and server_drop server (r : srec) =
     end_queue_wait r;
     (match r.state with
-    | Queued -> Tsq.remove server.queue ~ts:r.ts ~id:r.txn.Txn.id
+    | Queued -> Tsq.remove server.queue ~ts:r.ts ~id:r.txn_id
     | Waiting -> server.waiting <- List.filter (fun w -> w != r) server.waiting
     | Prepared | Done -> ());
-    if r.cond_on <> None || r.state = Prepared then Store.Occ.release server.occ ~txn:r.txn.Txn.id;
+    if r.cond_on <> None || r.state = Prepared then Store.Occ.release server.occ ~txn:r.txn_id;
     r.state <- Done;
     r.cond_on <- None;
-    Hashtbl.remove server.recs r.txn.Txn.id
+    Hashtbl.remove server.recs r.txn_id
 
   and server_abort_txn server (r : srec) ~late =
     if late then begin
       stats.late_aborts <- stats.late_aborts + 1;
-      mark ~tid:server.node ~txn:r.txn.Txn.id "txn-late-abort"
+      mark ~tid:server.node ~txn:r.txn_id "txn-late-abort"
     end;
     server_drop server r;
     send ~src:server.node ~dst:r.txn.Txn.client
-      ~msg:(Msg.control ~txn:r.txn.Txn.id Msg.Abort_notice)
+      ~msg:(Msg.control ~txn:r.txn_id Msg.Abort_notice)
       (fun () -> r.deliver_abort ());
     server_send_vote server r V_abort
 
   and server_priority_abort server (r : srec) =
     stats.priority_aborts <- stats.priority_aborts + 1;
-    mark ~tid:server.node ~txn:r.txn.Txn.id "txn-priority-abort";
+    mark ~tid:server.node ~txn:r.txn_id "txn-priority-abort";
     let lineage = r.txn.Txn.wound_ts in
     Hashtbl.replace pa_counts lineage
       (1 + Option.value ~default:0 (Hashtbl.find_opt pa_counts lineage));
@@ -374,46 +377,46 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
           (Printf.sprintf
              "Natto invariant violated: txn %d (ts %d) prepared ahead of %d queued / %d \
               waiting conflicting earlier transactions"
-             r.txn.Txn.id r.ts (List.length bad_queue) (List.length bad_wait))
+             r.txn_id r.ts (List.length bad_queue) (List.length bad_wait))
     end;
     end_queue_wait r;
-    Store.Occ.prepare server.occ ~txn:r.txn.Txn.id ~reads:r.reads ~writes:r.writes;
+    Store.Occ.prepare server.occ ~txn:r.txn_id ~reads:r.reads ~writes:r.writes;
     r.state <- Prepared;
-    mark ~tid:server.node ~txn:r.txn.Txn.id "txn-prepare";
-    record_reads ~txn:r.txn.Txn.id server.kv r.reads;
+    mark ~tid:server.node ~txn:r.txn_id "txn-prepare";
+    record_reads ~txn:r.txn_id server.kv r.reads;
     let values = Exec.read_values server.kv r.reads in
     send ~src:server.node ~dst:r.txn.Txn.client
-      ~msg:(Msg.read_reply ~txn:r.txn.Txn.id ~reads:(Array.length r.reads) ())
+      ~msg:(Msg.read_reply ~txn:r.txn_id ~reads:(Array.length r.reads) ())
       (fun () -> r.deliver_read S_normal values);
     Raft.Group.replicate cluster.Cluster.groups.(server.partition)
       ~size:(Msg.prepare_record_bytes ~reads:(Array.length r.reads) ~writes:(Array.length r.writes))
-      ~tag:r.txn.Txn.id
+      ~tag:r.txn_id
       ~on_committed:(fun () -> if r.state = Prepared then server_send_vote server r V_ok)
       ()
 
   and server_cond_prepare server (r : srec) ~blocker =
     end_queue_wait r;
     stats.cond_prepares <- stats.cond_prepares + 1;
-    mark ~tid:server.node ~txn:r.txn.Txn.id "txn-cond-prepare";
-    Store.Occ.prepare server.occ ~txn:r.txn.Txn.id ~reads:r.reads ~writes:r.writes;
+    mark ~tid:server.node ~txn:r.txn_id "txn-cond-prepare";
+    Store.Occ.prepare server.occ ~txn:r.txn_id ~reads:r.reads ~writes:r.writes;
     r.cond_on <- Some blocker;
     let watchers = Option.value ~default:[] (Hashtbl.find_opt server.cond_watchers blocker) in
-    Hashtbl.replace server.cond_watchers blocker (r.txn.Txn.id :: watchers);
-    record_reads ~txn:r.txn.Txn.id server.kv r.reads;
+    Hashtbl.replace server.cond_watchers blocker (r.txn_id :: watchers);
+    record_reads ~txn:r.txn_id server.kv r.reads;
     let values = Exec.read_values server.kv r.reads in
     send ~src:server.node ~dst:r.txn.Txn.client
-      ~msg:(Msg.read_reply ~txn:r.txn.Txn.id ~reads:(Array.length r.reads) ())
+      ~msg:(Msg.read_reply ~txn:r.txn_id ~reads:(Array.length r.reads) ())
       (fun () -> r.deliver_read (S_cond blocker) values);
     Raft.Group.replicate cluster.Cluster.groups.(server.partition)
       ~size:(Msg.prepare_record_bytes ~reads:(Array.length r.reads) ~writes:(Array.length r.writes))
-      ~tag:r.txn.Txn.id
+      ~tag:r.txn_id
       ~on_committed:(fun () ->
         if r.state <> Done then server_send_vote server r (V_cond blocker))
       ()
 
   and server_recsf_forward server (r : srec) ~(blocker : srec) =
     stats.recsf_forwards <- stats.recsf_forwards + 1;
-    mark ~tid:server.node ~txn:r.txn.Txn.id "txn-recsf-forward";
+    mark ~tid:server.node ~txn:r.txn_id "txn-recsf-forward";
     let fwd_keys =
       Array.of_list
         (List.filter
@@ -426,12 +429,12 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
            (fun k -> not (Array.exists (fun k' -> k' = k) fwd_keys))
            (Array.to_list r.reads))
     in
-    let blocker_id = blocker.txn.Txn.id in
+    let blocker_id = blocker.txn_id in
     if Array.length local_keys > 0 || Array.length fwd_keys = 0 then begin
-      record_reads ~txn:r.txn.Txn.id server.kv local_keys;
+      record_reads ~txn:r.txn_id server.kv local_keys;
       let values = Exec.read_values server.kv local_keys in
       send ~src:server.node ~dst:r.txn.Txn.client
-        ~msg:(Msg.recsf_reply ~txn:r.txn.Txn.id ~reads:(Array.length local_keys) ())
+        ~msg:(Msg.recsf_reply ~txn:r.txn_id ~reads:(Array.length local_keys) ())
         (fun () -> r.deliver_read (S_recsf blocker_id) values)
     end;
     if Array.length fwd_keys > 0 then begin
@@ -443,15 +446,15 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         if Check.Recorder.enabled recorder then
           List.iter
             (fun (key, _, _) ->
-              Check.Recorder.read ~weak:true recorder ~txn:r.txn.Txn.id ~key
+              Check.Recorder.read ~weak:true recorder ~txn:r.txn_id ~key
                 ~writer:blocker_id)
             values;
         r.deliver_read (S_recsf blocker_id) values
       in
       send ~src:server.node ~dst:blocker.coord_node
-        ~msg:(Msg.recsf_request ~txn:r.txn.Txn.id ~keys:(Array.length fwd_keys) ())
+        ~msg:(Msg.recsf_request ~txn:r.txn_id ~keys:(Array.length fwd_keys) ())
         (fun () ->
-          let c = cstate_for blocker.txn ~participants:blocker.participants in
+          let c = cstate_for blocker.txn ~id:blocker.txn_id ~participants:blocker.participants in
           coord_on_recsf_request c ~requester ~keys:fwd_keys ~deliver)
     end
 
@@ -467,7 +470,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
     match r.txn.Txn.priority with
     | Txn.Low ->
         let prepared =
-          prepared_conflicts server ~reads:r.reads ~writes:r.writes ~excluding:r.txn.Txn.id
+          prepared_conflicts server ~reads:r.reads ~writes:r.writes ~excluding:r.txn_id
         in
         (* Only earlier (smaller-timestamp) waiting high-priority
            transactions block a low-priority prepare: against later ones
@@ -479,12 +482,12 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         in
         if prepared <> [] || waiting <> [] then begin
           stats.occ_aborts <- stats.occ_aborts + 1;
-          mark ~tid:server.node ~txn:r.txn.Txn.id "txn-occ-abort";
+          mark ~tid:server.node ~txn:r.txn_id "txn-occ-abort";
           server_abort_txn server r ~late:false
         end
         else server_prepare_normal server r
     | Txn.High ->
-        let blockers = prepared_conflicts_any server ~keys:r.keys ~excluding:r.txn.Txn.id in
+        let blockers = prepared_conflicts_any server ~keys:r.keys ~excluding:r.txn_id in
         let earlier_waiting =
           List.filter (fun (w : srec) -> w.ts < r.ts && conflicts_any r.keys w) server.waiting
         in
@@ -493,7 +496,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
           r.state <- Waiting;
           server.waiting <-
             List.sort
-              (fun (a : srec) (b : srec) -> compare (a.ts, a.txn.Txn.id) (b.ts, b.txn.Txn.id))
+              (fun (a : srec) (b : srec) -> compare (a.ts, a.txn_id) (b.ts, b.txn_id))
               (r :: server.waiting);
           (* Conditional prepare: exactly one blocker, a prepared low-priority
              transaction predicted to be priority-aborted elsewhere. *)
@@ -502,7 +505,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
             when blocker.txn.Txn.priority = Txn.Low
                  && blocker.state = Prepared && blocker.ts < r.ts
                  && predicts_priority_abort server ~hp:r ~lp:blocker ->
-              server_cond_prepare server r ~blocker:blocker.txn.Txn.id
+              server_cond_prepare server r ~blocker:blocker.txn_id
           | _ -> ());
           (* RECSF: forward reads past a single prepared blocker. *)
           if features.Features.recsf && r.cond_on = None then
@@ -521,7 +524,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         (fun (r : srec) ->
           if r.cond_on = None && List.memq r server.waiting then begin
             let blockers =
-              prepared_conflicts_any server ~keys:r.keys ~excluding:r.txn.Txn.id
+              prepared_conflicts_any server ~keys:r.keys ~excluding:r.txn_id
             in
             let earlier =
               List.exists
@@ -567,9 +570,9 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
                   w.cond_on <- None
                 end;
                 send ~src:server.node ~dst:w.coord_node
-                  ~msg:(Msg.control ~txn:w.txn.Txn.id Msg.Cond_resolution)
+                  ~msg:(Msg.control ~txn:w.txn_id Msg.Cond_resolution)
                   (fun () ->
-                    let c = cstate_for w.txn ~participants:w.participants in
+                    let c = cstate_for w.txn ~id:w.txn_id ~participants:w.participants in
                     coord_on_resolution c ~blocker ~aborted)
             | Some _ | None -> ())
           watchers
@@ -646,9 +649,9 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         server.wakeup_at <- None
 
   and server_on_read_and_prepare server (r : srec) =
-    if Hashtbl.mem server.recs r.txn.Txn.id || Hashtbl.mem server.tombstones r.txn.Txn.id then ()
+    if Hashtbl.mem server.recs r.txn_id || Hashtbl.mem server.tombstones r.txn_id then ()
     else begin
-      Hashtbl.replace server.recs r.txn.Txn.id r;
+      Hashtbl.replace server.recs r.txn_id r;
       let now = server_local_now server in
       let late = now > r.ts in
       let pa_on = features.Features.priority_abort in
@@ -700,12 +703,12 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
              its versions; slotting in before it would break the order.
              Waiting transactions have not prepared, so they are not a
              violation — the queue ordering handles them. *)
-          prepared_conflicts server ~reads:r.reads ~writes:r.writes ~excluding:r.txn.Txn.id
+          prepared_conflicts server ~reads:r.reads ~writes:r.writes ~excluding:r.txn_id
           |> List.exists (fun (o : srec) -> o.ts > r.ts)
         in
         let high_late_conflict () =
           r.txn.Txn.priority = Txn.High
-          && (prepared_conflicts_any server ~keys:r.keys ~excluding:r.txn.Txn.id
+          && (prepared_conflicts_any server ~keys:r.keys ~excluding:r.txn_id
               |> List.exists (fun (o : srec) -> o.ts < r.ts)
              || List.exists
                   (fun (w : srec) -> w.ts < r.ts && conflicts_any r.keys w)
@@ -719,7 +722,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         else begin
           if Trace.recording trace && r.queued_at = None then
             r.queued_at <- Some (Engine.now engine);
-          Tsq.add server.queue ~ts:r.ts ~id:r.txn.Txn.id r;
+          Tsq.add server.queue ~ts:r.ts ~id:r.txn_id r;
           server_drain server
         end
       end
@@ -739,6 +742,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
           { txn with Txn.priority = Txn.High }
       | _ -> txn
     in
+    let txn_id = txn.Txn.id in
     let plan = Exec.plan_of cluster txn in
     let participants = plan.Exec.participants in
     let client = txn.Txn.client in
@@ -777,9 +781,9 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
       let pairs = Exec.write_pairs txn reads in
       let sources = !used in
       send ~src:client ~dst:coordinator
-        ~msg:(Msg.commit_request ~txn:txn.Txn.id ~writes:(List.length pairs) ())
+        ~msg:(Msg.commit_request ~txn:txn_id ~writes:(List.length pairs) ())
         (fun () ->
-          let c = cstate_for txn ~participants in
+          let c = cstate_for txn ~id:txn_id ~participants in
           coord_on_commit_request c ~gen ~sources ~pairs)
     in
     let maybe_send () =
@@ -816,7 +820,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
     let finish ~committed =
       if not !finished then begin
         finished := true;
-        Hashtbl.remove commit_hooks txn.Txn.id;
+        Hashtbl.remove commit_hooks txn_id;
         on_done ~committed
       end
     in
@@ -827,18 +831,18 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         List.iter
           (fun p ->
             let server = servers.(p) in
-            send ~src:client ~dst:server.node ~msg:(Msg.control ~txn:txn.Txn.id Msg.Release)
-              (fun () -> server_on_abort server txn.Txn.id))
+            send ~src:client ~dst:server.node ~msg:(Msg.control ~txn:txn_id Msg.Release)
+              (fun () -> server_on_abort server txn_id))
           participants;
         send ~src:client ~dst:coordinator
-          ~msg:(Msg.control ~txn:txn.Txn.id Msg.Abort_notice)
+          ~msg:(Msg.control ~txn:txn_id Msg.Abort_notice)
           (fun () ->
-            let c = cstate_for txn ~participants in
+            let c = cstate_for txn ~id:txn_id ~participants in
             coord_decide_abort c);
         finish ~committed:false
       end
     in
-    Hashtbl.replace commit_hooks txn.Txn.id (fun () -> finish ~committed:true);
+    Hashtbl.replace commit_hooks txn_id (fun () -> finish ~committed:true);
     List.iter
       (fun p ->
         let server = servers.(p) in
@@ -849,6 +853,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         let r : srec =
           {
             txn;
+            txn_id;
             ts;
             reads;
             writes;
@@ -865,7 +870,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         in
         send ~src:client ~dst:server.node
           ~msg:
-            (Msg.read_prepare ~txn:txn.Txn.id
+            (Msg.read_prepare ~txn:txn_id
                ~priority:(match txn.Txn.priority with Txn.High -> 1 | Txn.Low -> 0)
                ~extra:(12 * List.length participants)
                ~reads:(Array.length reads) ~writes:(Array.length writes) ())

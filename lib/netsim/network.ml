@@ -65,10 +65,11 @@ type t = {
   mutable drops : int;
   link_free_at : Sim_time.t array array;  (** directed DC pair queue *)
   link_rate : float array array;  (** bytes per microsecond *)
-  fifo_last : (int * int, Sim_time.t) Hashtbl.t;
-      (** per (src, dst) connection: last scheduled delivery, for TCP-like
-          per-connection ordering *)
-  stall_until : (int * int, Sim_time.t) Hashtbl.t;
+  n_nodes : int;  (** packs a connection as [src * n_nodes + dst] *)
+  fifo_last : Int_table.t;
+      (** per packed (src, dst) connection: last scheduled delivery, for
+          TCP-like per-connection ordering *)
+  stall_until : Int_table.t;
       (** per connection: end of the current loss-recovery stall; a pipe is
           stalled at most once per RTO (SACK repairs all losses in a
           window together) *)
@@ -119,8 +120,9 @@ let create ~engine ~rng ~topo ~node_dc ~cpus ?(config = default_config)
     drops = 0;
     link_free_at = Array.make_matrix n n Sim_time.zero;
     link_rate;
-    fifo_last = Hashtbl.create 4096;
-    stall_until = Hashtbl.create 4096;
+    n_nodes = Array.length node_dc;
+    fifo_last = Int_table.create ~capacity:4096 ();
+    stall_until = Int_table.create ~capacity:4096 ();
     next_prune = Sim_time.seconds 1.;
     max_fifo = Sim_time.zero;
     messages = 0;
@@ -175,7 +177,7 @@ let sample_owd t ~src_dc ~dst_dc =
    during an ongoing stall are repaired within it (SACK-style), so a pipe
    pays at most one RTO per recovery window and high-rate connections stay
    stable under small loss rates. *)
-let retrans_delay t ~src ~dst ~src_dc ~dst_dc =
+let retrans_delay t ~conn ~src_dc ~dst_dc =
   if t.config.loss <= 0.0 || src_dc = dst_dc then Sim_time.zero
   else if not (Rng.bernoulli t.rng ~p:t.config.loss) then Sim_time.zero
   else begin
@@ -183,11 +185,12 @@ let retrans_delay t ~src ~dst ~src_dc ~dst_dc =
     let rtt = Sim_time.ms (Topology.rtt_ms t.topo src_dc dst_dc) in
     let rto = Sim_time.max t.config.rto_floor (Sim_time.add rtt rtt) in
     let now = Engine.now t.engine in
-    match Hashtbl.find_opt t.stall_until (src, dst) with
-    | Some until when until > now -> Sim_time.zero  (* repaired within the current stall *)
-    | _ ->
-        Hashtbl.replace t.stall_until (src, dst) (Sim_time.add now rto);
-        rto
+    let until = Int_table.find_default t.stall_until conn Sim_time.zero in
+    if until > now then Sim_time.zero (* repaired within the current stall *)
+    else begin
+      Int_table.set t.stall_until conn (Sim_time.add now rto);
+      rto
+    end
   end
 
 let transmission_depart t ~src_dc ~dst_dc ~bytes =
@@ -213,11 +216,9 @@ let transmission_depart t ~src_dc ~dst_dc ~bytes =
 let prune_interval = Sim_time.seconds 1.
 
 let prune t ~now =
-  let drop_dead tbl =
-    Hashtbl.filter_map_inplace (fun _ v -> if v > now then Some v else None) tbl
-  in
-  drop_dead t.fifo_last;
-  drop_dead t.stall_until;
+  let alive v = v > now in
+  Int_table.filter_values t.fifo_last alive;
+  Int_table.filter_values t.stall_until alive;
   t.next_prune <- Sim_time.add now prune_interval
 
 let deliver t ?(kind = "other") ?txn ?priority ~src ~dst ~bytes ~to_cpu f =
@@ -243,12 +244,13 @@ let deliver t ?(kind = "other") ?txn ?priority ~src ~dst ~bytes ~to_cpu f =
   else begin
   let now = Engine.now t.engine in
   if now >= t.next_prune then prune t ~now;
+  let conn = (src * t.n_nodes) + dst in
   let depart, arrival =
     if src = dst then (now, Sim_time.add now (Sim_time.us 20))
     else begin
       let depart = transmission_depart t ~src_dc ~dst_dc ~bytes in
       let owd = sample_owd t ~src_dc ~dst_dc in
-      let retrans = retrans_delay t ~src ~dst ~src_dc ~dst_dc in
+      let retrans = retrans_delay t ~conn ~src_dc ~dst_dc in
       (depart, Sim_time.add depart (Sim_time.add owd retrans))
     end
   in
@@ -256,12 +258,9 @@ let deliver t ?(kind = "other") ?txn ?priority ~src ~dst ~bytes ~to_cpu f =
      (to_cpu = false) model UDP and may reorder. *)
   let arrival =
     if to_cpu && src <> dst then begin
-      let ordered =
-        match Hashtbl.find_opt t.fifo_last (src, dst) with
-        | Some last when last >= arrival -> Sim_time.add last (Sim_time.us 1)
-        | _ -> arrival
-      in
-      Hashtbl.replace t.fifo_last (src, dst) ordered;
+      let last = Int_table.find_default t.fifo_last conn Sim_time.zero in
+      let ordered = if last >= arrival then Sim_time.add last (Sim_time.us 1) else arrival in
+      Int_table.set t.fifo_last conn ordered;
       if ordered > t.max_fifo then t.max_fifo <- ordered;
       ordered
     end
@@ -347,23 +346,23 @@ let send_batch t ~src ~dst ~cpu_cost msgs =
       else begin
         let now = Engine.now t.engine in
         if now >= t.next_prune then prune t ~now;
+        let conn = (src * t.n_nodes) + dst in
         let depart, arrival =
           if src = dst then (now, Sim_time.add now (Sim_time.us 20))
           else begin
             let depart = transmission_depart t ~src_dc ~dst_dc ~bytes in
             let owd = sample_owd t ~src_dc ~dst_dc in
-            let retrans = retrans_delay t ~src ~dst ~src_dc ~dst_dc in
+            let retrans = retrans_delay t ~conn ~src_dc ~dst_dc in
             (depart, Sim_time.add depart (Sim_time.add owd retrans))
           end
         in
         let arrival =
           if src <> dst then begin
+            let last = Int_table.find_default t.fifo_last conn Sim_time.zero in
             let ordered =
-              match Hashtbl.find_opt t.fifo_last (src, dst) with
-              | Some last when last >= arrival -> Sim_time.add last (Sim_time.us 1)
-              | _ -> arrival
+              if last >= arrival then Sim_time.add last (Sim_time.us 1) else arrival
             in
-            Hashtbl.replace t.fifo_last (src, dst) ordered;
+            Int_table.set t.fifo_last conn ordered;
             if ordered > t.max_fifo then t.max_fifo <- ordered;
             ordered
           end
@@ -403,8 +402,8 @@ let mean_owd t ~src ~dst =
   Sim_time.ms (Topology.owd_ms t.topo t.node_dc.(src) t.node_dc.(dst))
 
 let max_fifo_last t = t.max_fifo
-let fifo_entries t = Hashtbl.length t.fifo_last
-let stall_entries t = Hashtbl.length t.stall_until
+let fifo_entries t = Int_table.length t.fifo_last
+let stall_entries t = Int_table.length t.stall_until
 let retransmissions t = t.retrans
 
 let link_queue_us t ~src_dc ~dst_dc ~now =

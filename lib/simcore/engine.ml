@@ -20,24 +20,32 @@ let schedule_after t delay f = schedule_at t (Sim_time.add t.clock delay) f
 
 let cancel = Event_queue.cancel
 
+(* The event loop is the simulator's innermost loop; it goes through
+   [next_time]/[pop_first] rather than [pop] so that dispatching an event
+   allocates nothing. *)
 let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, f) ->
-      t.clock <- time;
-      t.processed <- t.processed + 1;
-      f ();
-      true
+  let time = Event_queue.next_time t.queue in
+  if time = Event_queue.no_event then false
+  else begin
+    let f = Event_queue.pop_first t.queue in
+    t.clock <- time;
+    t.processed <- t.processed + 1;
+    f ();
+    true
+  end
 
 let run t = while step t do () done
 
 let run_until t horizon =
   let rec loop () =
-    match Event_queue.peek_time t.queue with
-    | Some time when time <= horizon ->
-        ignore (step t);
-        loop ()
-    | _ -> ()
+    let time = Event_queue.next_time t.queue in
+    if time <> Event_queue.no_event && time <= horizon then begin
+      let f = Event_queue.pop_first t.queue in
+      t.clock <- time;
+      t.processed <- t.processed + 1;
+      f ();
+      loop ()
+    end
   in
   loop ();
   if horizon > t.clock then t.clock <- horizon

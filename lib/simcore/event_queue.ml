@@ -9,7 +9,13 @@ type handle = entry
 
 type 'a t = {
   mutable entries : entry array;
-  mutable payloads : 'a option array;
+  mutable payloads : 'a array;
+      (* same length as [entries] once anything has been pushed; length 0
+         before that (we have no ['a] to fill it with) *)
+  mutable filler : 'a array;
+      (* one-element array holding the scrub value for freed payload
+         slots (the first payload ever pushed); empty before the first
+         push. Keeps the payload representation [option]-free. *)
   mutable size : int;
   mutable next_seq : int;
   live : int ref;
@@ -23,10 +29,13 @@ let compact_min = 64
 
 let dummy_entry = { time = 0; seq = -1; dead = true; live = ref 0 }
 
+let no_event = max_int
+
 let create () =
   {
     entries = Array.make initial_capacity dummy_entry;
-    payloads = Array.make initial_capacity None;
+    payloads = [||];
+    filler = [||];
     size = 0;
     next_seq = 0;
     live = ref 0;
@@ -37,7 +46,7 @@ let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 let grow t =
   let cap = Array.length t.entries in
   let entries = Array.make (cap * 2) dummy_entry in
-  let payloads = Array.make (cap * 2) None in
+  let payloads = Array.make (cap * 2) t.filler.(0) in
   Array.blit t.entries 0 entries 0 t.size;
   Array.blit t.payloads 0 payloads 0 t.size;
   t.entries <- entries;
@@ -88,7 +97,7 @@ let compact t =
   done;
   for i = !j to n - 1 do
     t.entries.(i) <- dummy_entry;
-    t.payloads.(i) <- None
+    t.payloads.(i) <- t.filler.(0)
   done;
   t.size <- !j;
   for i = (t.size / 2) - 1 downto 0 do
@@ -108,10 +117,14 @@ let push t ~time payload =
      threshold. *)
   maybe_compact t;
   if t.size = Array.length t.entries then grow t;
+  if Array.length t.payloads = 0 then begin
+    t.filler <- [| payload |];
+    t.payloads <- Array.make (Array.length t.entries) payload
+  end;
   let entry = { time; seq = t.next_seq; dead = false; live = t.live } in
   t.next_seq <- t.next_seq + 1;
   t.entries.(t.size) <- entry;
-  t.payloads.(t.size) <- Some payload;
+  t.payloads.(t.size) <- payload;
   t.size <- t.size + 1;
   incr t.live;
   sift_up t (t.size - 1);
@@ -124,45 +137,47 @@ let cancel (h : handle) =
     decr h.live
   end
 
-let remove_root t =
-  let entry = t.entries.(0) in
-  let payload = t.payloads.(0) in
+(* Remove the root in place. The caller has already captured
+   [t.entries.(0)] / [t.payloads.(0)] if it needs them. Only called with
+   [t.size > 0], which implies the filler is set. *)
+let delete_root t =
   t.size <- t.size - 1;
   t.entries.(0) <- t.entries.(t.size);
   t.payloads.(0) <- t.payloads.(t.size);
   t.entries.(t.size) <- dummy_entry;
-  t.payloads.(t.size) <- None;
-  if t.size > 0 then sift_down t 0;
-  (entry, payload)
-
-let rec pop t =
-  (* [cancel] is queue-blind (handle-only), so a burst of cancels can leave
-     the heap more than half dead until the next queue operation; push and
-     pop both restore the bound. *)
-  maybe_compact t;
-  if t.size = 0 then None
-  else begin
-    let entry, payload = remove_root t in
-    if entry.dead then pop t
-    else begin
-      (* Marked dead so that a late [cancel] on this handle is harmless. *)
-      entry.dead <- true;
-      decr t.live;
-      match payload with
-      | Some p -> Some (entry.time, p)
-      | None -> assert false
-    end
-  end
+  t.payloads.(t.size) <- t.filler.(0);
+  if t.size > 0 then sift_down t 0
 
 let rec drop_dead_root t =
   if t.size > 0 && t.entries.(0).dead then begin
-    ignore (remove_root t);
+    delete_root t;
     drop_dead_root t
   end
 
-let peek_time t =
+let next_time t =
+  (* [cancel] is queue-blind (handle-only), so a burst of cancels can leave
+     the heap more than half dead until the next queue operation; push and
+     the pop path both restore the bound. *)
+  maybe_compact t;
   drop_dead_root t;
-  if t.size = 0 then None else Some t.entries.(0).time
+  if t.size = 0 then no_event else t.entries.(0).time
+
+let pop_first t =
+  let entry = t.entries.(0) in
+  let payload = t.payloads.(0) in
+  delete_root t;
+  (* Marked dead so that a late [cancel] on this handle is harmless. *)
+  entry.dead <- true;
+  decr t.live;
+  payload
+
+let pop t =
+  let time = next_time t in
+  if time = no_event then None else Some (time, pop_first t)
+
+let peek_time t =
+  let time = next_time t in
+  if time = no_event then None else Some time
 
 let live_size t = !(t.live)
 let size t = t.size

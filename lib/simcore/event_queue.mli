@@ -25,10 +25,26 @@ val cancel : handle -> unit
     no-op. *)
 
 val pop : 'a t -> (Sim_time.t * 'a) option
-(** Removes and returns the earliest live event, skipping dead ones. *)
+(** Removes and returns the earliest live event, skipping dead ones.
+    Boxes the result; the engine hot path uses {!next_time} /
+    {!pop_first} instead. *)
 
 val peek_time : 'a t -> Sim_time.t option
 (** Timestamp of the earliest live event. *)
+
+val no_event : Sim_time.t
+(** Sentinel returned by {!next_time} on an empty queue ([max_int]);
+    beyond any schedulable time. *)
+
+val next_time : 'a t -> Sim_time.t
+(** Timestamp of the earliest live event without boxing, or {!no_event}
+    if there is none. Drops dead roots, so a subsequent {!pop_first} is
+    O(log n) with no further skipping. *)
+
+val pop_first : 'a t -> 'a
+(** Removes and returns the earliest live event's payload without
+    allocating. Precondition: the immediately preceding queue operation
+    was a {!next_time} call that returned [< no_event]. *)
 
 val live_size : 'a t -> int
 (** Number of live (non-cancelled) events. O(1): maintained incrementally

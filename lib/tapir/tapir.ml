@@ -45,6 +45,7 @@ let make (cluster : Cluster.t) : System.t =
     !best
   in
   let submit (txn : Txn.t) ~on_done =
+    let txn_id = txn.Txn.id in
     let plan = Exec.plan_of cluster txn in
     let participants = plan.Exec.participants in
     let client = txn.Txn.client in
@@ -73,7 +74,7 @@ let make (cluster : Cluster.t) : System.t =
       if not !finished then begin
         finished := true;
         if Trace.recording trace then
-          Trace.instant trace ~tid:client ~txn:txn.Txn.id
+          Trace.instant trace ~tid:client ~txn:txn_id
             ~name:(if committed then "txn-commit" else "txn-abort")
             ~at:(Simcore.Engine.now cluster.Cluster.engine) ();
         on_done ~committed
@@ -101,8 +102,8 @@ let make (cluster : Cluster.t) : System.t =
           (fun p ->
             Array.iter
               (fun r ->
-                send ~src:client ~dst:r.node ~msg:(Msg.control ~txn:txn.Txn.id Msg.Release)
-                  (fun () -> Store.Occ.release r.occ ~txn:txn.Txn.id))
+                send ~src:client ~dst:r.node ~msg:(Msg.control ~txn:txn_id Msg.Release)
+                  (fun () -> Store.Occ.release r.occ ~txn:txn_id))
               replicas.(p))
           participants
       in
@@ -113,14 +114,14 @@ let make (cluster : Cluster.t) : System.t =
             Array.iter
               (fun r ->
                 send ~src:client ~dst:r.node
-                  ~msg:(Msg.decision ~txn:txn.Txn.id ~writes:(List.length local) ())
+                  ~msg:(Msg.decision ~txn:txn_id ~writes:(List.length local) ())
                   (fun () ->
                     List.iter
                       (fun (key, data) ->
-                        Store.Kv.put r.kv ~key ~data ~writer:txn.Txn.id;
-                        Check.Recorder.applied recorder ~txn:txn.Txn.id ~key)
+                        Store.Kv.put r.kv ~key ~data ~writer:txn_id;
+                        Check.Recorder.applied recorder ~txn:txn_id ~key)
                       local;
-                    Store.Occ.release r.occ ~txn:txn.Txn.id))
+                    Store.Occ.release r.occ ~txn:txn_id))
               replicas.(p))
           participants
       in
@@ -141,7 +142,7 @@ let make (cluster : Cluster.t) : System.t =
         if List.for_all unanimous participants then begin
           (* Fast path: consensus on prepare at every replica. *)
           if Check.Recorder.enabled recorder then
-            Check.Recorder.write_set recorder ~txn:txn.Txn.id ~pairs;
+            Check.Recorder.write_set recorder ~txn:txn_id ~pairs;
           finish ~committed:true;
           commit_everywhere ()
         end
@@ -158,18 +159,18 @@ let make (cluster : Cluster.t) : System.t =
             (fun p ->
               Array.iter
                 (fun r ->
-                  send ~src:client ~dst:r.node ~msg:(Msg.control ~txn:txn.Txn.id Msg.Control)
+                  send ~src:client ~dst:r.node ~msg:(Msg.control ~txn:txn_id Msg.Control)
                     (fun () ->
                       (* Replica records the decision durably. *)
                       send ~src:r.node ~dst:client
-                        ~msg:(Msg.control ~txn:txn.Txn.id Msg.Control)
+                        ~msg:(Msg.control ~txn:txn_id Msg.Control)
                         (fun () ->
                           incr acks;
                           if (not !finalized) && !acks >= acks_needed then begin
                             finalized := true;
                             if ok then begin
                               if Check.Recorder.enabled recorder then
-                                Check.Recorder.write_set recorder ~txn:txn.Txn.id ~pairs;
+                                Check.Recorder.write_set recorder ~txn:txn_id ~pairs;
                               finish ~committed:true;
                               commit_everywhere ()
                             end
@@ -193,7 +194,7 @@ let make (cluster : Cluster.t) : System.t =
               if counted r then
                 send ~src:client ~dst:r.node
                   ~msg:
-                    (Msg.read_prepare ~txn:txn.Txn.id ~reads:(Array.length reads_p)
+                    (Msg.read_prepare ~txn:txn_id ~reads:(Array.length reads_p)
                        ~writes:(Array.length writes_p) ())
                   (fun () ->
                     (* TAPIR validation: reads must still be current here, and
@@ -207,8 +208,8 @@ let make (cluster : Cluster.t) : System.t =
                       Store.Occ.conflicts r.occ ~reads:reads_p ~writes:writes_p <> []
                     in
                     let ok = (not stale) && not conflicted in
-                    if ok then Store.Occ.prepare r.occ ~txn:txn.Txn.id ~reads:reads_p ~writes:writes_p;
-                    send ~src:r.node ~dst:client ~msg:(Msg.vote ~txn:txn.Txn.id ()) (fun () ->
+                    if ok then Store.Occ.prepare r.occ ~txn:txn_id ~reads:reads_p ~writes:writes_p;
+                    send ~src:r.node ~dst:client ~msg:(Msg.vote ~txn:txn_id ()) (fun () ->
                         if not !finished then begin
                           votes := (p, ok) :: !votes;
                           decr pending;
@@ -222,13 +223,13 @@ let make (cluster : Cluster.t) : System.t =
         let r = nearest_replica ~failover ~client p in
         let keys = plan.Exec.reads_of p in
         send ~src:client ~dst:r.node
-          ~msg:(Msg.read_prepare ~txn:txn.Txn.id ~reads:(Array.length keys) ~writes:0 ())
+          ~msg:(Msg.read_prepare ~txn:txn_id ~reads:(Array.length keys) ~writes:0 ())
           (fun () ->
             if Check.Recorder.enabled recorder then
-              Check.Recorder.reads_from_kv recorder ~txn:txn.Txn.id r.kv keys;
+              Check.Recorder.reads_from_kv recorder ~txn:txn_id r.kv keys;
             let values = Exec.read_values r.kv keys in
             send ~src:r.node ~dst:client
-              ~msg:(Msg.read_reply ~txn:txn.Txn.id ~reads:(Array.length keys) ())
+              ~msg:(Msg.read_reply ~txn:txn_id ~reads:(Array.length keys) ())
               (fun () ->
                 if not !finished then begin
                   read_results := (p, values) :: !read_results;
@@ -245,8 +246,8 @@ let make (cluster : Cluster.t) : System.t =
             Array.iter
               (fun r ->
                 send ~src:client ~dst:r.node
-                  ~msg:(Msg.control ~txn:txn.Txn.id Msg.Release)
-                  (fun () -> Store.Occ.release r.occ ~txn:txn.Txn.id))
+                  ~msg:(Msg.control ~txn:txn_id Msg.Release)
+                  (fun () -> Store.Occ.release r.occ ~txn:txn_id))
               replicas.(p))
           participants;
         finish ~committed:false)

@@ -15,6 +15,7 @@ let name_of = function
 
 type live_rec = {
   txn : Txn.t;
+  txn_id : int;  (** attempt id snapshot; [txn.id] moves on when the driver retries *)
   deliver_abort : unit -> unit;
   mutable gone : bool;
 }
@@ -52,7 +53,7 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
         Store.Locks.release_all server.locks ~txn:txn_id;
         (* Tell the aborted transaction's client. *)
         send ~src:server.node ~dst:r.txn.Txn.client
-          ~msg:(Msg.control ~txn:r.txn.Txn.id Msg.Abort_notice)
+          ~msg:(Msg.control ~txn:r.txn_id Msg.Abort_notice)
           (fun () -> r.deliver_abort ())
   in
   let servers =
@@ -96,21 +97,21 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
        emitted adjacently at grant time, so synchronous grants (now = t0) add
        zero trace events. *)
     let t0 = Simcore.Engine.now engine in
-    Store.Locks.acquire server.locks ~txn:r.txn.Txn.id ~ts:r.txn.Txn.wound_ts ~high ~key
+    Store.Locks.acquire server.locks ~txn:r.txn_id ~ts:r.txn.Txn.wound_ts ~high ~key
       ~exclusive ~on_granted:(fun () ->
         granted := true;
         (if Trace.recording trace then begin
            let now = Simcore.Engine.now engine in
            if now > t0 then begin
-             Trace.span_begin trace ~txn:r.txn.Txn.id ~name:"lock-wait" ~at:t0;
-             Trace.span_end trace ~txn:r.txn.Txn.id ~name:"lock-wait" ~at:now
+             Trace.span_begin trace ~txn:r.txn_id ~name:"lock-wait" ~at:t0;
+             Trace.span_end trace ~txn:r.txn_id ~name:"lock-wait" ~at:now
            end
          end);
         on_granted ());
     if not !granted then
       ignore
         (Simcore.Engine.schedule_after engine lock_timeout (fun () ->
-             if (not !granted) && not r.gone then abort_locally server r.txn.Txn.id))
+             if (not !granted) && not r.gone then abort_locally server r.txn_id))
   in
   let coords : (int, coord) Hashtbl.t = Hashtbl.create 4096 in
   let coord_state ~txn_id ~client ~n_participants =
@@ -133,6 +134,7 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
     Store.Locks.release_all server.locks ~txn:txn_id
   in
   let submit (txn : Txn.t) ~on_done =
+    let txn_id = txn.Txn.id in
     let plan = Exec.plan_of cluster txn in
     let participants = plan.Exec.participants in
     let n = List.length participants in
@@ -150,16 +152,16 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
         List.iter
           (fun p ->
             let server = servers.(p) in
-            send ~src:client ~dst:server.node ~msg:(Msg.control ~txn:txn.Txn.id Msg.Release)
-              (fun () -> server_release server txn.Txn.id))
+            send ~src:client ~dst:server.node ~msg:(Msg.control ~txn:txn_id Msg.Release)
+              (fun () -> server_release server txn_id))
           participants;
         send ~src:client ~dst:coordinator
-          ~msg:(Msg.control ~txn:txn.Txn.id Msg.Abort_notice)
+          ~msg:(Msg.control ~txn:txn_id Msg.Abort_notice)
           (fun () ->
-            let c = coord_state ~txn_id:txn.Txn.id ~client ~n_participants:n in
+            let c = coord_state ~txn_id ~client ~n_participants:n in
             c.decided <- true);
         if Trace.recording trace then
-          Trace.instant trace ~tid:client ~txn:txn.Txn.id ~name:"txn-abort"
+          Trace.instant trace ~tid:client ~txn:txn_id ~name:"txn-abort"
             ~at:(Simcore.Engine.now engine) ();
         on_done ~committed:false
       end
@@ -167,23 +169,23 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
     let deliver_abort () = abort_attempt () in
     (* ---- phase 3: coordinator decision ---- *)
     let coord_commit pairs =
-      let c = coord_state ~txn_id:txn.Txn.id ~client ~n_participants:n in
+      let c = coord_state ~txn_id ~client ~n_participants:n in
       if not c.decided then begin
         c.decided <- true;
         if Check.Recorder.enabled recorder then
-          Check.Recorder.write_set recorder ~txn:txn.Txn.id ~pairs;
+          Check.Recorder.write_set recorder ~txn:txn_id ~pairs;
         Raft.Group.replicate
           (Cluster.coordinator_group cluster ~client)
           ~size:(Msg.write_record_bytes ~writes:(List.length pairs))
-          ~tag:txn.Txn.id
+          ~tag:txn_id
           ~on_committed:(fun () ->
             send ~src:coordinator ~dst:client
-              ~msg:(Msg.control ~txn:txn.Txn.id Msg.Commit_notify)
+              ~msg:(Msg.control ~txn:txn_id Msg.Commit_notify)
               (fun () ->
                 if not !finished then begin
                   finished := true;
                   if Trace.recording trace then
-                    Trace.instant trace ~tid:client ~txn:txn.Txn.id ~name:"txn-commit"
+                    Trace.instant trace ~tid:client ~txn:txn_id ~name:"txn-commit"
                       ~at:(Simcore.Engine.now engine) ();
                   on_done ~committed:true
                 end);
@@ -192,7 +194,7 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
                 let server = servers.(p) in
                 let local = Exec.pairs_on_partition cluster ~partition:p pairs in
                 send ~src:coordinator ~dst:server.node
-                  ~msg:(Msg.decision ~txn:txn.Txn.id ~writes:(List.length local) ())
+                  ~msg:(Msg.decision ~txn:txn_id ~writes:(List.length local) ())
                   (fun () ->
                     (* The decision is already durable at the coordinator;
                        the participant applies at the commit point and
@@ -200,22 +202,22 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
                        Spanner leaders apply at the commit timestamp). *)
                     Raft.Group.replicate cluster.Cluster.groups.(p) ~background:true
                       ~size:(Msg.write_record_bytes ~writes:(List.length local))
-                      ~tag:txn.Txn.id
+                      ~tag:txn_id
                       ~on_committed:(fun () -> ())
                       ();
                     List.iter
                       (fun (key, data) ->
-                        Store.Kv.put server.kv ~key ~data ~writer:txn.Txn.id;
-                        Check.Recorder.applied recorder ~txn:txn.Txn.id ~key)
+                        Store.Kv.put server.kv ~key ~data ~writer:txn_id;
+                        Check.Recorder.applied recorder ~txn:txn_id ~key)
                       local;
-                    server_release server txn.Txn.id))
+                    server_release server txn_id))
               participants)
           ()
       end
     in
     (* ---- phase 2: 2PC prepare driven by the coordinator ---- *)
     let start_prepare pairs =
-      let c = coord_state ~txn_id:txn.Txn.id ~client ~n_participants:n in
+      let c = coord_state ~txn_id ~client ~n_participants:n in
       List.iter
         (fun p ->
           let server = servers.(p) in
@@ -223,28 +225,28 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
           let write_keys = List.map fst local in
           send ~src:coordinator ~dst:server.node
             ~msg:
-              (Msg.read_prepare ~txn:txn.Txn.id ~reads:0 ~writes:(List.length write_keys) ())
+              (Msg.read_prepare ~txn:txn_id ~reads:0 ~writes:(List.length write_keys) ())
             (fun () ->
-              if Hashtbl.mem server.tombstones txn.Txn.id then ()
+              if Hashtbl.mem server.tombstones txn_id then ()
               else begin
                 let r =
-                  match Hashtbl.find_opt server.live txn.Txn.id with
+                  match Hashtbl.find_opt server.live txn_id with
                   | Some r -> r
                   | None ->
-                      let r = { txn; deliver_abort; gone = false } in
-                      Hashtbl.replace server.live txn.Txn.id r;
+                      let r = { txn; txn_id; deliver_abort; gone = false } in
+                      Hashtbl.replace server.live txn_id r;
                       r
                 in
                 let needed = List.length write_keys in
                 let granted = ref 0 in
                 let vote () =
-                  Store.Locks.pin server.locks ~txn:txn.Txn.id;
+                  Store.Locks.pin server.locks ~txn:txn_id;
                   Raft.Group.replicate cluster.Cluster.groups.(p)
                     ~size:(Msg.prepare_record_bytes ~reads:0 ~writes:needed)
-                    ~tag:txn.Txn.id
+                    ~tag:txn_id
                     ~on_committed:(fun () ->
                       send ~src:server.node ~dst:coordinator
-                        ~msg:(Msg.vote ~txn:txn.Txn.id ())
+                        ~msg:(Msg.vote ~txn:txn_id ())
                         (fun () ->
                           if not c.decided then begin
                             c.ok_votes <- c.ok_votes + 1;
@@ -276,7 +278,7 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
       let reads = Exec.assemble_reads txn !read_replies in
       let pairs = Exec.write_pairs txn reads in
       send ~src:client ~dst:coordinator
-        ~msg:(Msg.commit_request ~txn:txn.Txn.id ~writes:(List.length pairs) ())
+        ~msg:(Msg.commit_request ~txn:txn_id ~writes:(List.length pairs) ())
         (fun () -> start_prepare pairs)
     in
     (* Failover watchdog: locks held by a crashed leader's server — or a
@@ -290,16 +292,16 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
           let server = servers.(p) in
           let keys = plan.Exec.reads_of p in
           send ~src:client ~dst:server.node
-            ~msg:(Msg.read_prepare ~txn:txn.Txn.id ~reads:(Array.length keys) ~writes:0 ())
+            ~msg:(Msg.read_prepare ~txn:txn_id ~reads:(Array.length keys) ~writes:0 ())
             (fun () ->
-              if Hashtbl.mem server.tombstones txn.Txn.id then ()
+              if Hashtbl.mem server.tombstones txn_id then ()
               else begin
                 let r =
-                  match Hashtbl.find_opt server.live txn.Txn.id with
+                  match Hashtbl.find_opt server.live txn_id with
                   | Some r -> r
                   | None ->
-                      let r = { txn; deliver_abort; gone = false } in
-                      Hashtbl.replace server.live txn.Txn.id r;
+                      let r = { txn; txn_id; deliver_abort; gone = false } in
+                      Hashtbl.replace server.live txn_id r;
                       r
                 in
                 let needed = Array.length keys in
@@ -312,7 +314,7 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
                           incr granted;
                           if !granted = needed then begin
                             if Check.Recorder.enabled recorder then
-                              Check.Recorder.reads_from_kv recorder ~txn:txn.Txn.id
+                              Check.Recorder.reads_from_kv recorder ~txn:txn_id
                                 server.kv keys;
                             let values = Exec.read_values server.kv keys in
                             (* Deliberately broken variant for checker tests:
@@ -324,9 +326,9 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
                                its read locks here, so releasing everything
                                releases just those. *)
                             if early_read_release then
-                              Store.Locks.release_all server.locks ~txn:txn.Txn.id;
+                              Store.Locks.release_all server.locks ~txn:txn_id;
                             send ~src:server.node ~dst:client
-                              ~msg:(Msg.read_reply ~txn:txn.Txn.id ~reads:needed ())
+                              ~msg:(Msg.read_reply ~txn:txn_id ~reads:needed ())
                               (fun () ->
                                 if not !finished then begin
                                   read_replies := values :: !read_replies;

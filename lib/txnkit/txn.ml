@@ -1,7 +1,7 @@
 type priority = Low | High
 
 type t = {
-  id : int;
+  mutable id : int;
   client : int;
   priority : priority;
   read_set : int array;

@@ -10,7 +10,10 @@
 type priority = Low | High
 
 type t = {
-  id : int;  (** globally unique *)
+  mutable id : int;
+      (** globally unique per attempt; the driver refreshes it in place on
+          retry (protocols snapshot it at submission, so late deliveries
+          of a finished attempt still see the id they were sent under) *)
   client : int;  (** issuing client's network node *)
   priority : priority;
   read_set : int array;  (** sorted, unique *)

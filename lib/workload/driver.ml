@@ -170,9 +170,12 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
           end
           else begin
             (* Immediate retry with a fresh attempt id; keys, priority, birth
-               time and wound timestamp are preserved. *)
-            let retry = { txn with Txn.id = fresh_id () } in
-            attempt retry ~tries:(tries + 1) ~history
+               time and wound timestamp are preserved. The record itself is
+               reused across attempts — protocols snapshot the id at
+               submission, so mutating it here cannot confuse still-in-flight
+               messages from the aborted attempt. *)
+            txn.Txn.id <- fresh_id ();
+            attempt txn ~tries:(tries + 1) ~history
           end
         end)
   in
