@@ -1,58 +1,92 @@
 open Simcore
 
+(* Sliding window as a ring of parallel (time, value) arrays. Delay
+   proxies add a sample per probe reply and every cache fetch asks for a
+   percentile per target, so both paths must stay off the allocator: a
+   tuple Queue costs three allocations per [add], and sorting a copy per
+   [percentile] query boxes every element the polymorphic sort touches.
+   Here [add] writes two array slots, pruning advances [head], and
+   [percentile] blits the live samples into a reused scratch buffer for
+   an in-place quickselect. *)
 type t = {
   span : Sim_time.t;
-  samples : (Sim_time.t * float) Queue.t;
+  mutable times : Sim_time.t array;
+  mutable vals : float array;
+  mutable head : int;  (* index of the oldest sample *)
+  mutable len : int;
+  mutable scratch : float array;  (* percentile working space, reused *)
 }
 
-let create ~span = { span; samples = Queue.create () }
+let initial_capacity = 16
+
+let create ~span =
+  {
+    span;
+    times = Array.make initial_capacity 0;
+    vals = Array.make initial_capacity 0.0;
+    head = 0;
+    len = 0;
+    scratch = [||];
+  }
 
 let prune t ~now =
   let cutoff = Sim_time.sub now t.span in
-  let rec go () =
-    match Queue.peek_opt t.samples with
-    | Some (time, _) when time < cutoff ->
-        ignore (Queue.pop t.samples);
-        go ()
-    | _ -> ()
-  in
-  go ()
+  let mask = Array.length t.times - 1 in
+  while t.len > 0 && t.times.(t.head) < cutoff do
+    t.head <- (t.head + 1) land mask;
+    t.len <- t.len - 1
+  done
+
+let grow t =
+  let cap = Array.length t.times in
+  let times = Array.make (2 * cap) 0 in
+  let vals = Array.make (2 * cap) 0.0 in
+  for i = 0 to t.len - 1 do
+    let j = (t.head + i) land (cap - 1) in
+    times.(i) <- t.times.(j);
+    vals.(i) <- t.vals.(j)
+  done;
+  t.times <- times;
+  t.vals <- vals;
+  t.head <- 0
 
 let add t ~now x =
   prune t ~now;
-  Queue.push (now, x) t.samples
+  if t.len = Array.length t.times then grow t;
+  let i = (t.head + t.len) land (Array.length t.times - 1) in
+  t.times.(i) <- now;
+  t.vals.(i) <- x;
+  t.len <- t.len + 1
 
-let values t ~now =
-  prune t ~now;
-  let n = Queue.length t.samples in
-  if n = 0 then [||]
-  else begin
-    let a = Array.make n 0.0 in
-    let i = ref 0 in
-    Queue.iter
-      (fun (_, x) ->
-        a.(!i) <- x;
-        incr i)
-      t.samples;
-    a
-  end
+(* Copy the live samples (oldest first) into [dst], which must be large
+   enough. *)
+let blit_values t dst =
+  let cap = Array.length t.times in
+  let first = Stdlib.min t.len (cap - t.head) in
+  Array.blit t.vals t.head dst 0 first;
+  if first < t.len then Array.blit t.vals 0 dst first (t.len - first)
 
 let percentile t ~now ~p =
-  let a = values t ~now in
-  let n = Array.length a in
-  if n = 0 then None
+  prune t ~now;
+  if t.len = 0 then None
   else begin
-    Array.sort Float.compare a;
-    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
-    let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
-    Some a.(idx)
+    if Array.length t.scratch < t.len then t.scratch <- Array.make (Array.length t.times) 0.0;
+    blit_values t t.scratch;
+    Some (Simstats.Percentile.select_in_place t.scratch ~len:t.len ~p)
   end
 
 let count t ~now =
   prune t ~now;
-  Queue.length t.samples
+  t.len
 
 let mean t ~now =
-  let a = values t ~now in
-  let n = Array.length a in
-  if n = 0 then None else Some (Array.fold_left ( +. ) 0.0 a /. float_of_int n)
+  prune t ~now;
+  if t.len = 0 then None
+  else begin
+    let mask = Array.length t.times - 1 in
+    let sum = ref 0.0 in
+    for i = 0 to t.len - 1 do
+      sum := !sum +. t.vals.((t.head + i) land mask)
+    done;
+    Some (!sum /. float_of_int t.len)
+  end

@@ -82,7 +82,13 @@ let recsf_request ?txn ~keys () =
   make ?txn Recsf_request ~bytes:(control_bytes + (keys * key_bytes))
 
 let recsf_reply ?txn ~reads () = make ?txn Recsf_reply ~bytes:(read_reply_bytes ~reads)
-let probe () = make Probe ~bytes:probe_bytes
-let probe_reply () = make Probe_reply ~bytes:probe_bytes
-let cache_fetch () = make Cache_fetch ~bytes:cache_fetch_bytes
+(* The measurement-plane messages carry no per-send payload, and [t] is
+   immutable — share one record each instead of allocating one per probe
+   (tens of thousands per simulated second across all proxies). *)
+let shared_probe = make Probe ~bytes:probe_bytes
+let shared_probe_reply = make Probe_reply ~bytes:probe_bytes
+let shared_cache_fetch = make Cache_fetch ~bytes:cache_fetch_bytes
+let probe () = shared_probe
+let probe_reply () = shared_probe_reply
+let cache_fetch () = shared_cache_fetch
 let cache_reply ~entries () = make Cache_reply ~bytes:(cache_entry_bytes * entries)

@@ -1,13 +1,55 @@
+(* Nearest-rank index into a sorted array of [n] samples. This is the
+   single definition of the rank convention; every percentile in the
+   repo (summary stats here, sliding delay windows in [Measure.Window])
+   goes through it. *)
+let nearest_rank_index ~n ~p =
+  let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+  Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1))
+
+(* Hoare quickselect for the [k]-th smallest of [a.(lo..hi)] under
+   [Float.compare]'s total order. The order statistic does not depend on
+   pivot choice, so the result is the same value [Array.sort
+   Float.compare] would leave at index [k] — but selection is O(n), runs
+   on unboxed float reads (a polymorphic [Array.sort] boxes every
+   element it touches), and allocates nothing. *)
+let rec select a lo hi k =
+  if lo >= hi then a.(k)
+  else begin
+    let pivot = a.((lo + hi) lsr 1) in
+    let i = ref (lo - 1) and j = ref (hi + 1) in
+    let split = ref lo in
+    let continue = ref true in
+    while !continue do
+      incr i;
+      while Float.compare a.(!i) pivot < 0 do
+        incr i
+      done;
+      decr j;
+      while Float.compare a.(!j) pivot > 0 do
+        decr j
+      done;
+      if !i >= !j then begin
+        split := !j;
+        continue := false
+      end
+      else begin
+        let tmp = a.(!i) in
+        a.(!i) <- a.(!j);
+        a.(!j) <- tmp
+      end
+    done;
+    if k <= !split then select a lo !split k else select a (!split + 1) hi k
+  end
+
+let select_in_place a ~len ~p =
+  if len <= 0 || len > Array.length a then
+    invalid_arg "Percentile.select_in_place: bad length";
+  select a 0 (len - 1) (nearest_rank_index ~n:len ~p)
+
 let percentile a ~p =
   let n = Array.length a in
   if n = 0 then invalid_arg "Percentile.percentile: empty array";
-  let sorted = Array.copy a in
-  (* Float.compare, not polymorphic compare: the latter boxes every element
-     and orders nan inconsistently. *)
-  Array.sort Float.compare sorted;
-  let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
-  let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
-  sorted.(idx)
+  select_in_place (Array.copy a) ~len:n ~p
 
 let p95 a = percentile a ~p:0.95
 let p50 a = percentile a ~p:0.50

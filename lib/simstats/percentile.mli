@@ -5,6 +5,17 @@ val percentile : float array -> p:float -> float
 (** [percentile a ~p] with [p] in [\[0, 1\]]. The input need not be sorted;
     it is not modified. Raises [Invalid_argument] on an empty array. *)
 
+val select_in_place : float array -> len:int -> p:float -> float
+(** Nearest-rank percentile of the first [len] elements, by in-place
+    quickselect: O(len), allocation-free, reorders the prefix. Returns
+    the same value as [percentile] on that prefix. Raises
+    [Invalid_argument] when [len] is zero or exceeds the array. *)
+
+val nearest_rank_index : n:int -> p:float -> int
+(** Index of the nearest-rank percentile in a sorted array of [n]
+    samples — the rank convention shared by every percentile in the
+    repo. *)
+
 val p95 : float array -> float
 val p50 : float array -> float
 val mean : float array -> float
