@@ -132,7 +132,8 @@ let write_metrics_json ~file metered =
   close_out oc
 
 let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo ~variance
-    ~loss ~partitions ~batching ~histograms ~trace_file ~metrics_file ~faults ~check =
+    ~loss ~partitions ~clients_per_dc ~drain ~batching ~histograms ~trace_file ~metrics_file
+    ~faults ~check =
   let gen =
     match workload with
     | "ycsbt" -> Workload.Ycsbt.gen ~theta:zipf ()
@@ -157,13 +158,17 @@ let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
       warmup = Simcore.Sim_time.seconds (duration /. 4.);
       cooldown = Simcore.Sim_time.seconds (duration /. 4.);
       high_fraction;
+      drain =
+        (match drain with
+        | Some s -> Simcore.Sim_time.seconds s
+        | None -> Workload.Driver.default_config.Workload.Driver.drain);
     }
   in
   let setup =
     {
       Harness.Experiment.topo;
       Harness.Experiment.n_partitions = partitions;
-      Harness.Experiment.clients_per_dc = 2;
+      Harness.Experiment.clients_per_dc = clients_per_dc;
       Harness.Experiment.net_config;
       Harness.Experiment.driver;
       Harness.Experiment.batching =
@@ -373,6 +378,21 @@ let variance_arg =
 let loss_arg = Arg.(value & opt float 0. & info [ "loss" ] ~doc:"Packet loss probability.")
 let partitions_arg = Arg.(value & opt int 5 & info [ "p"; "partitions" ] ~doc:"Partitions.")
 
+let drain_arg =
+  let doc =
+    "Post-arrival drain window, simulated seconds (default 40). The engine runs to \
+     duration + drain so in-flight transactions can finish; at large client counts the \
+     measurement-plane traffic dominates this tail, so scale smokes shrink it."
+  in
+  Arg.(value & opt (some float) None & info [ "drain" ] ~doc)
+
+let clients_arg =
+  let doc =
+    "Open-loop clients per datacenter. Each client gets its own node (and, for Natto, its \
+     own delay cache); the driver round-robins transactions across all of them."
+  in
+  Arg.(value & opt int 2 & info [ "clients-per-dc" ] ~doc)
+
 let batching_arg =
   let doc =
     "Coalesce messages sharing a DC link into batch envelopes and switch Raft \
@@ -458,12 +478,14 @@ let print_trace_totals () =
     (Harness.Experiment.trace_link_totals ())
 
 let main systems workload rate zipf duration seeds high_fraction topo variance loss partitions
-    batching histograms trace_file metrics_file trace_summary faults_spec jobs check figure =
+    clients_per_dc drain batching histograms trace_file metrics_file trace_summary faults_spec
+    jobs check figure =
   (* NATTO_TRACE_SUMMARY=1 is the deprecated spelling of --trace-summary. *)
   let trace_summary = trace_summary || Sys.getenv_opt "NATTO_TRACE_SUMMARY" <> None in
   if trace_summary then Harness.Experiment.set_trace_counters true;
   match jobs with
   | Some n when n < 1 -> `Error (false, "--jobs must be >= 1")
+  | _ when clients_per_dc < 1 -> `Error (false, "--clients-per-dc must be >= 1")
   | _ -> (
   Harness.Pool.set_jobs jobs;
   match figure with
@@ -495,8 +517,8 @@ let main systems workload rate zipf duration seeds high_fraction topo variance l
               else begin
                 let violations =
                   run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction
-                    ~topo ~variance ~loss ~partitions ~batching ~histograms ~trace_file
-                    ~metrics_file ~faults ~check
+                    ~topo ~variance ~loss ~partitions ~clients_per_dc ~drain ~batching
+                    ~histograms ~trace_file ~metrics_file ~faults ~check
                 in
                 if trace_summary then print_trace_totals ();
                 if violations = 0 then `Ok ()
@@ -515,7 +537,7 @@ let cmd =
       ret
         (const main $ systems_arg $ workload_arg $ rate_arg $ zipf_arg $ duration_arg
        $ seeds_arg $ high_arg $ topo_arg $ variance_arg $ loss_arg $ partitions_arg
-       $ batching_arg $ histograms_arg $ trace_arg $ metrics_arg $ trace_summary_arg
+       $ clients_arg $ drain_arg $ batching_arg $ histograms_arg $ trace_arg $ metrics_arg $ trace_summary_arg
        $ faults_arg $ jobs_arg $ check_arg $ figure_arg))
 
 let () = exit (Cmd.eval cmd)

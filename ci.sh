@@ -135,4 +135,38 @@ cmp "$bat_j1" "$bat_j4"
 grep -q '# check: .* ok' "$bat_j1"
 rm -f "$bat_off" "$bat_j1" "$bat_j4"
 
+echo "== simulator throughput bench =="
+# Events/sec series (vs cluster size, vs --jobs) recorded into the repo-root
+# BENCH_results.json. Wall-clock fields are machine-dependent and ungated;
+# the events column is deterministic, so the gate asserts (a) the series
+# exist and (b) the jobs rows processed identical event counts — the pool
+# may only change wall time, never the simulation.
+"$PWD/_build/default/bench/main.exe" simthroughput >/dev/null
+python3 - BENCH_results.json <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+series = d["figures"]["simthroughput"]["Natto-RECSF"]
+parts = [p for p in series if "partitions" in p]
+jobs = [p for p in series if "jobs" in p]
+assert len(parts) >= 3, "missing cluster-size series"
+assert len(jobs) >= 3, "missing jobs series"
+assert all(p["events"] > 0 and p["events_per_sec"] > 0 for p in series)
+assert len({p["events"] for p in jobs}) == 1, \
+    "event count varies with --jobs: %r" % [(p["jobs"], p["events"]) for p in jobs]
+print("simthroughput ok: %d points, %.0f events/s at 5 partitions"
+      % (len(series), parts[0]["events_per_sec"]))
+EOF
+
+echo "== full-population scale smoke =="
+# SmallBank at its full 1M-user population with 10,000 open-loop clients
+# (2000 per DC), under the strict-serializability checker. Exercises the
+# int-keyed connection tables and flat stores at four orders of magnitude
+# more nodes than the default grid; must finish inside the CI budget.
+scale_out="${TMPDIR:-/tmp}/natto_ci_scale.csv"
+dune exec bin/natto_sim.exe -- -s natto-recsf -w smallbank -d 2 --drain 5 \
+  --seeds 1 -r 500 --clients-per-dc 2000 --check --jobs 1 >"$scale_out"
+grep -q '# check: Natto-RECSF seed 1 ok' "$scale_out"
+grep -q '^Natto-RECSF,smallbank,' "$scale_out"
+rm -f "$scale_out"
+
 echo "== OK =="

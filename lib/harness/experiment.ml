@@ -128,6 +128,7 @@ type outcome = {
   o_counters : Trace.t option;
   o_trace : Trace.t option;
   o_batch : Rpc.Batcher.stats option;
+  o_events : int;  (* engine events processed; deterministic per (spec, seed) *)
 }
 
 (* The worker half of a run: everything here is per-run state (fresh
@@ -172,6 +173,7 @@ let run_outcome ?trace ?faults ?(check = false) setup spec ~gen ~seed =
     o_counters = counting;
     o_trace = trace;
     o_batch = Option.map Rpc.Batcher.stats cluster.Txnkit.Cluster.batcher;
+    o_events = Simcore.Engine.events_processed cluster.Txnkit.Cluster.engine;
   }
 
 let merge_counters o = match o.o_counters with Some t -> accumulate t | None -> ()

@@ -47,6 +47,9 @@ type outcome = {
   o_trace : Trace.t option;  (** whatever trace sink the run used *)
   o_batch : Rpc.Batcher.stats option;
       (** batcher occupancy/flush statistics, present iff the setup batched *)
+  o_events : int;
+      (** engine events processed over the run; deterministic per
+          (spec, seed), so it doubles as a cheap determinism lock *)
 }
 (** Everything one run observed, as a value. [run_outcome] is the
     domain-safe worker half of {!run}: it builds per-run state only, never

@@ -845,6 +845,51 @@ let batchsweep scale =
                 Metrics.Attribution.segment_names))
     modes metered
 
+(* ------------------------------------------------------------------ *)
+(* simthroughput: raw simulator throughput (engine events per wall
+   second). Not part of [all]: the wall-clock fields are inherently
+   machine- and load-dependent, so the figure is opt-in (bench
+   simthroughput, ci.sh smoke) to keep the default BENCH_results.json
+   byte-comparable across job counts. The [events] field, by contrast,
+   is deterministic per cell and doubles as a regression lock: any
+   change in event count means the simulation itself changed. *)
+
+let simthroughput scale =
+  Printf.printf
+    "\n# simthroughput — simulator events/sec (gated; wall-clock fields vary by machine)\n";
+  Printf.printf "figure,x_label,x,system,events,wall_s,events_per_sec\n%!";
+  let spec = Experiment.Natto Natto.Features.recsf in
+  let name = Experiment.spec_name spec in
+  let gen = Workload.Ycsbt.gen () in
+  let cell ~x_label ~x ~jobs ~seeds setup =
+    let t0 = Unix.gettimeofday () in
+    let outs = Experiment.run_outcomes ~jobs setup spec ~gen ~seeds in
+    let wall = Unix.gettimeofday () -. t0 in
+    let events = List.fold_left (fun acc o -> acc + o.Experiment.o_events) 0 outs in
+    let eps = if wall > 0. then float_of_int events /. wall else 0. in
+    Printf.printf "simthroughput,%s,%s,%s,%d,%.3f,%.0f\n%!" x_label x name events wall eps;
+    collect ~figure:"simthroughput" ~x_label ~x ~system:name
+      [ ("events", float_of_int events); ("wall_s", wall); ("events_per_sec", eps) ]
+  in
+  let driver = driver_config scale ~rate:100. in
+  (* Series 1: events/sec as the cluster grows (more partitions means more
+     replication groups, probe targets and messages per transaction). *)
+  let sizes = match scale with Quick -> [ 5; 10; 15 ] | Full -> [ 5; 10; 20 ] in
+  List.iter
+    (fun n_partitions ->
+      cell ~x_label:"partitions" ~x:(string_of_int n_partitions) ~jobs:1 ~seeds:[ 1 ]
+        { Experiment.default_setup with Experiment.n_partitions; driver })
+    sizes;
+  (* Series 2: events/sec as seeds are farmed across domains. The [events]
+     column must be identical in every row — the jobs knob may only change
+     wall clock, never the simulation. *)
+  let seed_batch = [ 1; 2; 3; 4 ] in
+  List.iter
+    (fun jobs ->
+      cell ~x_label:"jobs" ~x:(string_of_int jobs) ~jobs ~seeds:seed_batch
+        { Experiment.default_setup with Experiment.driver = driver })
+    [ 1; 2; 4 ]
+
 let all scale =
   table1 ();
   fig7_ycsbt scale;
@@ -868,6 +913,7 @@ let names =
   [
     "table1"; "fig7ab"; "fig7cd"; "fig7ef"; "fig8a"; "fig8b"; "fig9"; "fig10"; "fig11";
     "fig12"; "fig13"; "fig14"; "batchsweep"; "ablation"; "failover"; "attribution"; "check";
+    "simthroughput";
   ]
 
 let run_by_name name scale =
@@ -889,4 +935,5 @@ let run_by_name name scale =
   | "failover" -> failover scale; true
   | "attribution" -> attribution scale; true
   | "check" -> check_figure scale; true
+  | "simthroughput" -> simthroughput scale; true
   | _ -> false

@@ -91,6 +91,14 @@ val attribution : scale -> unit
     dominated by lock_wait, Carousel by wan, Natto shifting low-priority
     time into backoff and lock_wait. *)
 
+val simthroughput : scale -> unit
+(** Simulator engine throughput (events per wall second) for Natto-RECSF,
+    swept over cluster size (partitions, single job) and over the Domain
+    pool's job count (fixed seed batch). Not part of {!all}: the wall-time
+    fields are machine-dependent, so the figure only runs when asked for
+    by name. The [events] column is deterministic — identical across job
+    counts — and serves as a regression lock on the event stream. *)
+
 val check_figure : scale -> unit
 (** Strict-serializability checker sweep: one system per protocol family
     (2PL+2PC, TAPIR, Carousel Basic, Carousel Fast, Natto-RECSF) at YCSB+T

@@ -18,6 +18,47 @@ let test_kv_put_bumps_version () =
   Alcotest.(check int) "version" 2 (Kv.get kv 1).Kv.version;
   Alcotest.(check int) "keys" 1 (Kv.keys_written kv)
 
+let test_kv_grow_and_sync () =
+  (* Push far past the initial capacity so the open-addressing store
+     rehashes several times, then check every key survived — and that
+     [sync_from] transfers the full table. *)
+  let kv = Kv.create () in
+  let n = 10_000 in
+  for k = 0 to n - 1 do
+    Kv.put kv ~key:(k * 7919) ~data:k ~writer:(k land 15)
+  done;
+  Alcotest.(check int) "keys" n (Kv.keys_written kv);
+  let replica = Kv.create () in
+  Kv.sync_from replica ~src:kv;
+  let ok = ref true in
+  for k = 0 to n - 1 do
+    let v = Kv.get replica (k * 7919) in
+    if v.Kv.data <> k || v.Kv.version <> 1 then ok := false
+  done;
+  Alcotest.(check bool) "replica complete" true !ok;
+  Alcotest.(check int) "replica miss is default" 0 (Kv.get replica 1).Kv.version
+
+let prop_kv_model =
+  (* The flat store must agree with a Hashtbl-backed model on any put/get
+     sequence: same data, same version counts, same written-key count. *)
+  QCheck.Test.make ~name:"kv agrees with model" ~count:200
+    QCheck.(list (pair (int_bound 500) small_int))
+    (fun ops ->
+      let kv = Kv.create () in
+      let model : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun (key, data) ->
+          Kv.put kv ~key ~data ~writer:0;
+          let _, version = Option.value ~default:(0, 0) (Hashtbl.find_opt model key) in
+          Hashtbl.replace model key (data, version + 1))
+        ops;
+      Hashtbl.fold
+        (fun key (data, version) acc ->
+          let v = Kv.get kv key in
+          acc && v.Kv.data = data && v.Kv.version = version)
+        model
+        (Kv.keys_written kv = Hashtbl.length model))
+
 (* ------------------------------------------------------------------ *)
 (* Occ *)
 
@@ -352,6 +393,8 @@ let () =
         [
           Alcotest.test_case "default" `Quick test_kv_default;
           Alcotest.test_case "put bumps version" `Quick test_kv_put_bumps_version;
+          Alcotest.test_case "grow and sync" `Quick test_kv_grow_and_sync;
+          QCheck_alcotest.to_alcotest prop_kv_model;
         ] );
       ( "occ",
         [

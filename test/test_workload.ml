@@ -3,6 +3,7 @@
 open Simcore
 
 let rng () = Rng.create ~seed:17
+let mix_int h x = (h * 1000003) lxor x
 
 (* ------------------------------------------------------------------ *)
 (* Zipf *)
@@ -199,6 +200,23 @@ let test_histogram_underflow () =
   let p = Simstats.Histogram.percentile h ~p:0.33 in
   if p > 1.0 then Alcotest.failf "sub-ms percentile misplaced: %f" p
 
+(* Golden locks on Zipf's draw sequences (both the single-sample path and
+   the rejection loop inside [sample_distinct]): the key streams feed
+   every workload generator, so a change here shifts every recorded
+   baseline CSV. See the matching Rng stream locks in test_simcore. *)
+let test_zipf_golden_streams () =
+  let zipf = Workload.Zipf.create ~n:100_000 ~theta:0.95 in
+  let r = Rng.create ~seed:21 in
+  let h = ref 0 in
+  for _ = 1 to 512 do h := mix_int !h (Workload.Zipf.sample zipf r) done;
+  Alcotest.(check int) "sample stream (seed 21)" 3693257169325562980 !h;
+  let r = Rng.create ~seed:22 in
+  h := 0;
+  for _ = 1 to 64 do
+    List.iter (fun k -> h := mix_int !h k) (Workload.Zipf.sample_distinct zipf r 8)
+  done;
+  Alcotest.(check int) "sample_distinct stream (seed 22)" (-1992622574198318456) !h
+
 let () =
   Alcotest.run "workload"
     [
@@ -208,6 +226,7 @@ let () =
           Alcotest.test_case "skew" `Quick test_zipf_skew;
           Alcotest.test_case "uniform degenerate" `Quick test_zipf_uniform_degenerate;
           Alcotest.test_case "distinct" `Quick test_zipf_distinct;
+          Alcotest.test_case "golden draw streams" `Quick test_zipf_golden_streams;
         ] );
       ( "generators",
         [
