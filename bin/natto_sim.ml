@@ -14,6 +14,8 @@ let system_names =
     ("natto-pa", Harness.Experiment.Natto Natto.Features.pa);
     ("natto-cp", Harness.Experiment.Natto Natto.Features.cp);
     ("natto-recsf", Harness.Experiment.Natto Natto.Features.recsf);
+    ("quecc", Harness.Experiment.Quecc Quecc.Fifo);
+    ("quecc-prio", Harness.Experiment.Quecc Quecc.Prio);
   ]
 
 let topo_names =
@@ -21,6 +23,18 @@ let topo_names =
     ("azure5", Netsim.Topology.azure5);
     ("hybrid", Netsim.Topology.hybrid_aws_azure);
     ("local3", Netsim.Topology.local3);
+  ]
+
+(* Workloads, like systems and topologies, live in one table that feeds both
+   the dispatch and the --workload doc string, so the help text cannot drift
+   from what the binary accepts. *)
+let workload_names : (string * (zipf:float -> Workload.Gen.t)) list =
+  [
+    ("ycsbt", fun ~zipf -> Workload.Ycsbt.gen ~theta:zipf ());
+    ("retwis", fun ~zipf -> Workload.Retwis.gen ~theta:zipf ());
+    ("smallbank", fun ~zipf:_ -> Workload.Smallbank.gen ());
+    ( "smallbank-priority",
+      fun ~zipf:_ -> Workload.Smallbank.gen ~prioritize_send_payment:true () );
   ]
 
 (* --- metrics JSON ------------------------------------------------------ *)
@@ -134,14 +148,7 @@ let write_metrics_json ~file metered =
 let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo ~variance
     ~loss ~partitions ~clients_per_dc ~drain ~batching ~histograms ~trace_file ~metrics_file
     ~faults ~check =
-  let gen =
-    match workload with
-    | "ycsbt" -> Workload.Ycsbt.gen ~theta:zipf ()
-    | "retwis" -> Workload.Retwis.gen ~theta:zipf ()
-    | "smallbank" -> Workload.Smallbank.gen ()
-    | "smallbank-priority" -> Workload.Smallbank.gen ~prioritize_send_payment:true ()
-    | other -> failwith (Printf.sprintf "unknown workload %S" other)
-  in
+  let gen = (List.assoc workload workload_names) ~zipf in
   let topo = List.assoc topo topo_names in
   let net_config =
     {
@@ -245,6 +252,14 @@ let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
         s.Harness.Experiment.p95_low_ms s.Harness.Experiment.p95_low_ci
         s.Harness.Experiment.goodput_high_tps s.Harness.Experiment.goodput_low_tps
         s.Harness.Experiment.failed s.Harness.Experiment.aborts;
+      (* Deterministic (queue-oriented) systems replace client-visible
+         retries with in-epoch re-execution; surface that counter, and the
+         invariant that fault-free runs show zero client aborts, as a
+         '#' comment so the CSV block stays byte-identical. *)
+      if Harness.Experiment.deterministic spec then
+        Printf.printf "# deterministic: %s client_aborts=%d speculation_aborts=%d\n%!"
+          (Harness.Experiment.spec_name spec)
+          s.Harness.Experiment.aborts s.Harness.Experiment.spec_aborts;
       match faults with
       | None -> ()
       | Some schedule ->
@@ -354,7 +369,9 @@ let systems_arg =
   Arg.(value & opt (list string) [ "natto-recsf"; "carousel-basic" ] & info [ "s"; "systems" ] ~doc)
 
 let workload_arg =
-  let doc = "Workload: ycsbt, retwis, smallbank, smallbank-priority." in
+  let doc =
+    Printf.sprintf "Workload: %s." (String.concat ", " (List.map fst workload_names))
+  in
   Arg.(value & opt string "ycsbt" & info [ "w"; "workload" ] ~doc)
 
 let rate_arg = Arg.(value & opt float 100. & info [ "r"; "rate" ] ~doc:"Input rate, txn/s.")
@@ -370,7 +387,10 @@ let high_arg =
   Arg.(value & opt float 0.1 & info [ "high-fraction" ] ~doc:"High-priority probability.")
 
 let topo_arg =
-  Arg.(value & opt string "azure5" & info [ "t"; "topology" ] ~doc:"azure5|hybrid|local3.")
+  let doc =
+    Printf.sprintf "Topology: %s." (String.concat "|" (List.map fst topo_names))
+  in
+  Arg.(value & opt string "azure5" & info [ "t"; "topology" ] ~doc)
 
 let variance_arg =
   Arg.(value & opt float 0. & info [ "variance" ] ~doc:"Delay variance (stddev/mean).")
@@ -510,7 +530,9 @@ let main systems workload rate zipf duration seeds high_fraction topo variance l
           (match List.find_opt (fun s -> not (List.mem_assoc s system_names)) systems with
           | Some bad -> `Error (false, Printf.sprintf "unknown system %S" bad)
           | None ->
-              if not (List.mem_assoc topo topo_names) then
+              if not (List.mem_assoc workload workload_names) then
+                `Error (false, Printf.sprintf "unknown workload %S" workload)
+              else if not (List.mem_assoc topo topo_names) then
                 `Error (false, Printf.sprintf "unknown topology %S" topo)
               else if metrics_file <> None && check then
                 `Error (false, "--metrics cannot be combined with --check")

@@ -51,6 +51,39 @@ dune exec bin/natto_sim.exe -- -s 2pl,tapir,carousel-basic,carousel-fast,natto-r
   -d 8 --seeds 1 -r 50 -z 0.95 \
   --faults 'crash-leader:0@2s,cut:0-1@3s,heal@5s,restart@6s' --check >/dev/null
 
+echo "== quecc deterministic-family gates =="
+# The queue-oriented family resolves contention by planning: fault-free
+# checked runs must pass the checker with zero client-visible aborts (the
+# driver hard-fails on any) and surface in-epoch re-executions through the
+# speculation counter instead; output stays byte-identical at any --jobs.
+q_j1="${TMPDIR:-/tmp}/natto_ci_quecc_j1.csv"
+q_j4="${TMPDIR:-/tmp}/natto_ci_quecc_j4.csv"
+dune exec bin/natto_sim.exe -- -s quecc,quecc-prio -d 4 --drain 10 --seeds 1,2 \
+  -r 80 -z 0.95 --check --jobs 1 >"$q_j1"
+dune exec bin/natto_sim.exe -- -s quecc,quecc-prio -d 4 --drain 10 --seeds 1,2 \
+  -r 80 -z 0.95 --check --jobs 4 >"$q_j4"
+cmp "$q_j1" "$q_j4"
+grep -q '# check: QueCC seed 1 ok' "$q_j1"
+grep -q '# check: QueCC-Prio seed 1 ok' "$q_j1"
+grep -q '# deterministic: QueCC client_aborts=0 speculation_aborts=' "$q_j1"
+grep -q '# deterministic: QueCC-Prio client_aborts=0 speculation_aborts=' "$q_j1"
+# ... and must stay strictly serializable through the leader-crash + DC-cut
+# schedule (client aborts are allowed there: failover timeouts retry).
+dune exec bin/natto_sim.exe -- -s quecc,quecc-prio -d 8 --seeds 1 -r 50 -z 0.95 \
+  --faults 'crash-leader:0@2s,cut:0-1@3s,heal@5s,restart@6s' --check >/dev/null
+rm -f "$q_j1" "$q_j4"
+
+echo "== existing-family goldens gate =="
+# Introducing the QueCC family must not move a byte of any existing
+# family's output: the eleven pre-QueCC systems reproduce their golden
+# CSV exactly.
+fam_out="${TMPDIR:-/tmp}/natto_ci_families.csv"
+dune exec bin/natto_sim.exe -- \
+  -s 2pl,2pl-p,2pl-pow,tapir,carousel-basic,carousel-fast,natto-ts,natto-lecsf,natto-pa,natto-cp,natto-recsf \
+  -d 4 --drain 10 --seeds 1,2 -r 80 -z 0.95 --jobs 8 >"$fam_out"
+cmp test/golden/families_pr7.csv "$fam_out"
+rm -f "$fam_out"
+
 echo "== metrics smoke + determinism gate =="
 # --metrics must (a) leave the CSV byte-for-byte identical to an
 # uninstrumented run ('#'-prefixed lines are commentary, not CSV), and

@@ -4,6 +4,7 @@ type system_spec =
   | Tapir
   | Twopl of Twopl.variant
   | Natto of Natto.Features.t
+  | Quecc of Quecc.variant
 
 let spec_name = function
   | Carousel_basic -> "Carousel Basic"
@@ -11,6 +12,7 @@ let spec_name = function
   | Tapir -> "TAPIR"
   | Twopl v -> Twopl.name_of v
   | Natto f -> Natto.Features.name f
+  | Quecc v -> Quecc.name v
 
 let all_natto_variants =
   [
@@ -70,8 +72,10 @@ let instantiate spec cluster =
   | Tapir -> Tapir.make cluster
   | Twopl v -> Twopl.make cluster ~variant:v
   | Natto f -> Natto.Protocol.make cluster ~features:f
+  | Quecc v -> Quecc.make cluster ~variant:v
 
 let needs_raft = function Tapir -> false | _ -> true
+let deterministic = function Quecc _ -> true | _ -> false
 let needs_proxies = function Natto _ -> true | _ -> false
 
 let build_cluster ?trace ?metrics setup spec ~seed =
@@ -260,6 +264,7 @@ type summary = {
   failed : int;
   unfinished : int;
   aborts : int;
+  spec_aborts : int;
   commits : int;
 }
 
@@ -279,6 +284,7 @@ let summarize results =
   and failed = ref 0
   and unfinished = ref 0
   and aborts = ref 0
+  and spec_aborts = ref 0
   and commits = ref 0 in
   List.iter
     (fun r ->
@@ -288,6 +294,7 @@ let summarize results =
       failed := !failed + r.Workload.Driver.failed;
       unfinished := !unfinished + r.Workload.Driver.unfinished;
       aborts := !aborts + r.Workload.Driver.total_aborts;
+      spec_aborts := !spec_aborts + r.Workload.Driver.spec_aborts;
       commits := !commits + r.Workload.Driver.committed_high + r.Workload.Driver.committed_low)
     results;
   let reps = float_of_int (max 1 !n) in
@@ -301,6 +308,7 @@ let summarize results =
     failed = !failed;
     unfinished = !unfinished;
     aborts = !aborts;
+    spec_aborts = !spec_aborts;
     commits = !commits;
   }
 

@@ -7,8 +7,14 @@ type system_spec =
   | Tapir
   | Twopl of Twopl.variant
   | Natto of Natto.Features.t
+  | Quecc of Quecc.variant
 
 val spec_name : system_spec -> string
+
+val deterministic : system_spec -> bool
+(** True for queue-oriented deterministic families (QueCC): zero
+    client-visible retries outside fault windows, speculation aborts
+    instead. *)
 
 val all_natto_variants : system_spec list
 (** TS, LECSF, PA, CP, RECSF — the paper's five evaluation points. *)
@@ -178,6 +184,7 @@ type summary = {
   failed : int;
   unfinished : int;
   aborts : int;
+  spec_aborts : int;  (** deterministic families' in-epoch re-executions *)
   commits : int;
 }
 

@@ -73,6 +73,7 @@ let row figure x_label x system (s : Experiment.summary) =
       ("goodput_low_tps", s.Experiment.goodput_low_tps);
       ("failed", float_of_int s.Experiment.failed);
       ("aborts", float_of_int s.Experiment.aborts);
+      ("spec_aborts", float_of_int s.Experiment.spec_aborts);
     ]
 
 (* Parallel cell fan-out: every (x, system) cell of a figure is an
@@ -445,6 +446,8 @@ let failover scale =
       Experiment.Carousel_basic;
       Experiment.Carousel_fast;
       Experiment.Natto Natto.Features.recsf;
+      Experiment.Quecc Quecc.Fifo;
+      Experiment.Quecc Quecc.Prio;
     ]
   in
   let outcomes =
@@ -535,6 +538,8 @@ let check_figure scale =
       Experiment.Carousel_basic;
       Experiment.Carousel_fast;
       Experiment.Natto Natto.Features.recsf;
+      Experiment.Quecc Quecc.Fifo;
+      Experiment.Quecc Quecc.Prio;
     ]
   in
   let schedules = [ ("none", None); ("crash+cut", Some fault_schedule) ] in
@@ -582,7 +587,7 @@ let attribution scale =
     "\n\
      # attribution — commit-latency critical path, YCSB+T zipf 0.95 @100 txn/s per family\n";
   Printf.printf
-    "attribution,system,class,n,e2e_mean_ms,e2e_p95_ms,e2e_p99_ms,wan_pct,cpu_queue_pct,lock_wait_pct,replication_pct,batching_pct,backoff_pct,exec_pct,residual_pct\n%!";
+    "attribution,system,class,n,e2e_mean_ms,e2e_p95_ms,e2e_p99_ms,wan_pct,cpu_queue_pct,lock_wait_pct,queue_wait_pct,replication_pct,batching_pct,backoff_pct,exec_pct,residual_pct\n%!";
   let gen = Workload.Ycsbt.gen ~theta:0.95 () in
   let setup =
     { Experiment.default_setup with Experiment.driver = driver_config scale ~rate:100. }
@@ -594,6 +599,8 @@ let attribution scale =
       Experiment.Carousel_basic;
       Experiment.Carousel_fast;
       Experiment.Natto Natto.Features.recsf;
+      Experiment.Quecc Quecc.Fifo;
+      Experiment.Quecc Quecc.Prio;
     ]
   in
   let metered =
@@ -626,11 +633,12 @@ let attribution scale =
             else 100. *. List.assoc name agg.Metrics.Attribution.mean_us /. tot
           in
           Printf.printf
-            "attribution,%s,%s,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f\n%!"
+            "attribution,%s,%s,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f\n%!"
             system label agg.Metrics.Attribution.n agg.Metrics.Attribution.e2e_mean_ms
             agg.Metrics.Attribution.e2e_p95_ms agg.Metrics.Attribution.e2e_p99_ms
-            (pct "wan") (pct "cpu_queue") (pct "lock_wait") (pct "replication")
-            (pct "batching") (pct "backoff") (pct "exec") (pct "residual");
+            (pct "wan") (pct "cpu_queue") (pct "lock_wait") (pct "queue_wait")
+            (pct "replication") (pct "batching") (pct "backoff") (pct "exec")
+            (pct "residual");
           collect ~figure:"attribution" ~x_label:"class" ~x:label ~system
             ([
                ("n", float_of_int agg.Metrics.Attribution.n);
@@ -890,6 +898,34 @@ let simthroughput scale =
         { Experiment.default_setup with Experiment.driver = driver })
     [ 1; 2; 4 ]
 
+(* ------------------------------------------------------------------ *)
+(* QueCC sweep: queue-oriented deterministic planning against Natto's
+   prioritized timestamps across the contention range — the ISSUE 8
+   head-to-head. Both QueCC variants plan contention away (zero client
+   retries; the aborts column counts nothing but failover timeouts, and
+   the collected spec_aborts field counts in-epoch re-executions), so the
+   interesting comparison is the Zipf >= 0.99 tail where Natto's
+   timestamp queues thrash on retries. *)
+
+let queccsweep scale =
+  header "queccsweep"
+    "QueCC (FIFO / priority-ordered) vs Natto TS/CP/RECSF, YCSB+T @100 txn/s vs Zipf theta";
+  sweep ~figure:"queccsweep" ~x_label:"zipf"
+    ~setup_of:(fun _ ->
+      { Experiment.default_setup with Experiment.driver = driver_config scale ~rate:100. })
+    ~gen_of:(fun theta -> Workload.Ycsbt.gen ~theta ())
+    ~xs:[ 0.8; 0.95; 0.99; 1.2 ]
+    ~systems:
+      [
+        Experiment.Quecc Quecc.Fifo;
+        Experiment.Quecc Quecc.Prio;
+        Experiment.Natto Natto.Features.ts;
+        Experiment.Natto Natto.Features.cp;
+        Experiment.Natto Natto.Features.recsf;
+      ]
+    ~scale
+    ~show:(Printf.sprintf "%.2f")
+
 let all scale =
   table1 ();
   fig7_ycsbt scale;
@@ -907,13 +943,14 @@ let all scale =
   ablation scale;
   failover scale;
   attribution scale;
-  check_figure scale
+  check_figure scale;
+  queccsweep scale
 
 let names =
   [
     "table1"; "fig7ab"; "fig7cd"; "fig7ef"; "fig8a"; "fig8b"; "fig9"; "fig10"; "fig11";
     "fig12"; "fig13"; "fig14"; "batchsweep"; "ablation"; "failover"; "attribution"; "check";
-    "simthroughput";
+    "queccsweep"; "simthroughput";
   ]
 
 let run_by_name name scale =
@@ -935,5 +972,6 @@ let run_by_name name scale =
   | "failover" -> failover scale; true
   | "attribution" -> attribution scale; true
   | "check" -> check_figure scale; true
+  | "queccsweep" -> queccsweep scale; true
   | "simthroughput" -> simthroughput scale; true
   | _ -> false

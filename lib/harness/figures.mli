@@ -87,7 +87,8 @@ val attribution : scale -> unit
     @100 txn/s, each run under the metrics registry and the latency
     attribution engine. Prints, per system and priority class, the mean
     end-to-end latency and the percentage split across wan / cpu_queue /
-    lock_wait / replication / backoff / exec / residual segments — 2PL
+    lock_wait / queue_wait / replication / backoff / exec / residual
+    segments — 2PL
     dominated by lock_wait, Carousel by wan, Natto shifting low-priority
     time into backoff and lock_wait. *)
 
@@ -101,11 +102,18 @@ val simthroughput : scale -> unit
 
 val check_figure : scale -> unit
 (** Strict-serializability checker sweep: one system per protocol family
-    (2PL+2PC, TAPIR, Carousel Basic, Carousel Fast, Natto-RECSF) at YCSB+T
+    (2PL+2PC, TAPIR, Carousel Basic, Carousel Fast, Natto-RECSF, plus both
+    QueCC variants) at YCSB+T
     Zipf 0.95, fault-free and under a leader-crash + DC-cut schedule.
     Prints one verdict row per combination and fails loudly (with rendered
     counterexamples) on any violation. The latency figures also run under
     the checker; this one reports the verdicts as data. *)
+
+val queccsweep : scale -> unit
+(** QueCC head-to-head (ISSUE 8): both queue-oriented variants vs Natto
+    TS/CP/RECSF, YCSB+T @100 txn/s at Zipf 0.8 / 0.95 / 0.99 / 1.2. The
+    deterministic rows commit with zero contention aborts; the collected
+    points carry their [spec_aborts] (in-epoch re-executions) instead. *)
 
 val all : scale -> unit
 val run_by_name : string -> scale -> bool

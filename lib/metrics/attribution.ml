@@ -4,6 +4,7 @@ type segments = {
   wan : int;
   cpu_queue : int;
   lock_wait : int;
+  queue_wait : int;
   replication : int;
   batching : int;
   backoff : int;
@@ -12,13 +13,24 @@ type segments = {
 }
 
 let segment_names =
-  [ "wan"; "cpu_queue"; "lock_wait"; "replication"; "batching"; "backoff"; "exec"; "residual" ]
+  [
+    "wan";
+    "cpu_queue";
+    "lock_wait";
+    "queue_wait";
+    "replication";
+    "batching";
+    "backoff";
+    "exec";
+    "residual";
+  ]
 
 let to_list s =
   [
     ("wan", s.wan);
     ("cpu_queue", s.cpu_queue);
     ("lock_wait", s.lock_wait);
+    ("queue_wait", s.queue_wait);
     ("replication", s.replication);
     ("batching", s.batching);
     ("backoff", s.backoff);
@@ -27,14 +39,15 @@ let to_list s =
   ]
 
 let total s =
-  s.wan + s.cpu_queue + s.lock_wait + s.replication + s.batching + s.backoff + s.exec
-  + s.residual
+  s.wan + s.cpu_queue + s.lock_wait + s.queue_wait + s.replication + s.batching + s.backoff
+  + s.exec + s.residual
 
 let zero =
   {
     wan = 0;
     cpu_queue = 0;
     lock_wait = 0;
+    queue_wait = 0;
     replication = 0;
     batching = 0;
     backoff = 0;
@@ -48,14 +61,15 @@ type txn_breakdown = { t_high : bool; t_e2e_us : int; t_seg : segments }
    two classes cover the same microsecond of a committed attempt (the
    coordinator is e.g. both replicating and holding a message in flight),
    the more specific cause wins. *)
-type cls = Lock_wait | Replication | Cpu_queue | Batching | Wan
+type cls = Lock_wait | Queue_wait | Replication | Cpu_queue | Batching | Wan
 
 let rank = function
   | Lock_wait -> 0
-  | Replication -> 1
-  | Cpu_queue -> 2
-  | Batching -> 3
-  | Wan -> 4
+  | Queue_wait -> 1
+  | Replication -> 2
+  | Cpu_queue -> 3
+  | Batching -> 4
+  | Wan -> 5
 
 (* Per-attempt intervals, collected in one pass over the trace. Span pairs
    are matched with a per-(txn, name) stack of pending begins: an End pops
@@ -92,11 +106,13 @@ let gather trace =
           | Some d ->
               add_interval txn Cpu_queue (Sim_time.to_us deliver) (Sim_time.to_us d)
           | None -> ())
-      | Trace.V_span { txn; name = ("lock-wait" | "replication" | "batching") as name; phase; at }
+      | Trace.V_span
+          { txn; name = ("lock-wait" | "queue-wait" | "replication" | "batching") as name; phase; at }
         -> (
           let cls =
             match name with
             | "lock-wait" -> Lock_wait
+            | "queue-wait" -> Queue_wait
             | "replication" -> Replication
             | _ -> Batching
           in
@@ -127,7 +143,7 @@ let sweep ~lo ~hi intervals =
     List.sort_uniq compare
       (lo :: hi :: List.concat_map (fun (_, s, e) -> [ s; e ]) clipped)
   in
-  let covered = [| 0; 0; 0; 0; 0 |] in
+  let covered = [| 0; 0; 0; 0; 0; 0 |] in
   let rec go = function
     | a :: (b :: _ as rest) ->
         let best =
@@ -177,11 +193,13 @@ let analyze ~trace ~txns =
               let covered = sweep ~lo ~hi ivs in
               let in_class =
                 covered.(0) + covered.(1) + covered.(2) + covered.(3) + covered.(4)
+                + covered.(5)
               in
               seg :=
                 {
                   !seg with
                   lock_wait = !seg.lock_wait + covered.(rank Lock_wait);
+                  queue_wait = !seg.queue_wait + covered.(rank Queue_wait);
                   replication = !seg.replication + covered.(rank Replication);
                   cpu_queue = !seg.cpu_queue + covered.(rank Cpu_queue);
                   batching = !seg.batching + covered.(rank Batching);

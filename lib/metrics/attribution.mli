@@ -12,6 +12,9 @@
       receiver's CPU station);
     - [lock_wait] — ["lock-wait"] span pairs: 2PL lock-queue waits and
       Natto's timestamp-queue residency;
+    - [queue_wait] — ["queue-wait"] span pairs: a deterministic family's
+      planner residency, submission arrival → epoch dispatch (covers the
+      batching wait and the plan's Raft round);
     - [replication] — ["replication"] span pairs emitted by
       [Raft.Group.replicate] for critical-path replications;
     - [batching] — ["batching"] span pairs emitted by [Rpc.Batcher] for
@@ -26,15 +29,16 @@
       residual signals missing instrumentation.
 
     Within the committed attempt, each microsecond is charged to exactly one
-    segment; overlaps resolve by priority lock_wait > replication >
-    cpu_queue > batching > wan. All arithmetic is integer microseconds, so
-    the eight segments sum {e exactly} to the end-to-end latency for every
-    transaction. *)
+    segment; overlaps resolve by priority lock_wait > queue_wait >
+    replication > cpu_queue > batching > wan. All arithmetic is integer
+    microseconds, so the nine segments sum {e exactly} to the end-to-end
+    latency for every transaction. *)
 
 type segments = {
   wan : int;
   cpu_queue : int;
   lock_wait : int;
+  queue_wait : int;
   replication : int;
   batching : int;
   backoff : int;

@@ -39,6 +39,11 @@ type kind =
   | Probe_reply
   | Cache_fetch
   | Cache_reply
+  | Quecc_submit
+  | Quecc_plan
+  | Quecc_read_reply
+  | Quecc_install
+  | Quecc_install_ack
 
 let label = function
   | Read_prepare -> "read_prepare"
@@ -61,6 +66,11 @@ let label = function
   | Probe_reply -> "probe_reply"
   | Cache_fetch -> "cache_fetch"
   | Cache_reply -> "cache_reply"
+  | Quecc_submit -> "quecc_submit"
+  | Quecc_plan -> "quecc_plan"
+  | Quecc_read_reply -> "quecc_read_reply"
+  | Quecc_install -> "quecc_install"
+  | Quecc_install_ack -> "quecc_install_ack"
 
 type t = { kind : kind; txn : int option; priority : int option; bytes : int }
 
@@ -92,3 +102,11 @@ let probe () = shared_probe
 let probe_reply () = shared_probe_reply
 let cache_fetch () = shared_cache_fetch
 let cache_reply ~entries () = make Cache_reply ~bytes:(cache_entry_bytes * entries)
+
+let quecc_submit ?txn ?priority ~reads ~writes () =
+  make ?txn ?priority Quecc_submit ~bytes:(read_and_prepare_bytes ~reads ~writes + 8)
+
+let quecc_plan ~keys () = make Quecc_plan ~bytes:((keys * key_bytes) + 32)
+let quecc_read_reply ~reads () = make Quecc_read_reply ~bytes:(read_reply_bytes ~reads)
+let quecc_install ?txn ~writes () = make ?txn Quecc_install ~bytes:(decision_bytes ~writes)
+let quecc_install_ack ?txn () = make ?txn Quecc_install_ack ~bytes:control_bytes

@@ -28,6 +28,11 @@ type kind =
   | Probe_reply
   | Cache_fetch  (** client → proxy: delay-table refresh *)
   | Cache_reply
+  | Quecc_submit  (** client → planner: whole transaction for batching *)
+  | Quecc_plan  (** planner → partition leader: per-key queue slice *)
+  | Quecc_read_reply  (** partition leader → planner: pre-epoch base values *)
+  | Quecc_install  (** planner → partition leader: computed write values *)
+  | Quecc_install_ack  (** partition leader → planner: writes applied *)
 
 val label : kind -> string
 (** Stable snake_case name, used as the tracing key. *)
@@ -66,6 +71,11 @@ val probe : unit -> t
 val probe_reply : unit -> t
 val cache_fetch : unit -> t
 val cache_reply : entries:int -> unit -> t
+val quecc_submit : ?txn:int -> ?priority:int -> reads:int -> writes:int -> unit -> t
+val quecc_plan : keys:int -> unit -> t
+val quecc_read_reply : reads:int -> unit -> t
+val quecc_install : ?txn:int -> writes:int -> unit -> t
+val quecc_install_ack : ?txn:int -> unit -> t
 
 (** {2 Wire-size primitives}
 

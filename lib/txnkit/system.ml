@@ -1,6 +1,11 @@
 type t = {
   name : string;
   submit : Txn.t -> on_done:(committed:bool -> unit) -> unit;
+  deterministic : bool;
+  spec_aborts : (unit -> int) option;
 }
 
-let make ~name ~submit = { name; submit }
+let make ~name ~submit = { name; submit; deterministic = false; spec_aborts = None }
+
+let make_deterministic ~name ~spec_aborts ~submit =
+  { name; submit; deterministic = true; spec_aborts = Some spec_aborts }

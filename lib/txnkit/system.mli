@@ -7,6 +7,21 @@
 type t = {
   name : string;
   submit : Txn.t -> on_done:(committed:bool -> unit) -> unit;
+  deterministic : bool;
+      (** deterministic (queue-oriented) families never abort an attempt to
+          the client outside failover windows; the driver asserts this *)
+  spec_aborts : (unit -> int) option;
+      (** cumulative count of in-epoch speculative re-executions, the
+          deterministic family's replacement for client-visible retries *)
 }
 
 val make : name:string -> submit:(Txn.t -> on_done:(committed:bool -> unit) -> unit) -> t
+(** An ordinary (abort-and-retry) system: [deterministic = false]. *)
+
+val make_deterministic :
+  name:string ->
+  spec_aborts:(unit -> int) ->
+  submit:(Txn.t -> on_done:(committed:bool -> unit) -> unit) ->
+  t
+(** A deterministic system: attempts only fail back to the client during
+    fault windows (leader loss), never from contention. *)

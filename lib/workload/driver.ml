@@ -34,6 +34,7 @@ type result = {
   unfinished : int;
   total_attempts : int;
   total_aborts : int;
+  spec_aborts : int;
   goodput_high_tps : float;
   goodput_low_tps : float;
   window_seconds : float;
@@ -162,6 +163,13 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
           record_commit txn
         end
         else begin
+          (* A deterministic (queue-oriented) system resolves contention by
+             planning, so an abort can only be a failover timeout. Outside
+             fault windows one attempt must always suffice. *)
+          if system.System.deterministic && not (Cluster.failover_active cluster) then
+            failwith
+              (Printf.sprintf "%s: deterministic system aborted attempt %d without faults"
+                 system.System.name txn.Txn.id);
           st.aborts <- st.aborts + 1;
           bump c_aborts;
           if tries + 1 >= config.max_retries then begin
@@ -216,6 +224,7 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
     unfinished = st.inflight;
     total_attempts = st.attempts;
     total_aborts = st.aborts;
+    spec_aborts = (match system.System.spec_aborts with Some f -> f () | None -> 0);
     goodput_high_tps = float_of_int st.committed_high /. window_seconds;
     goodput_low_tps = float_of_int st.committed_low /. window_seconds;
     window_seconds;

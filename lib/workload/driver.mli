@@ -40,6 +40,9 @@ type result = {
   unfinished : int;  (** still incomplete when the run was cut off — should be ~0 *)
   total_attempts : int;
   total_aborts : int;
+  spec_aborts : int;
+      (** deterministic families only: in-epoch speculative re-executions
+          (their replacement for client-visible retries); [0] elsewhere *)
   goodput_high_tps : float;  (** in-window commits / window length *)
   goodput_low_tps : float;
   window_seconds : float;

@@ -7,6 +7,9 @@ type t = {
   zeta2 : float;
   alpha : float;
   scramble : bool;
+  cdf : float array;
+      (* theta >= 1 only: cumulative rank weights for exact inverse-CDF
+         sampling; empty when the Gray closed form applies. *)
 }
 
 let zeta n theta =
@@ -23,16 +26,42 @@ let stride = 2654435761
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 
 let create ~n ~theta =
-  assert (n > 0 && theta >= 0.0 && theta < 1.0);
+  assert (n > 0 && theta >= 0.0);
   let zetan = if theta = 0.0 then float_of_int n else zeta n theta in
   let zeta2 = if theta = 0.0 then 2.0 else zeta 2 theta in
-  let alpha = if theta = 0.0 then 1.0 else 1.0 /. (1.0 -. theta) in
-  { n; theta; zetan; zeta2; alpha; scramble = gcd stride n = 1 }
+  (* Gray's closed-form inverse diverges at theta = 1; past that point we
+     sample by binary search over the exact cumulative weights instead.
+     [alpha] is only read on the closed-form path. *)
+  let alpha = if theta = 0.0 || theta >= 1.0 then 1.0 else 1.0 /. (1.0 -. theta) in
+  let cdf =
+    if theta < 1.0 then [||]
+    else begin
+      let a = Array.make n 0.0 in
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        acc := !acc +. (1.0 /. (float_of_int (i + 1) ** theta));
+        a.(i) <- !acc
+      done;
+      a
+    end
+  in
+  { n; theta; zetan; zeta2; alpha; scramble = gcd stride n = 1; cdf }
 
 let scramble_key t rank = if t.scramble then rank * stride mod t.n else rank
 
 let sample t rng =
   if t.theta = 0.0 then Rng.int rng t.n
+  else if t.cdf <> [||] then begin
+    (* theta >= 1: one uniform draw (same stream shape as the closed form),
+       inverted exactly against the precomputed CDF. *)
+    let u = Rng.float rng *. t.zetan in
+    let lo = ref 0 and hi = ref (t.n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    scramble_key t !lo
+  end
   else begin
     let u = Rng.float rng in
     let uz = u *. t.zetan in

@@ -8,8 +8,11 @@
 type t
 
 val create : n:int -> theta:float -> t
-(** [n] keys, Zipf coefficient [theta] in [\[0, 1)]. [theta = 0] degrades to
-    a uniform distribution. Precomputation is O(n). *)
+(** [n] keys, Zipf coefficient [theta >= 0]. [theta = 0] degrades to a
+    uniform distribution; [theta >= 1] (where the closed form diverges)
+    switches to exact inverse-CDF sampling by binary search over
+    precomputed cumulative weights — still one uniform draw per sample.
+    Precomputation is O(n). *)
 
 val sample : t -> Simcore.Rng.t -> int
 (** A key in [\[0, n)]. *)

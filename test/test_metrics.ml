@@ -362,6 +362,7 @@ let test_aggregate () =
           Attribution.wan = 0;
           cpu_queue = 0;
           lock_wait = lock;
+          queue_wait = 0;
           replication = 0;
           batching = 0;
           backoff = 0;

@@ -26,6 +26,8 @@ let systems : (string * (Cluster.t -> System.t)) list =
     ("natto-pa", fun c -> Natto.Protocol.make c ~features:Natto.Features.pa);
     ("natto-cp", fun c -> Natto.Protocol.make c ~features:Natto.Features.cp);
     ("natto-recsf", fun c -> Natto.Protocol.make c ~features:Natto.Features.recsf);
+    ("quecc", fun c -> Quecc.make c ~variant:Quecc.Fifo);
+    ("quecc-prio", fun c -> Quecc.make c ~variant:Quecc.Prio);
   ]
 
 let needs_raft name = name <> "tapir"
@@ -57,9 +59,12 @@ let test_low_contention_liveness (name, make) () =
   Alcotest.(check bool) "commits happened" true
     (r.Workload.Driver.committed_high + r.Workload.Driver.committed_low > 100);
   (* At near-zero contention tail latency stays within one protocol round
-     budget: the slowest system (2PL) needs ~3 WAN round trips (< 900ms). *)
+     budget: the slowest round-based system (2PL) needs ~3 WAN round trips
+     (< 900ms); QueCC adds an epoch wait plus the planner round trip on
+     top of its plan-log replication, so its budget is a little wider. *)
+  let budget = if String.length name >= 5 && String.sub name 0 5 = "quecc" then 1100. else 900. in
   let p95 = Workload.Driver.p95_low r in
-  if p95 > 900. then Alcotest.failf "p95 too high at no contention: %.1fms" p95
+  if p95 > budget then Alcotest.failf "p95 too high at no contention: %.1fms" p95
 
 (* ------------------------------------------------------------------ *)
 (* Serializability oracle *)

@@ -37,6 +37,29 @@ let test_zipf_skew () =
   if Float.abs (got -. expect) /. expect > 0.15 then
     Alcotest.failf "hot-key frequency %.4f, expected %.4f" got expect
 
+let test_zipf_supercritical () =
+  (* theta >= 1 takes the inverse-CDF path; the hot-key frequency law must
+     hold there exactly as on the closed-form path. *)
+  let n = 10_000 and theta = 1.2 in
+  let z = Workload.Zipf.create ~n ~theta in
+  let r = rng () in
+  let counts = Hashtbl.create 1024 in
+  let samples = 200_000 in
+  for _ = 1 to samples do
+    let k = Workload.Zipf.sample z r in
+    if k < 0 || k >= n then Alcotest.failf "out of range: %d" k;
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  let zeta = ref 0.0 in
+  for i = 1 to n do
+    zeta := !zeta +. (1.0 /. (float_of_int i ** theta))
+  done;
+  let expect = 1.0 /. !zeta in
+  let top = Hashtbl.fold (fun _ c acc -> Stdlib.max c acc) counts 0 in
+  let got = float_of_int top /. float_of_int samples in
+  if Float.abs (got -. expect) /. expect > 0.15 then
+    Alcotest.failf "hot-key frequency %.4f, expected %.4f" got expect
+
 let test_zipf_uniform_degenerate () =
   let z = Workload.Zipf.create ~n:100 ~theta:0.0 in
   let r = rng () in
@@ -224,6 +247,7 @@ let () =
         [
           Alcotest.test_case "range" `Quick test_zipf_range;
           Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "supercritical theta" `Quick test_zipf_supercritical;
           Alcotest.test_case "uniform degenerate" `Quick test_zipf_uniform_degenerate;
           Alcotest.test_case "distinct" `Quick test_zipf_distinct;
           Alcotest.test_case "golden draw streams" `Quick test_zipf_golden_streams;
