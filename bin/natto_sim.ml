@@ -81,7 +81,11 @@ let write_metrics_json ~file metered =
         Printf.fprintf oc "\"%s\":%s" (json_escape k) v)
       kvs
   in
-  output_string oc "{\"runs\":[";
+  (* schema_version: bumped whenever the shape of this document changes.
+     1 = PR 4 (windows/histograms/attribution), 2 = blame profiling (this
+     "blame" section per run, plus this very field). Consumers should reject
+     versions they do not know. *)
+  output_string oc "{\"schema_version\":2,\"runs\":[";
   List.iteri
     (fun ri (sys_name, seed, m) ->
       if ri > 0 then output_string oc ",";
@@ -139,8 +143,55 @@ let write_metrics_json ~file metered =
                 (List.map (fun (k, v) -> (k, json_float v)) a.Metrics.Attribution.tail99_us);
               output_string oc "}}")
         (attribution_classes breakdowns);
-      Printf.fprintf oc "},\n\"attribution_check\":{\"txns\":%d,\"max_sum_mismatch_us\":%d}}"
-        (List.length breakdowns) (max_sum_mismatch breakdowns))
+      Printf.fprintf oc "},\n\"attribution_check\":{\"txns\":%d,\"max_sum_mismatch_us\":%d},"
+        (List.length breakdowns) (max_sum_mismatch breakdowns);
+      (* Causal blame profile: who-blocked-whom over the same breakdowns.
+         [blame_check.max_sum_mismatch_us] gates the exact-sum invariant —
+         per txn, lock/queue blame charges sum to lock_wait + queue_wait. *)
+      let bl = m.Harness.Experiment.m_blame in
+      output_string oc "\n\"blame\":{\"matrix_us\":{";
+      List.iteri
+        (fun row label ->
+          if row > 0 then output_string oc ",";
+          Printf.fprintf oc "\"%s\":{\"high\":%d,\"low\":%d,\"none\":%d}" label
+            bl.Metrics.Blame.b_matrix.(row).(0)
+            bl.Metrics.Blame.b_matrix.(row).(1)
+            bl.Metrics.Blame.b_matrix.(row).(2))
+        [ "high"; "low" ];
+      Printf.fprintf oc "},\"wait_us\":%d,\"inversion_us\":%d,\"hot_keys\":["
+        bl.Metrics.Blame.b_wait_us bl.Metrics.Blame.b_inversion_us;
+      List.iteri
+        (fun i (k, us) ->
+          if i > 0 then output_string oc ",";
+          Printf.fprintf oc "{\"key\":%d,\"blocked_us\":%d}" k us)
+        bl.Metrics.Blame.b_hot_keys;
+      output_string oc "],\"top_blockers\":[";
+      List.iteri
+        (fun i (b, h, us) ->
+          if i > 0 then output_string oc ",";
+          Printf.fprintf oc "{\"txn\":%d,\"class\":\"%s\",\"blocked_us\":%d}" b
+            (if h then "high" else "low")
+            us)
+        bl.Metrics.Blame.b_blockers;
+      output_string oc "],\"exemplars\":[";
+      List.iteri
+        (fun i ex ->
+          if i > 0 then output_string oc ",";
+          Printf.fprintf oc
+            "\n  {\"label\":\"%s\",\"class\":\"%s\",\"e2e_us\":%d,\"wait_us\":%d,\"timeline\":["
+            (json_escape ex.Metrics.Blame.ex_label)
+            (if ex.Metrics.Blame.ex_high then "high" else "low")
+            ex.Metrics.Blame.ex_e2e_us ex.Metrics.Blame.ex_wait_us;
+          List.iteri
+            (fun li l ->
+              if li > 0 then output_string oc ",";
+              Printf.fprintf oc "\"%s\"" (json_escape l))
+            (ex.Metrics.Blame.ex_charges @ ex.Metrics.Blame.ex_timeline);
+          output_string oc "]}")
+        bl.Metrics.Blame.b_exemplars;
+      Printf.fprintf oc "],\"blame_check\":{\"txns\":%d,\"max_sum_mismatch_us\":%d}}}"
+        bl.Metrics.Blame.b_n
+        (Metrics.Blame.max_mismatch breakdowns))
     metered;
   output_string oc "\n]}\n";
   close_out oc
@@ -345,10 +396,20 @@ let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
           let title = Printf.sprintf "%s, seed %d" sys_name seed in
           String.split_on_char '\n' (Metrics.Attribution.render ~title rows)
           |> List.iter (fun line -> if line <> "" then Printf.printf "# %s\n" line);
+          String.split_on_char '\n'
+            (Metrics.Blame.render ~title m.Harness.Experiment.m_blame)
+          |> List.iter (fun line -> if line <> "" then Printf.printf "# %s\n" line);
           let mismatch = max_sum_mismatch m.Harness.Experiment.m_breakdowns in
           if mismatch > 0 then
             Printf.printf "# WARNING: %s: segment sums deviate from end-to-end by up to %d us\n"
-              title mismatch)
+              title mismatch;
+          let blame_mismatch =
+            Metrics.Blame.max_mismatch m.Harness.Experiment.m_breakdowns
+          in
+          if blame_mismatch > 0 then
+            Printf.printf
+              "# WARNING: %s: blame charges deviate from lock+queue segments by up to %d us\n"
+              title blame_mismatch)
         metered;
       Printf.printf "# metrics: wrote %s (%d runs, %.0f ms windows)\n%!" file
         (List.length metered)

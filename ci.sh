@@ -100,6 +100,7 @@ cmp "$csv_off" "$csv_on"
 python3 - "$metrics_out" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
+assert d["schema_version"] == 2, "unexpected --metrics schema version"
 assert len(d["runs"]) == 2, "expected one run per system"
 for r in d["runs"]:
     assert len(r["windows"]) > 10, "no sampled windows for %s" % r["system"]
@@ -114,9 +115,67 @@ for r in d["runs"]:
         "aggregate segment means diverge from e2e for %s" % r["system"]
     assert a["mean_us"]["residual"] <= 0.01 * e2e, \
         "residual above 1%% for %s" % r["system"]
-print("metrics JSON ok: %d runs" % len(d["runs"]))
+    # Blame profiler: per-txn lock/queue charges must sum exactly to the
+    # lock_wait + queue_wait attribution segments, the matrix must carry
+    # the run's blamed wait time, and the live blame/inversion counters
+    # must have been sampled into the windows.
+    b = r["blame"]
+    assert b["blame_check"]["max_sum_mismatch_us"] == 0, \
+        "blame charges do not sum to wait segments for %s" % r["system"]
+    matrix_total = sum(sum(row.values()) for row in b["matrix_us"].values())
+    assert matrix_total == b["wait_us"], \
+        "blame matrix does not sum to wait_us for %s" % r["system"]
+    assert b["inversion_us"] == b["matrix_us"]["high"]["low"], \
+        "inversion_us is not the high<-low cell for %s" % r["system"]
+    sampled = {k for w in r["windows"] for k in w["samples"]}
+    assert "blame.lock_wait_us" in sampled and "inversion.lock_wait_us" in sampled, \
+        "blame counters missing from windows for %s" % r["system"]
+print("metrics JSON ok: %d runs, blame sums exact" % len(d["runs"]))
 EOF
 rm -f "$metrics_out" "$csv_off" "$csv_on"
+
+echo "== blame-off golden gate =="
+# The blame plumbing (blocker capture in the lock tables, the Natto
+# waiting-split, QueCC chain scans, counters) must be observation-only:
+# with neither --metrics nor --trace, all thirteen systems reproduce the
+# pre-blame golden CSV byte for byte.
+blame_off="${TMPDIR:-/tmp}/natto_ci_blame_off.csv"
+dune exec bin/natto_sim.exe -- \
+  -s 2pl,2pl-p,2pl-pow,tapir,carousel-basic,carousel-fast,natto-ts,natto-lecsf,natto-pa,natto-cp,natto-recsf,quecc,quecc-prio \
+  -d 4 --drain 10 --seeds 1,2 -r 80 -z 0.95 --jobs 8 >"$blame_off"
+cmp test/golden/blame_off_smoke.csv "$blame_off"
+rm -f "$blame_off"
+
+echo "== tailblame figure gate =="
+# The causal-blame figure must be byte-identical at any --jobs, and its
+# Zipf-0.99 column must carry the headline: at least one Natto variant's
+# high class sees >=10x less high-blocked-by-low time than the no-priority
+# 2PL baseline, and priority-ordered QueCC plans inversion away entirely.
+tb_j1="${TMPDIR:-/tmp}/natto_ci_tailblame_j1.csv"
+tb_j4="${TMPDIR:-/tmp}/natto_ci_tailblame_j4.csv"
+dune exec bin/natto_sim.exe -- --figure tailblame --jobs 1 >"$tb_j1"
+dune exec bin/natto_sim.exe -- --figure tailblame --jobs 4 >"$tb_j4"
+cmp "$tb_j1" "$tb_j4"
+python3 - "$tb_j1" <<'EOF'
+import sys
+rows = {}
+for line in open(sys.argv[1]):
+    f = line.strip().split(",")
+    if len(f) < 13 or f[0] != "tailblame" or f[1] != "0.99":
+        continue
+    rows[f[2]] = int(f[12])  # inversion_us at zipf 0.99
+base = rows["2PL+2PC"]
+assert base > 0, "no inversion measured for the 2PL baseline"
+nattos = {s: v for s, v in rows.items() if s.startswith("Natto-")}
+best = min(nattos, key=nattos.get)
+assert nattos[best] * 10 <= base, \
+    "no Natto variant 10x below baseline: base=%dus best=%s=%dus" % (base, best, nattos[best])
+assert rows["QueCC-Prio"] == 0, \
+    "QueCC-Prio shows inversion: %dus" % rows["QueCC-Prio"]
+print("tailblame ok: baseline=%dus, %s=%dus (%.1fx), QueCC-Prio=0"
+      % (base, best, nattos[best], base / max(1, nattos[best])))
+EOF
+rm -f "$tb_j1" "$tb_j4"
 
 echo "== parallel harness determinism gate =="
 # The Domain pool must not change a single output byte: one full figure at

@@ -53,6 +53,13 @@ type srec = {
   mutable queued_at : Sim_time.t option;
       (** when the record entered this server's timestamp queue; drives the
           retroactive "lock-wait" trace span, cleared once emitted *)
+  mutable waiting_from : Sim_time.t option;
+      (** when the record entered the blocked-[Waiting] state (recording
+          only); splits the retroactive span into pure queue residency and a
+          blamed wait without changing their union *)
+  mutable wait_blame : (int * bool * int) option;
+      (** principal blocker at wait entry: (attempt id, is-high, contended
+          key) — the smallest-(ts, id) prepared or earlier-waiting conflict *)
 }
 
 type server = {
@@ -120,11 +127,27 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
   let mark ~tid ~txn name =
     if Trace.recording trace then Trace.instant trace ~tid ~txn ~name ~at:(Engine.now engine) ()
   in
+  (* Live blame counters (see the twopl analogue): total timestamp-queue
+     wait µs, and the share where a high-priority record sat in [Waiting]
+     behind a low-priority blocker — Natto's own priority inversion. Running
+     approximations (aborted attempts included), unlike the exact post-hoc
+     profiler. *)
+  let blame_wait_c, inversion_c =
+    let metrics = cluster.Cluster.metrics in
+    if Metrics.Registry.enabled metrics then
+      ( Some (Metrics.Registry.counter metrics "blame.lock_wait_us"),
+        Some (Metrics.Registry.counter metrics "inversion.lock_wait_us") )
+    else (None, None)
+  in
   (* Natto's timestamp-queue residency is its analogue of lock waiting;
      emitted retroactively as an adjacent "lock-wait" begin/end pair when
      the record leaves the queue, so a same-event pass through the queue
-     adds zero trace events. *)
-  let end_queue_wait (r : srec) =
+     adds zero trace events. When the record spent part of that time in the
+     blocked [Waiting] state, the pair is split at the wait-entry point:
+     pure queue residency (no blocker) followed by a blamed wait carrying
+     the principal blocker's identity — same union, so the attribution
+     totals are unchanged. *)
+  let end_queue_wait server (r : srec) =
     match r.queued_at with
     | None -> ()
     | Some t0 ->
@@ -132,8 +155,40 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         if Trace.recording trace then begin
           let now = Engine.now engine in
           if now > t0 then begin
-            Trace.span_begin trace ~txn:r.txn_id ~name:"lock-wait" ~at:t0;
-            Trace.span_end trace ~txn:r.txn_id ~name:"lock-wait" ~at:now
+            let pair ?blame ~s ~e () =
+              if e > s then begin
+                Trace.span_begin trace ~txn:r.txn_id ~name:"lock-wait" ~at:s;
+                Trace.span_end trace ~txn:r.txn_id ~name:"lock-wait" ~at:e ?blame
+              end
+            in
+            (match blame_wait_c with
+            | Some c ->
+                Metrics.Registry.add c (Sim_time.to_us now - Sim_time.to_us t0)
+            | None -> ());
+            match r.waiting_from with
+            | Some tw when tw > t0 || r.wait_blame <> None ->
+                let tw = if tw > now then now else tw in
+                pair ~s:t0 ~e:tw ~blame:{ Trace.no_blame with bl_node = server.node } ();
+                let blame =
+                  match r.wait_blame with
+                  | Some (b, bh, k) ->
+                      {
+                        Trace.bl_blocker = b;
+                        bl_blocker_high = bh;
+                        bl_key = k;
+                        bl_node = server.node;
+                      }
+                  | None -> { Trace.no_blame with bl_node = server.node }
+                in
+                (match (inversion_c, r.wait_blame) with
+                | Some c, Some (_, false, _) when r.txn.Txn.priority = Txn.High ->
+                    Metrics.Registry.add c (Sim_time.to_us now - Sim_time.to_us tw)
+                | _ -> ());
+                pair ~s:tw ~e:now ~blame ()
+            | _ ->
+                pair ~s:t0 ~e:now
+                  ~blame:{ Trace.no_blame with bl_node = server.node }
+                  ()
           end
         end
   in
@@ -315,7 +370,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         coord_on_vote c ~partition:server.partition v)
 
   and server_drop server (r : srec) =
-    end_queue_wait r;
+    end_queue_wait server r;
     (match r.state with
     | Queued -> Tsq.remove server.queue ~ts:r.ts ~id:r.txn_id
     | Waiting -> server.waiting <- List.filter (fun w -> w != r) server.waiting
@@ -379,7 +434,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
               waiting conflicting earlier transactions"
              r.txn_id r.ts (List.length bad_queue) (List.length bad_wait))
     end;
-    end_queue_wait r;
+    end_queue_wait server r;
     Store.Occ.prepare server.occ ~txn:r.txn_id ~reads:r.reads ~writes:r.writes;
     r.state <- Prepared;
     mark ~tid:server.node ~txn:r.txn_id "txn-prepare";
@@ -395,7 +450,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
       ()
 
   and server_cond_prepare server (r : srec) ~blocker =
-    end_queue_wait r;
+    end_queue_wait server r;
     stats.cond_prepares <- stats.cond_prepares + 1;
     mark ~tid:server.node ~txn:r.txn_id "txn-cond-prepare";
     Store.Occ.prepare server.occ ~txn:r.txn_id ~reads:r.reads ~writes:r.writes;
@@ -493,6 +548,34 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         in
         if blockers = [] && earlier_waiting = [] then server_prepare_normal server r
         else begin
+          (* Blame capture at wait entry: the principal blocker is the
+             smallest-(ts, id) conflicting record — prepared or waiting
+             ahead of us — and the contended key is the first footprint key
+             it overlaps on. Pure observation for the profiler. *)
+          (if (Trace.recording trace || blame_wait_c <> None) && r.waiting_from = None
+           then begin
+             r.waiting_from <- Some (Engine.now engine);
+             let principal =
+               List.fold_left
+                 (fun acc (o : srec) ->
+                   match acc with
+                   | Some (p : srec) when (p.ts, p.txn_id) <= (o.ts, o.txn_id) -> acc
+                   | _ -> Some o)
+                 None (blockers @ earlier_waiting)
+             in
+             match principal with
+             | Some b ->
+                 let key =
+                   match
+                     Array.find_opt (fun k -> Array.exists (( = ) k) b.keys) r.keys
+                   with
+                   | Some k -> k
+                   | None -> -1
+                 in
+                 r.wait_blame <-
+                   Some (b.txn_id, b.txn.Txn.priority = Txn.High, key)
+             | None -> ()
+           end);
           r.state <- Waiting;
           server.waiting <-
             List.sort
@@ -866,6 +949,8 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
             state = Queued;
             cond_on = None;
             queued_at = None;
+            waiting_from = None;
+            wait_blame = None;
           }
         in
         send ~src:client ~dst:server.node

@@ -232,6 +232,7 @@ type metered = {
   m_result : Workload.Driver.result;
   m_registry : Metrics.Registry.t;
   m_breakdowns : Metrics.Attribution.txn_breakdown list;
+  m_blame : Metrics.Blame.t;
 }
 
 let run_metrics ?faults ?interval setup spec ~gen ~seed =
@@ -249,10 +250,10 @@ let run_metrics ?faults ?interval setup spec ~gen ~seed =
   let result =
     Workload.Driver.run cluster system ~gen { setup.driver with Workload.Driver.seed }
   in
-  let breakdowns =
-    Metrics.Attribution.analyze ~trace ~txns:(Metrics.Registry.txn_records registry)
-  in
-  { m_result = result; m_registry = registry; m_breakdowns = breakdowns }
+  let txns = Metrics.Registry.txn_records registry in
+  let breakdowns = Metrics.Attribution.analyze ~trace ~txns in
+  let blame = Metrics.Blame.analyze ~trace ~txns ~breakdowns () in
+  { m_result = result; m_registry = registry; m_breakdowns = breakdowns; m_blame = blame }
 
 type summary = {
   p95_high_ms : float;

@@ -142,6 +142,9 @@ type metered = {
   m_breakdowns : Metrics.Attribution.txn_breakdown list;
       (** one per committed transaction; segments sum exactly to each
           transaction's end-to-end latency *)
+  m_blame : Metrics.Blame.t;
+      (** causal blame profile over the same breakdowns: class×class
+          inversion matrix, hot keys, top blockers, tail exemplars *)
 }
 
 val run_metrics :

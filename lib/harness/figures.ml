@@ -926,6 +926,134 @@ let queccsweep scale =
     ~scale
     ~show:(Printf.sprintf "%.2f")
 
+(* ------------------------------------------------------------------ *)
+(* Tail blame: the causal blame profiler's cross-family ranking. Every
+   family runs under the metrics harness across the contention range and
+   is scored on (a) priority-inversion µs — the high-blocked-by-low cell
+   of the class×class blocked-time matrix — and (b) hot-key
+   concentration, the share of all blamed wait-µs pinned on the hottest
+   key(s). The headline at Zipf 0.99: Natto's prepared/waiting split and
+   QueCC's priority-ordered planning should both show order-of-magnitude
+   less high-class inversion than the no-priority 2PL baseline. *)
+
+let tailblame scale =
+  Printf.printf
+    "\n\
+     # tailblame — class x class blocked-us matrix, inversion and hot-key concentration, \
+     YCSB+T @20 txn/s vs Zipf theta\n";
+  Printf.printf
+    "tailblame,zipf,system,n,n_high,hh_us,hl_us,hn_us,lh_us,ll_us,ln_us,wait_us,inversion_us,inv_per_high_us,hot1_share,hot8_share\n%!";
+  (* Shorter, lighter cells than the latency figures: the profiler needs
+     contention, not tight percentiles, and every cell carries a full-event
+     trace. The rate is kept below the 2PL collapse point because blame
+     profiles committed transactions — past collapse the baseline's
+     worst-inverted high txns never commit, which undercounts precisely the
+     inversion the figure exists to show. *)
+  let driver =
+    match scale with
+    | Full -> driver_config scale ~rate:20.
+    | Quick ->
+        {
+          (driver_config scale ~rate:20.) with
+          Workload.Driver.duration = Sim_time.seconds 8.;
+          warmup = Sim_time.seconds 2.;
+          cooldown = Sim_time.seconds 2.;
+        }
+  in
+  let setup = { Experiment.default_setup with Experiment.driver } in
+  let systems =
+    [
+      Experiment.Twopl Twopl.Plain;
+      Experiment.Tapir;
+      Experiment.Carousel_fast;
+      Experiment.Natto Natto.Features.ts;
+      Experiment.Natto Natto.Features.cp;
+      Experiment.Natto Natto.Features.recsf;
+      Experiment.Quecc Quecc.Fifo;
+      Experiment.Quecc Quecc.Prio;
+    ]
+  in
+  let thetas = [ 0.8; 0.99; 1.2 ] in
+  let cells = List.concat_map (fun th -> List.map (fun s -> (th, s)) systems) thetas in
+  let metered =
+    map_cells cells (fun (theta, spec) ->
+        Experiment.run_metrics setup spec
+          ~gen:(Workload.Ycsbt.gen ~theta ())
+          ~seed:(List.hd (seeds scale)))
+  in
+  let rows =
+    List.map2
+      (fun (theta, spec) m ->
+        let b = m.Experiment.m_blame in
+        let system = Experiment.spec_name spec in
+        let cell i j = b.Metrics.Blame.b_matrix.(i).(j) in
+        let inv = Metrics.Blame.inversion_us b in
+        let inv_per_high =
+          if b.Metrics.Blame.b_n_high = 0 then 0.
+          else float_of_int inv /. float_of_int b.Metrics.Blame.b_n_high
+        in
+        let hot1 = Metrics.Blame.hot_key_share b in
+        let hot8 = Metrics.Blame.hot_key_share ~k:8 b in
+        Printf.printf "tailblame,%.2f,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%.3f,%.3f\n%!"
+          theta system b.Metrics.Blame.b_n b.Metrics.Blame.b_n_high (cell 0 0) (cell 0 1)
+          (cell 0 2) (cell 1 0) (cell 1 1) (cell 1 2) b.Metrics.Blame.b_wait_us inv
+          inv_per_high hot1 hot8;
+        collect ~figure:"tailblame" ~x_label:"zipf" ~x:(Printf.sprintf "%.2f" theta) ~system
+          [
+            ("n", float_of_int b.Metrics.Blame.b_n);
+            ("n_high", float_of_int b.Metrics.Blame.b_n_high);
+            ("high_by_high_us", float_of_int (cell 0 0));
+            ("high_by_low_us", float_of_int (cell 0 1));
+            ("low_by_high_us", float_of_int (cell 1 0));
+            ("low_by_low_us", float_of_int (cell 1 1));
+            ("wait_us", float_of_int b.Metrics.Blame.b_wait_us);
+            ("inversion_us", float_of_int inv);
+            ("inv_per_high_us", inv_per_high);
+            ("hot1_share", hot1);
+            ("hot8_share", hot8);
+          ];
+        (theta, system, inv, inv_per_high, hot1, m))
+      cells metered
+  in
+  (* Per-theta ranking, "#"-prefixed so CSV consumers skip it. The
+     no-priority 2PL baseline anchors the inversion ratios. *)
+  List.iter
+    (fun theta ->
+      let at = List.filter (fun (th, _, _, _, _, _) -> th = theta) rows in
+      let base =
+        List.fold_left
+          (fun acc (_, sys, inv, _, _, _) -> if sys = "2PL+2PC" then inv else acc)
+          0 at
+      in
+      Printf.printf "# tailblame ranking @ zipf %.2f (inversion us, ascending; baseline %s)\n"
+        theta
+        (if base > 0 then Printf.sprintf "2PL+2PC=%dus" base else "2PL+2PC=0us");
+      List.stable_sort
+        (fun (_, _, a, _, _, _) (_, _, b, _, _, _) -> compare a b)
+        at
+      |> List.iter (fun (_, sys, inv, inv_ph, hot1, _) ->
+             let ratio =
+               if inv > 0 && base > 0 then
+                 Printf.sprintf "%.1fx less than baseline" (float_of_int base /. float_of_int inv)
+               else if base > 0 then "no inversion"
+               else "-"
+             in
+             Printf.printf "#   %-16s inversion=%8dus  per-high=%8.0fus  hot1=%.2f  (%s)\n"
+               sys inv inv_ph hot1 ratio);
+      flush stdout)
+    thetas;
+  (* Full blame report for the most contended point of the paper's
+     headline systems, exemplar timelines included. *)
+  List.iter
+    (fun (theta, system, _, _, _, m) ->
+      if theta = 0.99 && (system = "2PL+2PC" || system = "Natto-RECSF") then
+        String.split_on_char '\n'
+          (Metrics.Blame.render ~title:(Printf.sprintf "%s @ zipf %.2f" system theta)
+             m.Experiment.m_blame)
+        |> List.iter (fun line -> if line <> "" then Printf.printf "# %s\n" line))
+    rows;
+  flush stdout
+
 let all scale =
   table1 ();
   fig7_ycsbt scale;
@@ -944,13 +1072,14 @@ let all scale =
   failover scale;
   attribution scale;
   check_figure scale;
-  queccsweep scale
+  queccsweep scale;
+  tailblame scale
 
 let names =
   [
     "table1"; "fig7ab"; "fig7cd"; "fig7ef"; "fig8a"; "fig8b"; "fig9"; "fig10"; "fig11";
     "fig12"; "fig13"; "fig14"; "batchsweep"; "ablation"; "failover"; "attribution"; "check";
-    "queccsweep"; "simthroughput";
+    "queccsweep"; "tailblame"; "simthroughput";
   ]
 
 let run_by_name name scale =
@@ -973,5 +1102,6 @@ let run_by_name name scale =
   | "attribution" -> attribution scale; true
   | "check" -> check_figure scale; true
   | "queccsweep" -> queccsweep scale; true
+  | "tailblame" -> tailblame scale; true
   | "simthroughput" -> simthroughput scale; true
   | _ -> false

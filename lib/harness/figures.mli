@@ -115,6 +115,17 @@ val queccsweep : scale -> unit
     deterministic rows commit with zero contention aborts; the collected
     points carry their [spec_aborts] (in-epoch re-executions) instead. *)
 
+val tailblame : scale -> unit
+(** Causal blame ranking (ISSUE 9): one system per protocol family — plus
+    the three headline Natto variants — at YCSB+T Zipf 0.8 / 0.99 / 1.2,
+    each run under the metrics registry and the {!Metrics.Blame} profiler.
+    Prints, per (theta, system), the class×class blocked-µs matrix, the
+    priority-inversion µs (high blocked by low), inversion per high commit,
+    and hot-key concentration (share of blamed wait on the top-1/top-8
+    keys); then a per-theta ranking with ratios against the no-priority
+    2PL baseline and full blame reports (exemplar timelines included) for
+    2PL and Natto-RECSF at Zipf 0.99. Deterministic at any job count. *)
+
 val all : scale -> unit
 val run_by_name : string -> scale -> bool
 (** Dispatch "fig7ab" ... "fig14" | "table1" | "check"; [false] if unknown. *)

@@ -55,8 +55,6 @@ let zero =
     residual = 0;
   }
 
-type txn_breakdown = { t_high : bool; t_e2e_us : int; t_seg : segments }
-
 (* Interval classes gathered from the trace, highest priority first: when
    two classes cover the same microsecond of a committed attempt (the
    coordinator is e.g. both replicating and holding a message in flight),
@@ -71,6 +69,48 @@ let rank = function
   | Batching -> 4
   | Wan -> 5
 
+let cls_name = function
+  | Lock_wait -> "lock_wait"
+  | Queue_wait -> "queue_wait"
+  | Replication -> "replication"
+  | Cpu_queue -> "cpu_queue"
+  | Batching -> "batching"
+  | Wan -> "wan"
+
+type charge = {
+  ch_cls : cls;
+  ch_blocker : int;
+  ch_blocker_high : bool;
+  ch_key : int;
+  ch_node : int;
+  ch_us : int;
+}
+
+type txn_breakdown = {
+  t_high : bool;
+  t_e2e_us : int;
+  t_seg : segments;
+  t_charges : charge list;
+}
+
+(* A blame payload flattened to a comparable identity; [None] maps to the
+   all-absent identity so unattributed wait time still yields a charge. *)
+let blame_id = function
+  | None -> (-1, false, -1, -1)
+  | Some (b : Trace.blame) -> (b.bl_blocker, b.bl_blocker_high, b.bl_key, b.bl_node)
+
+let wait_charge_sum bd =
+  List.fold_left
+    (fun acc c ->
+      match c.ch_cls with Lock_wait | Queue_wait -> acc + c.ch_us | _ -> acc)
+    0 bd.t_charges
+
+(* The exact-sum invariant: blame charges in the lock/queue classes must sum
+   to the [lock_wait + queue_wait] segments — both are computed from the same
+   sweep, so any mismatch is a profiler bug. Exposed (rather than asserted)
+   so the CI smoke can gate on it being 0. *)
+let blame_mismatch bd = abs (wait_charge_sum bd - (bd.t_seg.lock_wait + bd.t_seg.queue_wait))
+
 (* Per-attempt intervals, collected in one pass over the trace. Span pairs
    are matched with a per-(txn, name) stack of pending begins: an End pops
    the latest Begin, which is correct both for retroactively emitted
@@ -78,13 +118,15 @@ let rank = function
    partitions (any consistent pairing covers the same union of time, and
    only the union matters to the sweep below). *)
 let gather trace =
-  let intervals : (int, (cls * int * int) list ref) Hashtbl.t = Hashtbl.create 4096 in
+  let intervals : (int, (cls * int * int * Trace.blame option) list ref) Hashtbl.t =
+    Hashtbl.create 4096
+  in
   let pending : (int * string, int list ref) Hashtbl.t = Hashtbl.create 256 in
-  let add_interval txn cls s e =
+  let add_interval ?blame txn cls s e =
     if e > s then
       match Hashtbl.find_opt intervals txn with
-      | Some r -> r := (cls, s, e) :: !r
-      | None -> Hashtbl.replace intervals txn (ref [ (cls, s, e) ])
+      | Some r -> r := (cls, s, e, blame) :: !r
+      | None -> Hashtbl.replace intervals txn (ref [ (cls, s, e, blame) ])
   in
   let push_begin key at =
     match Hashtbl.find_opt pending key with
@@ -107,8 +149,13 @@ let gather trace =
               add_interval txn Cpu_queue (Sim_time.to_us deliver) (Sim_time.to_us d)
           | None -> ())
       | Trace.V_span
-          { txn; name = ("lock-wait" | "queue-wait" | "replication" | "batching") as name; phase; at }
-        -> (
+          {
+            txn;
+            name = ("lock-wait" | "queue-wait" | "replication" | "batching") as name;
+            phase;
+            at;
+            blame;
+          } -> (
           let cls =
             match name with
             | "lock-wait" -> Lock_wait
@@ -120,44 +167,58 @@ let gather trace =
           | `Begin -> push_begin (txn, name) (Sim_time.to_us at)
           | `End -> (
               match pop_begin (txn, name) with
-              | Some s -> add_interval txn cls s (Sim_time.to_us at)
+              | Some s -> add_interval ?blame txn cls s (Sim_time.to_us at)
               | None -> ())
           | `Instant -> ())
       | _ -> ());
   intervals
 
 (* Charge every microsecond of [lo, hi] to the highest-priority interval
-   class covering it. Boundary sweep over elementary segments: within two
-   adjacent boundary points coverage is constant, so one containment test
-   per interval decides the whole sub-segment. Attempts touch tens of
-   events, so the quadratic cost is immaterial. *)
-let sweep ~lo ~hi intervals =
+   covering it. Boundary sweep over elementary segments: within two adjacent
+   boundary points coverage is constant, so one containment test per
+   interval decides the whole sub-segment. Attempts touch tens of events, so
+   the quadratic cost is immaterial.
+
+   Unlike the class-only sweep this picks a winning {e interval} per
+   elementary segment, so each charged microsecond carries a single blocker
+   identity and per-class charge sums equal the per-class segment totals by
+   construction. The tie-break is total and documented: lowest
+   [(class rank, start, end, blame identity)] wins, so overlapping same-class
+   intervals resolve deterministically (earliest start first, then earliest
+   end, then smallest blocker id). *)
+let sweep ~lo ~hi ~charge intervals =
   let clipped =
     List.filter_map
-      (fun (c, s, e) ->
+      (fun (c, s, e, bl) ->
         let s = max s lo and e = min e hi in
-        if e > s then Some (c, s, e) else None)
+        if e > s then Some (c, s, e, bl) else None)
       intervals
   in
   let pts =
     List.sort_uniq compare
-      (lo :: hi :: List.concat_map (fun (_, s, e) -> [ s; e ]) clipped)
+      (lo :: hi :: List.concat_map (fun (_, s, e, _) -> [ s; e ]) clipped)
   in
   let covered = [| 0; 0; 0; 0; 0; 0 |] in
   let rec go = function
     | a :: (b :: _ as rest) ->
         let best =
           List.fold_left
-            (fun acc (c, s, e) ->
+            (fun acc (c, s, e, bl) ->
               if s <= a && e >= b then
+                let key = (rank c, s, e, blame_id bl) in
                 match acc with
-                | None -> Some c
-                | Some c' -> Some (if rank c < rank c' then c else c')
+                | None -> Some (key, c, bl)
+                | Some (key', _, _) when key < key' -> Some (key, c, bl)
+                | Some _ -> acc
               else acc)
             None clipped
         in
         (match best with
-        | Some c -> covered.(rank c) <- covered.(rank c) + (b - a)
+        | Some (_, c, bl) ->
+            covered.(rank c) <- covered.(rank c) + (b - a);
+            (match c with
+            | Lock_wait | Queue_wait | Replication | Batching -> charge c bl (b - a)
+            | Cpu_queue | Wan -> ())
         | None -> ());
         go rest
     | _ -> ()
@@ -174,6 +235,15 @@ let analyze ~trace ~txns =
       let e2e = finished - born in
       let seg = ref zero in
       let attempted = ref 0 in
+      let charges : (cls * (int * bool * int * int), int ref) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let charge c bl us =
+        let key = (c, blame_id bl) in
+        match Hashtbl.find_opt charges key with
+        | Some r -> r := !r + us
+        | None -> Hashtbl.replace charges key (ref us)
+      in
       List.iter
         (fun (a : Registry.attempt_rec) ->
           let lo = max born (Sim_time.to_us a.Registry.a_start) in
@@ -190,7 +260,7 @@ let analyze ~trace ~txns =
                 | Some r -> !r
                 | None -> []
               in
-              let covered = sweep ~lo ~hi ivs in
+              let covered = sweep ~lo ~hi ~charge ivs in
               let in_class =
                 covered.(0) + covered.(1) + covered.(2) + covered.(3) + covered.(4)
                 + covered.(5)
@@ -210,7 +280,25 @@ let analyze ~trace ~txns =
           end)
         tr.Registry.attempts;
       let seg = { !seg with residual = max 0 (e2e - !attempted) } in
-      { t_high = tr.Registry.high; t_e2e_us = e2e; t_seg = seg })
+      let charges =
+        Hashtbl.fold
+          (fun (c, (bl, bh, k, nd)) r acc ->
+            {
+              ch_cls = c;
+              ch_blocker = bl;
+              ch_blocker_high = bh;
+              ch_key = k;
+              ch_node = nd;
+              ch_us = !r;
+            }
+            :: acc)
+          charges []
+        |> List.sort (fun x y ->
+               compare
+                 (rank x.ch_cls, -x.ch_us, x.ch_blocker, x.ch_key, x.ch_node)
+                 (rank y.ch_cls, -y.ch_us, y.ch_blocker, y.ch_key, y.ch_node))
+      in
+      { t_high = tr.Registry.high; t_e2e_us = e2e; t_seg = seg; t_charges = charges })
     txns
 
 type agg = {

@@ -53,7 +53,45 @@ val segment_names : string list
 val to_list : segments -> (string * int) list
 val total : segments -> int
 
-type txn_breakdown = { t_high : bool; t_e2e_us : int; t_seg : segments }
+(** Interval classes, highest overlap priority first. *)
+type cls = Lock_wait | Queue_wait | Replication | Cpu_queue | Batching | Wan
+
+val rank : cls -> int
+(** Overlap priority, 0 (wins) … 5. *)
+
+val cls_name : cls -> string
+
+type charge = {
+  ch_cls : cls;  (** only wait classes are charged: lock/queue/replication/batching *)
+  ch_blocker : int;  (** blocker attempt id, [-1] when unattributed *)
+  ch_blocker_high : bool;
+  ch_key : int;  (** contended key, [-1] when not key-shaped *)
+  ch_node : int;  (** node/link, [-1] if n/a *)
+  ch_us : int;
+}
+(** One blame entry: [ch_us] microseconds of this transaction's committed
+    attempt spent waiting in class [ch_cls] on the given blocker identity
+    (from the wait span's {!Trace.blame} payload). Microseconds covered by a
+    wait span with no payload are charged to the all-[-1] identity, so the
+    per-class charge sums still equal the per-class segments exactly. *)
+
+type txn_breakdown = {
+  t_high : bool;
+  t_e2e_us : int;
+  t_seg : segments;
+  t_charges : charge list;
+      (** blame entries, sorted by (class rank, µs desc, blocker, key, node).
+          Within the sweep each elementary time segment is charged to exactly
+          one interval — ties broken by lowest (class rank, start, end, blame
+          identity) — so for every class the charge sum equals the segment. *)
+}
+
+val wait_charge_sum : txn_breakdown -> int
+(** Σ [ch_us] over the [Lock_wait] and [Queue_wait] charges. *)
+
+val blame_mismatch : txn_breakdown -> int
+(** [|wait_charge_sum - (lock_wait + queue_wait)|] — 0 by construction; the
+    CI metrics smoke gates on the maximum over a run being 0. *)
 
 val analyze : trace:Trace.t -> txns:Registry.txn_rec list -> txn_breakdown list
 (** One breakdown per finished transaction, in input order. The trace must

@@ -155,6 +155,7 @@ type ptxn = {
   b_done : committed:bool -> unit;
   b_finished : bool ref;
   mutable b_acks_left : int;
+  mutable b_queued_at : Simcore.Sim_time.t;  (* planner arrival, for blame accounting *)
 }
 
 type epoch = {
@@ -220,6 +221,16 @@ let make ?(epoch = default_epoch) cluster ~variant =
   let epochs_n = ref 0 in
   let planned_n = ref 0 in
   let next_epoch = ref 0 in
+  (* Live blame counters (see the twopl analogue): planner-residency µs and
+     the share where a high txn's predecessor writer in the epoch's per-key
+     chains was low priority — the deterministic family's inversion. Running
+     approximations; the exact accounting is the post-hoc profiler. *)
+  let blame_wait_c, inversion_c =
+    if Registry.enabled metrics then
+      ( Some (Registry.counter metrics "blame.queue_wait_us"),
+        Some (Registry.counter metrics "inversion.queue_wait_us") )
+    else (None, None)
+  in
   let planners : (int, planner) Hashtbl.t = Hashtbl.create 4 in
   let executors =
     Array.init n_parts (fun p ->
@@ -334,12 +345,52 @@ let make ?(epoch = default_epoch) cluster ~variant =
     Hashtbl.replace pl.p_active ep.e_id ep;
     incr epochs_n;
     planned_n := !planned_n + Array.length ep.e_txns;
-    if Trace.recording trace then begin
-      let now = Engine.now engine in
-      Array.iter
-        (fun pt -> Trace.span_end trace ~txn:pt.b_attempt ~name:"queue-wait" ~at:now)
-        ep.e_txns
-    end;
+    (if Trace.recording trace || blame_wait_c <> None then begin
+       let now = Engine.now engine in
+       Array.iteri
+         (fun s pt ->
+           (* Blame: the predecessor writer — the nearest earlier sequence
+              in this epoch writing any key of this txn's footprint, i.e.
+              who its plan position queued behind. Under [Prio] ordering a
+              high txn's predecessors are (almost) always high, which is
+              exactly the near-zero-inversion claim the profiler measures. *)
+           let best = ref None in
+           let consider k =
+             Array.iter
+               (fun (s', a') ->
+                 if s' < s then
+                   match !best with
+                   | Some (bs, _, _) when bs >= s' -> ()
+                   | _ -> best := Some (s', a', k))
+               (Chains.writer_chain ep.e_chains k)
+           in
+           Array.iter consider pt.b_txn.Txn.read_set;
+           Array.iter consider pt.b_txn.Txn.write_set;
+           let waited = Sim_time.to_us now - Sim_time.to_us pt.b_queued_at in
+           (match blame_wait_c with
+           | Some c when waited > 0 -> Registry.add c waited
+           | _ -> ());
+           (match (!best, inversion_c) with
+           | Some (bs, _, _), Some c
+             when waited > 0 && Txn.is_high pt.b_txn
+                  && not (Txn.is_high ep.e_txns.(bs).b_txn) ->
+               Registry.add c waited
+           | _ -> ());
+           if Trace.recording trace then
+             let blame =
+               match !best with
+               | Some (bs, ba, k) ->
+                   {
+                     Trace.bl_blocker = ba;
+                     bl_blocker_high = Txn.is_high ep.e_txns.(bs).b_txn;
+                     bl_key = k;
+                     bl_node = pl.p_node;
+                   }
+               | None -> { Trace.no_blame with bl_node = pl.p_node }
+             in
+             Trace.span_end trace ~txn:pt.b_attempt ~name:"queue-wait" ~at:now ~blame)
+         ep.e_txns
+     end);
     (* Per-partition slices, keys in first-appearance (sequence) order so
        the dispatch is independent of hash-table iteration. *)
     let reads = Array.make n_parts [] in
@@ -644,6 +695,7 @@ let make ?(epoch = default_epoch) cluster ~variant =
         b_done = on_done;
         b_finished = finished;
         b_acks_left = 0;
+        b_queued_at = Sim_time.zero;
       }
     in
     Failover.arm_watchdog cluster ~finished ~on_timeout:(fun () ->
@@ -659,6 +711,7 @@ let make ?(epoch = default_epoch) cluster ~variant =
     in
     Rpc.send net ~src:txn.Txn.client ~dst ~msg (fun () ->
         let pl = planner_at dst in
+        pt.b_queued_at <- Engine.now engine;
         if Trace.recording trace then
           Trace.span_begin trace ~txn:attempt ~name:"queue-wait" ~at:(Engine.now engine);
         pl.p_buffer <- pt :: pl.p_buffer)

@@ -62,8 +62,14 @@ let replicate t ?(background = false) ~size ?(tag = 0) ~on_committed () =
       Trace.span_begin t.trace ~txn:tag ~name:"replication"
         ~at:(Simcore.Engine.now t.engine);
       fun () ->
+        (* Blame identity for replication waits: the group's leader node (re-
+           queried at commit time, when it is settled even across failover).
+           No blocker txn — replication delay is a resource, not a conflict. *)
+        let blame =
+          { Trace.no_blame with bl_node = Option.value (leader_id t) ~default:(-1) }
+        in
         Trace.span_end t.trace ~txn:tag ~name:"replication"
-          ~at:(Simcore.Engine.now t.engine);
+          ~at:(Simcore.Engine.now t.engine) ~blame;
         on_committed ()
     end
   in

@@ -100,7 +100,10 @@ let flush t conn ~reason =
             match p.p_item.Net.bi_txn with
             | Some txn when recording ->
                 Trace.span_begin trace ~txn ~name:"batching" ~at:p.p_at;
+                (* Blame identity: the link's destination node — batching
+                   delay belongs to a connection, not to a blocking txn. *)
                 Trace.span_end trace ~txn ~name:"batching" ~at:now
+                  ~blame:{ Trace.no_blame with bl_node = conn.c_dst }
             | _ -> ()
           end)
         msgs;

@@ -254,6 +254,30 @@ let waiters_on t ~key =
   | None -> []
   | Some ks -> List.map (fun r -> r.txn) ks.queue
 
+(* The principal blocker a fresh request by [txn] would wait behind: the
+   conflicting holder with the smallest (wound-wait ts, txn id) — the one
+   every queue policy would grant-scan last past, and a deterministic choice
+   independent of holder-list order. *)
+let blocker_of t ~txn ~key ~exclusive =
+  match Hashtbl.find_opt t.keys key with
+  | None -> None
+  | Some ks ->
+      List.fold_left
+        (fun acc (holder, held_exclusive) ->
+          if holder <> txn && (exclusive || held_exclusive) then begin
+            let ts, high =
+              match Hashtbl.find_opt t.txns holder with
+              | Some s -> (s.ts, s.high)
+              | None -> (max_int, false)
+            in
+            match acc with
+            | Some (ts', id', _) when (ts', id') <= (ts, holder) -> acc
+            | _ -> Some (ts, holder, high)
+          end
+          else acc)
+        None ks.holders
+      |> Option.map (fun (_, id, high) -> (id, high))
+
 let wounds t = t.wounds
 let preempts t = t.preempts
 

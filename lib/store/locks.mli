@@ -55,6 +55,13 @@ val is_waiting : t -> txn:int -> bool
 val held_count : t -> txn:int -> int
 val waiters_on : t -> key:int -> int list
 
+val blocker_of : t -> txn:int -> key:int -> exclusive:bool -> (int * bool) option
+(** The principal blocker (holder txn id, its priority class) a fresh
+    request by [txn] for [key] would wait behind, or [None] when the request
+    is immediately compatible. Deterministic: the conflicting holder with
+    the smallest (wound-wait ts, txn id). Pure read — used by the tracing
+    layer to stamp lock-wait spans with a blocker identity at wait start. *)
+
 (** {2 Instrumentation} — counters and gauges for the metrics registry. *)
 
 val wounds : t -> int

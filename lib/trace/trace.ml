@@ -19,12 +19,22 @@ type msg_handle = {
 
 type span_phase = Begin | End | Instant
 
+type blame = {
+  bl_blocker : int;  (** blocker attempt id, [-1] when the wait has no blocking txn *)
+  bl_blocker_high : bool;  (** blocker priority class; meaningful iff [bl_blocker >= 0] *)
+  bl_key : int;  (** contended key, [-1] when not key-shaped *)
+  bl_node : int;  (** node (or link destination) where the wait happened, [-1] if n/a *)
+}
+
+let no_blame = { bl_blocker = -1; bl_blocker_high = false; bl_key = -1; bl_node = -1 }
+
 type span = {
   s_txn : int;
   s_name : string;
   s_phase : span_phase;
   s_tid : int;
   s_at : Sim_time.t;
+  s_blame : blame option;
 }
 
 type fault_ev = { f_name : string; f_at : Sim_time.t }
@@ -40,6 +50,10 @@ type t = {
   mutable stream : out_channel option;
       (** streaming mode: full-mode events are written here at push time
           instead of being buffered *)
+  mutable txn_index : (int, span list ref) Hashtbl.t option;
+      (** lazily built on the first {!txn_events} lookup: per-txn spans,
+          most-recent-first (same convention as [events]); maintained
+          incrementally by subsequent pushes *)
 }
 
 let create () =
@@ -51,6 +65,7 @@ let create () =
     events = [];
     n_events = 0;
     stream = None;
+    txn_index = None;
   }
 
 let enable ?(events = true) t = t.mode <- (if events then Full else Counters)
@@ -107,8 +122,26 @@ let write_span_event oc first (s : span) =
   first := false;
   let ph = match s.s_phase with Begin -> "b" | End -> "e" | Instant -> "n" in
   Printf.fprintf oc
-    "{\"name\":\"%s\",\"cat\":\"txn\",\"ph\":\"%s\",\"id\":%d,\"ts\":%d,\"pid\":1,\"tid\":%d}"
-    (json_escape s.s_name) ph s.s_txn (Sim_time.to_us s.s_at) s.s_tid
+    "{\"name\":\"%s\",\"cat\":\"txn\",\"ph\":\"%s\",\"id\":%d,\"ts\":%d,\"pid\":1,\"tid\":%d"
+    (json_escape s.s_name) ph s.s_txn (Sim_time.to_us s.s_at) s.s_tid;
+  (match s.s_blame with
+  | Some b ->
+      output_string oc ",\"args\":{";
+      let first_arg = ref true in
+      let field k v =
+        if not !first_arg then output_string oc ",";
+        first_arg := false;
+        Printf.fprintf oc "\"%s\":%s" k v
+      in
+      if b.bl_key >= 0 then field "key" (string_of_int b.bl_key);
+      if b.bl_blocker >= 0 then begin
+        field "blocker" (string_of_int b.bl_blocker);
+        field "blocker_class" (if b.bl_blocker_high then "\"high\"" else "\"low\"")
+      end;
+      if b.bl_node >= 0 then field "node" (string_of_int b.bl_node);
+      output_string oc "}"
+  | None -> ());
+  output_string oc "}"
 
 let write_fault_event oc first (f : fault_ev) =
   if not !first then output_string oc ",\n";
@@ -138,11 +171,20 @@ let stream_to t oc =
 
 let streaming t = t.stream <> None
 
+let index_span idx (s : span) =
+  match Hashtbl.find_opt idx s.s_txn with
+  | Some r -> r := s :: !r
+  | None -> Hashtbl.replace idx s.s_txn (ref [ s ])
+
 let push t ev =
   t.n_events <- t.n_events + 1;
   match t.stream with
   | Some oc -> write_event oc (ref false) ev
-  | None -> t.events <- ev :: t.events
+  | None ->
+      t.events <- ev :: t.events;
+      (match (t.txn_index, ev) with
+      | Some idx, Span s -> index_span idx s
+      | _ -> ())
 
 let message t ~kind ?txn ?priority ~src ~dst ~src_dc ~dst_dc ~bytes ~enqueue ~depart
     ~deliver () =
@@ -178,12 +220,14 @@ let message t ~kind ?txn ?priority ~src ~dst ~src_dc ~dst_dc ~bytes ~enqueue ~de
 
 let set_dequeue m at = m.m_dequeue <- Some at
 
-let span t ~txn ~name ~phase ~tid ~at =
+let span ?blame t ~txn ~name ~phase ~tid ~at =
   if t.mode = Full then
-    push t (Span { s_txn = txn; s_name = name; s_phase = phase; s_tid = tid; s_at = at })
+    push t
+      (Span
+         { s_txn = txn; s_name = name; s_phase = phase; s_tid = tid; s_at = at; s_blame = blame })
 
 let span_begin t ~txn ~name ~at = span t ~txn ~name ~phase:Begin ~tid:0 ~at
-let span_end t ~txn ~name ~at = span t ~txn ~name ~phase:End ~tid:0 ~at
+let span_end ?blame t ~txn ~name ~at = span ?blame t ~txn ~name ~phase:End ~tid:0 ~at
 let instant t ?(tid = 0) ~txn ~name ~at () = span t ~txn ~name ~phase:Instant ~tid ~at
 
 (* Fault events live on their own process track and deliberately bypass the
@@ -191,22 +235,49 @@ let instant t ?(tid = 0) ~txn ~name ~at () = span t ~txn ~name ~phase:Instant ~t
    messages_sent" keeps holding under fault injection. *)
 let fault t ~name ~at = if t.mode = Full then push t (Fault { f_name = name; f_at = at })
 
+let blame_suffix = function
+  | None -> ""
+  | Some b ->
+      let buf = Buffer.create 24 in
+      if b.bl_key >= 0 then Buffer.add_string buf (Printf.sprintf " key=%d" b.bl_key);
+      if b.bl_blocker >= 0 then
+        Buffer.add_string buf
+          (Printf.sprintf " blocked-by=%d(%s)" b.bl_blocker
+             (if b.bl_blocker_high then "high" else "low"));
+      if b.bl_node >= 0 then Buffer.add_string buf (Printf.sprintf " node=%d" b.bl_node);
+      Buffer.contents buf
+
+let span_label (s : span) =
+  let name =
+    match s.s_phase with
+    | Begin -> s.s_name ^ ":begin"
+    | End -> s.s_name ^ ":end"
+    | Instant -> s.s_name
+  in
+  name ^ blame_suffix s.s_blame
+
+(* The checker (and the blame profiler's tail exemplars) look up transactions
+   one at a time, so a full O(events) scan per lookup was quadratic over a
+   counterexample cycle. The index is built once, on the first lookup, by a
+   single pass over the buffer, then maintained incrementally by [push]. *)
+let txn_index t =
+  match t.txn_index with
+  | Some idx -> idx
+  | None ->
+      let idx = Hashtbl.create 256 in
+      (* [t.events] is most-recent-first; [index_span] conses, so walking
+         oldest-first keeps each per-txn list most-recent-first too. *)
+      List.iter (function Span s -> index_span idx s | _ -> ()) (List.rev t.events);
+      t.txn_index <- Some idx;
+      idx
+
 let txn_events t ~txn =
-  (* [t.events] is most-recent-first, so a left fold that conses yields
-     chronological order. *)
-  List.fold_left
-    (fun acc ev ->
-      match ev with
-      | Span s when s.s_txn = txn ->
-          let name =
-            match s.s_phase with
-            | Begin -> s.s_name ^ ":begin"
-            | End -> s.s_name ^ ":end"
-            | Instant -> s.s_name
-          in
-          (name, s.s_at) :: acc
-      | _ -> acc)
-    [] t.events
+  match Hashtbl.find_opt (txn_index t) txn with
+  | None -> []
+  | Some spans ->
+      (* most-recent-first, so a left fold that conses yields chronological
+         order. *)
+      List.fold_left (fun acc s -> (span_label s, s.s_at) :: acc) [] !spans
 
 type event_view =
   | V_message of {
@@ -223,6 +294,7 @@ type event_view =
       name : string;
       phase : [ `Begin | `End | `Instant ];
       at : Sim_time.t;
+      blame : blame option;
     }
   | V_fault of { name : string; at : Sim_time.t }
 
@@ -253,6 +325,7 @@ let iter_events t f =
                   | End -> `End
                   | Instant -> `Instant);
                 at = s.s_at;
+                blame = s.s_blame;
               }
         | Fault fe -> V_fault { name = fe.f_name; at = fe.f_at }))
     (List.rev t.events)

@@ -73,8 +73,25 @@ val message :
 
 val set_dequeue : msg_handle -> Simcore.Sim_time.t -> unit
 
+type blame = {
+  bl_blocker : int;  (** blocker attempt id, [-1] when the wait has no blocking txn *)
+  bl_blocker_high : bool;  (** blocker priority class; meaningful iff [bl_blocker >= 0] *)
+  bl_key : int;  (** contended key, [-1] when the wait is not key-shaped *)
+  bl_node : int;  (** node (or link destination) where the wait happened, [-1] if n/a *)
+}
+(** Who a wait span waited {e on}. Attached to the [End] event of a
+    [lock-wait]/[queue-wait]/[replication]/[batching] span by the layer that
+    resolved the wait; consumed by [Metrics.Attribution]/[Metrics.Blame] and
+    rendered as Chrome-trace [args] ([key], [blocker], [blocker_class],
+    [node]) so Perfetto can filter on the contended key directly. *)
+
+val no_blame : blame
+(** All fields absent ([-1]); convenient base for [{ no_blame with ... }]. *)
+
 val span_begin : t -> txn:int -> name:string -> at:Simcore.Sim_time.t -> unit
-val span_end : t -> txn:int -> name:string -> at:Simcore.Sim_time.t -> unit
+
+val span_end : ?blame:blame -> t -> txn:int -> name:string -> at:Simcore.Sim_time.t -> unit
+(** [?blame] records the blocker identity for the wait the span covered. *)
 
 val instant : t -> ?tid:int -> txn:int -> name:string -> at:Simcore.Sim_time.t -> unit -> unit
 (** A point event in a transaction's lifecycle; [tid] is conventionally the
@@ -104,9 +121,13 @@ val event_count : t -> int
 
 val txn_events : t -> txn:int -> (string * Simcore.Sim_time.t) list
 (** Full mode only: one transaction's lifecycle events in chronological
-    order, span begins/ends tagged [":begin"]/[":end"]. Used by the history
-    checker to print what a transaction in a counterexample cycle was doing
-    and when. *)
+    order, span begins/ends tagged [":begin"]/[":end"] (wait ends additionally
+    carry their blame, e.g. ["lock-wait:end key=7 blocked-by=42(low)"]). Used
+    by the history checker to print what a transaction in a counterexample
+    cycle was doing and when, and by the blame profiler's tail exemplars.
+    Served from a per-txn index built lazily on the first lookup and
+    maintained incrementally afterwards, so repeated lookups are O(own
+    events), not O(all events). *)
 
 (** {2 Event iteration — consumed by [Metrics.Attribution]} *)
 
@@ -129,6 +150,7 @@ type event_view =
       name : string;
       phase : [ `Begin | `End | `Instant ];
       at : Simcore.Sim_time.t;
+      blame : blame option;
     }
   | V_fault of { name : string; at : Simcore.Sim_time.t }
 

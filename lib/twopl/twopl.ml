@@ -72,8 +72,8 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
         s)
   in
   (* Per-partition lock-table instruments for the metrics registry. *)
-  (let metrics = cluster.Cluster.metrics in
-   if Metrics.Registry.enabled metrics then
+  let metrics = cluster.Cluster.metrics in
+  (if Metrics.Registry.enabled metrics then
      Array.iter
        (fun s ->
          Metrics.Registry.gauge metrics
@@ -86,6 +86,17 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
            (Printf.sprintf "locks.p%d.preempts" s.partition)
            (fun () -> Store.Locks.preempts s.locks))
        servers);
+  (* Live blame counters: lock-wait µs (and the share where a high-priority
+     requester waited behind a low holder — priority inversion), accumulated
+     at grant time. Unlike the post-hoc profiler these include waits from
+     attempts that later abort, so they are a running approximation, not the
+     exact-sum accounting. *)
+  let blame_wait_c, inversion_c =
+    if Metrics.Registry.enabled metrics then
+      ( Some (Metrics.Registry.counter metrics "blame.lock_wait_us"),
+        Some (Metrics.Registry.counter metrics "inversion.lock_wait_us") )
+    else (None, None)
+  in
   (* Wound-wait cannot resolve cycles through prepared (pinned)
      transactions — one can be prepared at a server where it holds locks and
      waiting at another. Like production systems, waits carry a timeout; a
@@ -95,18 +106,42 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
     let granted = ref false in
     (* Lock waits become retroactive "lock-wait" spans: the begin/end pair is
        emitted adjacently at grant time, so synchronous grants (now = t0) add
-       zero trace events. *)
+       zero trace events. The blocker identity — the principal conflicting
+       holder at wait start — is captured before [acquire] can mutate the
+       table, and stamped on the span's end event. *)
     let t0 = Simcore.Engine.now engine in
+    let blocker =
+      if Trace.recording trace || blame_wait_c <> None then
+        Store.Locks.blocker_of server.locks ~txn:r.txn_id ~key ~exclusive
+      else None
+    in
     Store.Locks.acquire server.locks ~txn:r.txn_id ~ts:r.txn.Txn.wound_ts ~high ~key
       ~exclusive ~on_granted:(fun () ->
         granted := true;
-        (if Trace.recording trace then begin
-           let now = Simcore.Engine.now engine in
-           if now > t0 then begin
-             Trace.span_begin trace ~txn:r.txn_id ~name:"lock-wait" ~at:t0;
-             Trace.span_end trace ~txn:r.txn_id ~name:"lock-wait" ~at:now
-           end
-         end);
+        let now = Simcore.Engine.now engine in
+        if now > t0 then begin
+          let waited = Simcore.Sim_time.to_us now - Simcore.Sim_time.to_us t0 in
+          let blocker_low = match blocker with Some (_, h) -> not h | None -> false in
+          (match blame_wait_c with Some c -> Metrics.Registry.add c waited | None -> ());
+          (match inversion_c with
+          | Some c when high && blocker_low -> Metrics.Registry.add c waited
+          | _ -> ());
+          if Trace.recording trace then begin
+            let blame =
+              match blocker with
+              | Some (b, bh) ->
+                  {
+                    Trace.bl_blocker = b;
+                    bl_blocker_high = bh;
+                    bl_key = key;
+                    bl_node = server.node;
+                  }
+              | None -> { Trace.no_blame with bl_key = key; bl_node = server.node }
+            in
+            Trace.span_begin trace ~txn:r.txn_id ~name:"lock-wait" ~at:t0;
+            Trace.span_end trace ~txn:r.txn_id ~name:"lock-wait" ~at:now ~blame
+          end
+        end;
         on_granted ());
     if not !granted then
       ignore

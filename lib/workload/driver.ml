@@ -150,8 +150,18 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
             :: history
           else history
         in
-        if Trace.recording trace then
+        if Trace.recording trace then begin
           Trace.span_end trace ~txn:txn.Txn.id ~name:span_name ~at:(Engine.now engine);
+          (* Name the attempt's async track with its class and final outcome
+             — "txn 42 [high, committed]" — so Perfetto search/filter works
+             without cross-referencing the CSVs. *)
+          Trace.instant trace ~txn:txn.Txn.id
+            ~name:
+              (Printf.sprintf "txn %d [%s, %s]" txn.Txn.id
+                 (match txn.Txn.priority with Txn.High -> "high" | Txn.Low -> "low")
+                 (if committed then "committed" else "aborted"))
+            ~at:(Engine.now engine) ()
+        end;
         if Check.Recorder.enabled recorder then
           if committed then
             Check.Recorder.committed recorder ~txn:txn.Txn.id ~at:(Engine.now engine)

@@ -316,8 +316,22 @@ let build_and_analyze r =
   Trace.enable trace;
   List.iter
     (fun (id, name, b, e) ->
+      (* Derived (not generated) blame payloads: enough variety to exercise
+         the charge table — including the no-payload identity — without
+         touching the generator or shrinker. *)
+      let blame =
+        if (b + e) mod 3 = 0 then None
+        else
+          Some
+            {
+              Trace.bl_blocker = b mod 5;
+              bl_blocker_high = e mod 2 = 0;
+              bl_key = b mod 7;
+              bl_node = e mod 4;
+            }
+      in
       Trace.span_begin trace ~txn:id ~name ~at:b;
-      Trace.span_end trace ~txn:id ~name ~at:e)
+      Trace.span_end ?blame trace ~txn:id ~name ~at:e)
     r.r_spans;
   List.iter
     (fun (id, enq, del, deq) ->
@@ -347,7 +361,210 @@ let prop_non_negative_and_total =
           List.for_all (fun (_, v) -> v >= 0) (seg_list b)
           && Attribution.total b.Attribution.t_seg = b.Attribution.t_e2e_us
           && b.Attribution.t_e2e_us = r.r_finished - r.r_born
+          (* The blame invariant: lock/queue charges sum exactly to the
+             lock_wait + queue_wait segments, whatever the overlap shape. *)
+          && Attribution.blame_mismatch b = 0
+          && List.for_all (fun c -> c.Attribution.ch_us > 0) b.Attribution.t_charges
       | _ -> false)
+
+(* --- overlap tie-breaking and blame charges ---------------------------- *)
+
+let one_txn ?(high = false) ~id ~s ~e () =
+  {
+    Registry.born = s;
+    finished = e;
+    high;
+    attempts = [ { Registry.a_txn = id; a_start = s; a_end = e; a_committed = true } ];
+  }
+
+let span_pair ?blame trace ~txn ~name s e =
+  Trace.span_begin trace ~txn ~name ~at:(Sim_time.us s);
+  Trace.span_end ?blame trace ~txn ~name ~at:(Sim_time.us e)
+
+(* Nested and identical-boundary spans: every microsecond resolves by the
+   documented class priority (lock_wait > queue_wait > replication >
+   batching), so a span strictly nested inside — or sharing both boundaries
+   with — a higher-priority span contributes nothing, and the segments
+   still sum exactly to the end-to-end latency. *)
+let test_attribution_nested_identical () =
+  let trace = Trace.create () in
+  Trace.enable trace;
+  (* queue-wait strictly nested inside lock-wait: fully eclipsed. *)
+  span_pair trace ~txn:3 ~name:"lock-wait" 2000 8000;
+  span_pair trace ~txn:3 ~name:"queue-wait" 3000 5000;
+  (* replication with boundaries identical to the lock-wait: also eclipsed. *)
+  span_pair trace ~txn:3 ~name:"replication" 2000 8000;
+  (* batching hanging off the end: only its uncovered tail is charged. *)
+  span_pair trace ~txn:3 ~name:"batching" 7000 9000;
+  match
+    Attribution.analyze ~trace
+      ~txns:[ one_txn ~id:3 ~s:(Sim_time.us 1000) ~e:(Sim_time.us 9000) () ]
+  with
+  | [ b ] ->
+      check_segments "nested"
+        [
+          ("lock_wait", 6000);
+          ("queue_wait", 0);
+          ("replication", 0);
+          ("batching", 1000);
+          ("exec", 1000);
+          ("residual", 0);
+        ]
+        b;
+      Alcotest.(check int) "sums to e2e" 8000 (Attribution.total b.Attribution.t_seg);
+      Alcotest.(check int) "exact blame sum" 0 (Attribution.blame_mismatch b)
+  | bs -> Alcotest.failf "expected 1 breakdown, got %d" (List.length bs)
+
+(* Overlapping same-class intervals with different blockers: the overlap
+   goes to exactly one of them — lowest (start, end, blame identity) wins —
+   so the per-blocker charges partition the segment exactly. *)
+let test_blame_charge_tiebreak () =
+  let blame b high key =
+    { Trace.bl_blocker = b; bl_blocker_high = high; bl_key = key; bl_node = 0 }
+  in
+  let trace = Trace.create () in
+  Trace.enable trace;
+  (* txn 4: [1000,5000] on blocker 7 overlaps [2000,6000] on blocker 9; the
+     earlier start wins [2000,5000]. *)
+  span_pair trace ~txn:4 ~name:"lock-wait" 1000 5000 ~blame:(blame 7 false 3);
+  span_pair trace ~txn:4 ~name:"lock-wait" 2000 6000 ~blame:(blame 9 true 4);
+  (* txn 5: identical intervals, different blockers; the smaller blame
+     identity takes the whole segment — nothing is double-counted. *)
+  span_pair trace ~txn:5 ~name:"lock-wait" 1000 5000 ~blame:(blame 9 true 4);
+  span_pair trace ~txn:5 ~name:"lock-wait" 1000 5000 ~blame:(blame 7 false 3);
+  let charges_of b =
+    List.map
+      (fun c -> (c.Attribution.ch_blocker, c.Attribution.ch_us))
+      (List.filter (fun c -> c.Attribution.ch_cls = Attribution.Lock_wait) b.Attribution.t_charges)
+  in
+  match
+    Attribution.analyze ~trace
+      ~txns:
+        [
+          one_txn ~id:4 ~s:(Sim_time.us 500) ~e:(Sim_time.us 7000) ();
+          one_txn ~id:5 ~s:(Sim_time.us 500) ~e:(Sim_time.us 7000) ();
+        ]
+  with
+  | [ b4; b5 ] ->
+      Alcotest.(check int) "overlap union is the segment" 5000 b4.Attribution.t_seg.Attribution.lock_wait;
+      Alcotest.(check (list (pair int int)))
+        "earliest start wins the overlap"
+        [ (7, 4000); (9, 1000) ]
+        (charges_of b4);
+      Alcotest.(check (list (pair int int)))
+        "smallest identity wins identical intervals"
+        [ (7, 4000) ]
+        (charges_of b5);
+      Alcotest.(check int) "txn4 exact" 0 (Attribution.blame_mismatch b4);
+      Alcotest.(check int) "txn5 exact" 0 (Attribution.blame_mismatch b5)
+  | bs -> Alcotest.failf "expected 2 breakdowns, got %d" (List.length bs)
+
+(* --- blame profiler ----------------------------------------------------- *)
+
+(* Three hand-built transactions with known blockers: the class×class
+   matrix, the inversion cell, hot keys, top blockers and the exact-sum
+   invariant all come out to the constructed numbers. *)
+let test_blame_matrix () =
+  let blame b high key =
+    { Trace.bl_blocker = b; bl_blocker_high = high; bl_key = key; bl_node = 1 }
+  in
+  let trace = Trace.create () in
+  Trace.enable trace;
+  (* high txn 20 blocked 3000us by low txn 30 on key 7: inversion. *)
+  span_pair trace ~txn:20 ~name:"lock-wait" 2000 5000 ~blame:(blame 30 false 7);
+  (* low txn 21 blocked 1000us by high txn 20 on key 7. *)
+  span_pair trace ~txn:21 ~name:"lock-wait" 1000 2000 ~blame:(blame 20 true 7);
+  (* low txn 22 waits 2000us in a planner queue with no blocking txn. *)
+  span_pair trace ~txn:22 ~name:"queue-wait" 1000 3000
+    ~blame:{ Trace.no_blame with bl_key = 9; bl_node = 2 };
+  let txns =
+    [
+      one_txn ~high:true ~id:20 ~s:(Sim_time.us 1000) ~e:(Sim_time.us 6000) ();
+      one_txn ~id:21 ~s:(Sim_time.us 500) ~e:(Sim_time.us 3000) ();
+      one_txn ~id:22 ~s:(Sim_time.us 800) ~e:(Sim_time.us 4000) ();
+    ]
+  in
+  let breakdowns = Attribution.analyze ~trace ~txns in
+  let b = Blame.analyze ~trace ~txns ~breakdowns () in
+  Alcotest.(check int) "profiled" 3 b.Blame.b_n;
+  Alcotest.(check int) "high" 1 b.Blame.b_n_high;
+  Alcotest.(check int) "high<-low (inversion)" 3000 b.Blame.b_matrix.(0).(1);
+  Alcotest.(check int) "inversion accessor" 3000 (Blame.inversion_us b);
+  Alcotest.(check int) "low<-high" 1000 b.Blame.b_matrix.(1).(0);
+  Alcotest.(check int) "low<-none" 2000 b.Blame.b_matrix.(1).(2);
+  Alcotest.(check int) "matrix sums to wait" 6000 b.Blame.b_wait_us;
+  (match b.Blame.b_hot_keys with
+  | (7, 4000) :: _ -> ()
+  | hk ->
+      Alcotest.failf "hot key: expected key 7 with 4000us first, got [%s]"
+        (String.concat ";" (List.map (fun (k, us) -> Printf.sprintf "%d:%d" k us) hk)));
+  Alcotest.(check (float 1e-9)) "hot-key share" (4000. /. 6000.) (Blame.hot_key_share b);
+  (match b.Blame.b_blockers with
+  | (30, false, 3000) :: (20, true, 1000) :: _ -> ()
+  | _ -> Alcotest.fail "top blockers should rank txn 30 (3000us) over txn 20 (1000us)");
+  Alcotest.(check int) "exact-sum invariant" 0 (Blame.max_mismatch breakdowns);
+  (* Exemplars exist for both classes and their timelines carry the blame
+     suffix recorded on the wait span. *)
+  Alcotest.(check bool) "has exemplars" true (b.Blame.b_exemplars <> []);
+  let ex_high = List.filter (fun e -> e.Blame.ex_high) b.Blame.b_exemplars in
+  Alcotest.(check bool) "has a high exemplar" true (ex_high <> []);
+  let mentions_blocker e =
+    List.exists
+      (fun line ->
+        let has s sub =
+          let n = String.length sub in
+          let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        has line "blocked-by=30(low)")
+      e.Blame.ex_timeline
+  in
+  Alcotest.(check bool) "high exemplar timeline names its blocker" true
+    (List.exists mentions_blocker ex_high);
+  (* The rendered report is well-formed enough to grep. *)
+  let rendered = Blame.render ~title:"test" b in
+  Alcotest.(check bool) "render mentions inversion" true
+    (String.length rendered > 0
+    && (let has s sub =
+          let n = String.length sub in
+          let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        has rendered "inversion"))
+
+(* --- trace per-txn index ------------------------------------------------ *)
+
+(* [Trace.txn_events] is served from a lazily built per-txn index; it must
+   agree with a manual scan of the buffer both for events pushed before the
+   first lookup (index build) and after it (incremental maintenance). *)
+let test_trace_txn_index () =
+  let trace = Trace.create () in
+  Trace.enable trace;
+  for i = 1 to 50 do
+    span_pair trace ~txn:i ~name:"lock-wait" (1000 * i) ((1000 * i) + 500)
+      ~blame:{ Trace.bl_blocker = i + 1; bl_blocker_high = i mod 2 = 0; bl_key = i; bl_node = 2 }
+  done;
+  let expect i =
+    [
+      ("lock-wait:begin", Sim_time.us (1000 * i));
+      ( Printf.sprintf "lock-wait:end key=%d blocked-by=%d(%s) node=2" i (i + 1)
+          (if i mod 2 = 0 then "high" else "low"),
+        Sim_time.us ((1000 * i) + 500) );
+    ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "first lookup (index build)" (expect 17)
+    (Trace.txn_events trace ~txn:17);
+  (* Events pushed after the index exists must still be visible. *)
+  Trace.instant trace ~txn:17 ~name:"commit" ~at:(Sim_time.us 99_000) ();
+  Alcotest.(check (list (pair string int)))
+    "post-index pushes are indexed"
+    (expect 17 @ [ ("commit", Sim_time.us 99_000) ])
+    (Trace.txn_events trace ~txn:17);
+  Alcotest.(check (list (pair string int))) "other txns unaffected" (expect 33)
+    (Trace.txn_events trace ~txn:33);
+  Alcotest.(check (list (pair string int))) "unknown txn is empty" []
+    (Trace.txn_events trace ~txn:999)
 
 (* --- aggregation ------------------------------------------------------- *)
 
@@ -369,6 +586,7 @@ let test_aggregate () =
           exec = e2e - lock;
           residual = 0;
         };
+      t_charges = [];
     }
   in
   match Attribution.aggregate [ mk 1000 400; mk 3000 800 ] with
@@ -399,7 +617,16 @@ let () =
             test_attribution_overlap_priority;
           Alcotest.test_case "retries charge backoff, gaps residual" `Quick
             test_attribution_retry_and_residual;
+          Alcotest.test_case "nested and identical-boundary overlaps" `Quick
+            test_attribution_nested_identical;
+          Alcotest.test_case "blame charge tie-breaking" `Quick test_blame_charge_tiebreak;
           Alcotest.test_case "aggregate means" `Quick test_aggregate;
           QCheck_alcotest.to_alcotest prop_non_negative_and_total;
+        ] );
+      ( "blame",
+        [
+          Alcotest.test_case "matrix, hot keys, blockers, exemplars" `Quick
+            test_blame_matrix;
+          Alcotest.test_case "lazy per-txn trace index" `Quick test_trace_txn_index;
         ] );
     ]
