@@ -82,10 +82,11 @@ let write_metrics_json ~file metered =
       kvs
   in
   (* schema_version: bumped whenever the shape of this document changes.
-     1 = PR 4 (windows/histograms/attribution), 2 = blame profiling (this
-     "blame" section per run, plus this very field). Consumers should reject
-     versions they do not know. *)
-  output_string oc "{\"schema_version\":2,\"runs\":[";
+     1 = PR 4 (windows/histograms/attribution), 2 = blame profiling (the
+     "blame" section per run, plus this very field), 3 = partial aborts (the
+     "wasted" section: exec/backoff split into reused and discarded µs).
+     Consumers should reject versions they do not know. *)
+  output_string oc "{\"schema_version\":3,\"runs\":[";
   List.iteri
     (fun ri (sys_name, seed, m) ->
       if ri > 0 then output_string oc ",";
@@ -145,6 +146,16 @@ let write_metrics_json ~file metered =
         (attribution_classes breakdowns);
       Printf.fprintf oc "},\n\"attribution_check\":{\"txns\":%d,\"max_sum_mismatch_us\":%d},"
         (List.length breakdowns) (max_sum_mismatch breakdowns);
+      (* Wasted-work view: aborted-attempt time split into the share covered
+         by partial-abort prefix reuse and the share truly thrown away
+         (reused_us + discarded_us = backoff_us exactly). *)
+      let w = Metrics.Attribution.wasted_work breakdowns in
+      Printf.fprintf oc
+        "\n\
+         \"wasted\":{\"txns\":%d,\"exec_us\":%d,\"backoff_us\":%d,\"reused_us\":%d,\"discarded_us\":%d},"
+        w.Metrics.Attribution.wk_txns w.Metrics.Attribution.wk_exec_us
+        w.Metrics.Attribution.wk_backoff_us w.Metrics.Attribution.wk_reused_us
+        w.Metrics.Attribution.wk_discarded_us;
       (* Causal blame profile: who-blocked-whom over the same breakdowns.
          [blame_check.max_sum_mismatch_us] gates the exact-sum invariant —
          per txn, lock/queue blame charges sum to lock_wait + queue_wait. *)
@@ -197,8 +208,8 @@ let write_metrics_json ~file metered =
   close_out oc
 
 let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo ~variance
-    ~loss ~partitions ~clients_per_dc ~drain ~batching ~histograms ~trace_file ~metrics_file
-    ~faults ~check =
+    ~loss ~partitions ~clients_per_dc ~drain ~batching ~partial_abort ~histograms ~trace_file
+    ~metrics_file ~faults ~check =
   let gen = (List.assoc workload workload_names) ~zipf in
   let topo = List.assoc topo topo_names in
   let net_config =
@@ -216,6 +227,7 @@ let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
       warmup = Simcore.Sim_time.seconds (duration /. 4.);
       cooldown = Simcore.Sim_time.seconds (duration /. 4.);
       high_fraction;
+      partial_abort;
       drain =
         (match drain with
         | Some s -> Simcore.Sim_time.seconds s
@@ -303,14 +315,20 @@ let run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction ~topo
         s.Harness.Experiment.p95_low_ms s.Harness.Experiment.p95_low_ci
         s.Harness.Experiment.goodput_high_tps s.Harness.Experiment.goodput_low_tps
         s.Harness.Experiment.failed s.Harness.Experiment.aborts;
-      (* Deterministic (queue-oriented) systems replace client-visible
-         retries with in-epoch re-execution; surface that counter, and the
-         invariant that fault-free runs show zero client aborts, as a
-         '#' comment so the CSV block stays byte-identical. *)
-      if Harness.Experiment.deterministic spec then
-        Printf.printf "# deterministic: %s client_aborts=%d speculation_aborts=%d\n%!"
-          (Harness.Experiment.spec_name spec)
-          s.Harness.Experiment.aborts s.Harness.Experiment.spec_aborts;
+      (* Uniform wasted-work comment for every system, '#'-prefixed so the
+         CSV block stays byte-identical. speculation_aborts counts the
+         deterministic families' in-epoch re-executions (zero elsewhere);
+         partial_restarts/keys_reused count retries that resumed from a
+         validated read prefix, keys_validated the claims servers confirmed
+         current and omitted from replies (all zero with --partial-abort
+         off). *)
+      Printf.printf
+        "# wasted: %s client_aborts=%d speculation_aborts=%d partial_restarts=%d \
+         keys_reused=%d keys_validated=%d\n%!"
+        (Harness.Experiment.spec_name spec)
+        s.Harness.Experiment.aborts s.Harness.Experiment.spec_aborts
+        s.Harness.Experiment.partial_restarts s.Harness.Experiment.keys_reused
+        s.Harness.Experiment.keys_validated;
       match faults with
       | None -> ()
       | Some schedule ->
@@ -484,6 +502,18 @@ let batching_arg =
   in
   Arg.(value & flag & info [ "b"; "batching" ] ~doc)
 
+let partial_abort_arg =
+  let doc =
+    "Resume retries from the first invalidated read: abort replies carry the first \
+     conflicting key, the client keeps its validated read prefix, and the retry's \
+     prepares claim (key, version) pairs the servers revalidate — a matching claim is \
+     served without shipping the value, a stale one is served fresh. Histories are \
+     unchanged (every read is still recorded against the authoritative store), so \
+     checked runs stay clean. Off by default — without this flag output is \
+     byte-for-byte that of earlier versions."
+  in
+  Arg.(value & flag & info [ "partial-abort" ] ~doc)
+
 let histograms_arg =
   Arg.(value & flag & info [ "histograms" ] ~doc:"Also print latency distribution sketches.")
 
@@ -559,8 +589,8 @@ let print_trace_totals () =
     (Harness.Experiment.trace_link_totals ())
 
 let main systems workload rate zipf duration seeds high_fraction topo variance loss partitions
-    clients_per_dc drain batching histograms trace_file metrics_file trace_summary faults_spec
-    jobs check figure =
+    clients_per_dc drain batching partial_abort histograms trace_file metrics_file trace_summary
+    faults_spec jobs check figure =
   (* NATTO_TRACE_SUMMARY=1 is the deprecated spelling of --trace-summary. *)
   let trace_summary = trace_summary || Sys.getenv_opt "NATTO_TRACE_SUMMARY" <> None in
   if trace_summary then Harness.Experiment.set_trace_counters true;
@@ -601,7 +631,7 @@ let main systems workload rate zipf duration seeds high_fraction topo variance l
                 let violations =
                   run_one ~systems ~workload ~rate ~zipf ~duration ~seeds ~high_fraction
                     ~topo ~variance ~loss ~partitions ~clients_per_dc ~drain ~batching
-                    ~histograms ~trace_file ~metrics_file ~faults ~check
+                    ~partial_abort ~histograms ~trace_file ~metrics_file ~faults ~check
                 in
                 if trace_summary then print_trace_totals ();
                 if violations = 0 then `Ok ()
@@ -620,7 +650,8 @@ let cmd =
       ret
         (const main $ systems_arg $ workload_arg $ rate_arg $ zipf_arg $ duration_arg
        $ seeds_arg $ high_arg $ topo_arg $ variance_arg $ loss_arg $ partitions_arg
-       $ clients_arg $ drain_arg $ batching_arg $ histograms_arg $ trace_arg $ metrics_arg $ trace_summary_arg
+       $ clients_arg $ drain_arg $ batching_arg $ partial_abort_arg $ histograms_arg
+       $ trace_arg $ metrics_arg $ trace_summary_arg
        $ faults_arg $ jobs_arg $ check_arg $ figure_arg))
 
 let () = exit (Cmd.eval cmd)

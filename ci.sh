@@ -65,8 +65,8 @@ dune exec bin/natto_sim.exe -- -s quecc,quecc-prio -d 4 --drain 10 --seeds 1,2 \
 cmp "$q_j1" "$q_j4"
 grep -q '# check: QueCC seed 1 ok' "$q_j1"
 grep -q '# check: QueCC-Prio seed 1 ok' "$q_j1"
-grep -q '# deterministic: QueCC client_aborts=0 speculation_aborts=' "$q_j1"
-grep -q '# deterministic: QueCC-Prio client_aborts=0 speculation_aborts=' "$q_j1"
+grep -q '# wasted: QueCC client_aborts=0 speculation_aborts=' "$q_j1"
+grep -q '# wasted: QueCC-Prio client_aborts=0 speculation_aborts=' "$q_j1"
 # ... and must stay strictly serializable through the leader-crash + DC-cut
 # schedule (client aborts are allowed there: failover timeouts retry).
 dune exec bin/natto_sim.exe -- -s quecc,quecc-prio -d 8 --seeds 1 -r 50 -z 0.95 \
@@ -76,12 +76,14 @@ rm -f "$q_j1" "$q_j4"
 echo "== existing-family goldens gate =="
 # Introducing the QueCC family must not move a byte of any existing
 # family's output: the eleven pre-QueCC systems reproduce their golden
-# CSV exactly.
+# CSV exactly. '#'-prefixed lines are commentary (the uniform wasted
+# comment has grown columns since the golden was cut), so the compare is
+# over data rows.
 fam_out="${TMPDIR:-/tmp}/natto_ci_families.csv"
 dune exec bin/natto_sim.exe -- \
   -s 2pl,2pl-p,2pl-pow,tapir,carousel-basic,carousel-fast,natto-ts,natto-lecsf,natto-pa,natto-cp,natto-recsf \
   -d 4 --drain 10 --seeds 1,2 -r 80 -z 0.95 --jobs 8 >"$fam_out"
-cmp test/golden/families_pr7.csv "$fam_out"
+grep -v '^#' "$fam_out" | cmp - test/golden/families_pr7.csv
 rm -f "$fam_out"
 
 echo "== metrics smoke + determinism gate =="
@@ -93,16 +95,24 @@ metrics_out="${TMPDIR:-/tmp}/natto_ci_metrics.json"
 csv_off="${TMPDIR:-/tmp}/natto_ci_metrics_off.csv"
 csv_on="${TMPDIR:-/tmp}/natto_ci_metrics_on.csv"
 dune exec bin/natto_sim.exe -- -s 2pl,natto-recsf -d 4 --seeds 1 -r 80 -z 0.95 \
-  >"$csv_off"
+  | grep -v '^#' >"$csv_off"
 dune exec bin/natto_sim.exe -- -s 2pl,natto-recsf -d 4 --seeds 1 -r 80 -z 0.95 \
   --metrics "$metrics_out" | grep -v '^#' >"$csv_on"
 cmp "$csv_off" "$csv_on"
 python3 - "$metrics_out" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
-assert d["schema_version"] == 2, "unexpected --metrics schema version"
+assert d["schema_version"] == 3, "unexpected --metrics schema version"
 assert len(d["runs"]) == 2, "expected one run per system"
 for r in d["runs"]:
+    # Wasted-work view: the reused/discarded split must partition the
+    # backoff total exactly, and with --partial-abort off (this smoke)
+    # nothing can have been reused.
+    w = r["wasted"]
+    assert w["reused_us"] + w["discarded_us"] == w["backoff_us"], \
+        "wasted split does not partition backoff for %s" % r["system"]
+    assert w["reused_us"] == 0, \
+        "reused_us nonzero without --partial-abort for %s" % r["system"]
     assert len(r["windows"]) > 10, "no sampled windows for %s" % r["system"]
     assert r["attribution_check"]["max_sum_mismatch_us"] == 0, \
         "segments do not sum to e2e for %s" % r["system"]
@@ -140,11 +150,13 @@ echo "== blame-off golden gate =="
 # with neither --metrics nor --trace, all thirteen systems reproduce the
 # pre-blame golden CSV byte for byte.
 blame_off="${TMPDIR:-/tmp}/natto_ci_blame_off.csv"
+blame_gold="${TMPDIR:-/tmp}/natto_ci_blame_gold.csv"
 dune exec bin/natto_sim.exe -- \
   -s 2pl,2pl-p,2pl-pow,tapir,carousel-basic,carousel-fast,natto-ts,natto-lecsf,natto-pa,natto-cp,natto-recsf,quecc,quecc-prio \
-  -d 4 --drain 10 --seeds 1,2 -r 80 -z 0.95 --jobs 8 >"$blame_off"
-cmp test/golden/blame_off_smoke.csv "$blame_off"
-rm -f "$blame_off"
+  -d 4 --drain 10 --seeds 1,2 -r 80 -z 0.95 --jobs 8 | grep -v '^#' >"$blame_off"
+grep -v '^#' test/golden/blame_off_smoke.csv >"$blame_gold"
+cmp "$blame_gold" "$blame_off"
+rm -f "$blame_off" "$blame_gold"
 
 echo "== tailblame figure gate =="
 # The causal-blame figure must be byte-identical at any --jobs, and its
@@ -209,12 +221,16 @@ echo "== batching gates =="
 # and Raft group commit stays off, so the commit path must reproduce the
 # pre-batching golden CSVs byte for byte — fault-free and under failover.
 bat_off="${TMPDIR:-/tmp}/natto_ci_batch_off.csv"
+bat_gold="${TMPDIR:-/tmp}/natto_ci_batch_gold.csv"
 dune exec bin/natto_sim.exe -- -s natto-recsf,2pl,tapir,carousel-basic,carousel-fast \
-  -d 2 --seeds 1 -r 50 >"$bat_off"
-cmp test/golden/batching_off_smoke.csv "$bat_off"
+  -d 2 --seeds 1 -r 50 | grep -v '^#' >"$bat_off"
+grep -v '^#' test/golden/batching_off_smoke.csv >"$bat_gold"
+cmp "$bat_gold" "$bat_off"
 dune exec bin/natto_sim.exe -- -s natto-recsf,2pl,tapir,carousel-basic,carousel-fast \
-  -d 8 --seeds 1 -r 50 --faults 'crash-leader:0@2s,restart@6s' >"$bat_off"
-cmp test/golden/failover_smoke.csv "$bat_off"
+  -d 8 --seeds 1 -r 50 --faults 'crash-leader:0@2s,restart@6s' | grep -v '^#' >"$bat_off"
+grep -v '^#' test/golden/failover_smoke.csv >"$bat_gold"
+cmp "$bat_gold" "$bat_off"
+rm -f "$bat_gold"
 # Batched runs must stay strictly serializable and, like everything else,
 # byte-identical at any --jobs count.
 bat_j1="${TMPDIR:-/tmp}/natto_ci_batch_j1.csv"
@@ -226,6 +242,64 @@ dune exec bin/natto_sim.exe -- -s 2pl,natto-recsf -d 4 --seeds 1,2 -r 80 -z 0.95
 cmp "$bat_j1" "$bat_j4"
 grep -q '# check: .* ok' "$bat_j1"
 rm -f "$bat_off" "$bat_j1" "$bat_j4"
+
+echo "== partial-abort gates =="
+# Off is the default and must not move a byte: with the claims/cache/
+# fail-key plumbing dormant, all thirteen systems reproduce the
+# partial-off golden exactly at the sweep's most contended point.
+pa_off="${TMPDIR:-/tmp}/natto_ci_pa_off.csv"
+dune exec bin/natto_sim.exe -- \
+  -s 2pl,2pl-p,2pl-pow,tapir,carousel-basic,carousel-fast,natto-ts,natto-lecsf,natto-pa,natto-cp,natto-recsf,quecc,quecc-prio \
+  -d 4 --drain 10 --seeds 1,2 -r 80 -z 0.99 --jobs 8 >"$pa_off"
+cmp test/golden/partial_off_smoke.csv "$pa_off"
+rm -f "$pa_off"
+# On: resumed retries must stay strictly serializable (the claimed serve
+# reconstructs exactly what a full serve returns, so histories are
+# unchanged by construction) and actually resume — every optimistic
+# family shows nonzero partial_restarts at Zipf 0.99.
+pa_on="${TMPDIR:-/tmp}/natto_ci_pa_on.csv"
+dune exec bin/natto_sim.exe -- -s 2pl,tapir,carousel-basic,carousel-fast,natto-ts,natto-recsf \
+  -d 4 --seeds 1 -r 80 -z 0.99 --partial-abort --check >"$pa_on"
+grep -q '# check: Natto-RECSF seed 1 ok' "$pa_on"
+for sys in 2PL+2PC TAPIR 'Carousel Basic' 'Carousel Fast' Natto-TS Natto-RECSF; do
+  grep -q "# wasted: $sys .* partial_restarts=[1-9]" "$pa_on"
+done
+rm -f "$pa_on"
+# ... and through the leader-crash + DC-cut schedule (late aborts report
+# an unknown conflict and claim nothing; ghost reports are attempt-guarded).
+dune exec bin/natto_sim.exe -- -s 2pl,tapir,carousel-basic,carousel-fast,natto-recsf \
+  -d 8 --seeds 1 -r 50 -z 0.95 --partial-abort \
+  --faults 'crash-leader:0@2s,cut:0-1@3s,heal@5s,restart@6s' --check >/dev/null
+
+echo "== retrysweep figure gate =="
+# The partial-abort figure must be byte-identical at any --jobs, and its
+# metered Zipf-0.99 pass must show the point of the mechanism: at least
+# three families — Natto-RECSF among them — discard >=30% less
+# aborted-attempt time with resume-from-prefix on.
+rs_j1="${TMPDIR:-/tmp}/natto_ci_retrysweep_j1.csv"
+rs_j4="${TMPDIR:-/tmp}/natto_ci_retrysweep_j4.csv"
+dune exec bin/natto_sim.exe -- --figure retrysweep --jobs 1 >"$rs_j1"
+dune exec bin/natto_sim.exe -- --figure retrysweep --jobs 4 >"$rs_j4"
+cmp "$rs_j1" "$rs_j4"
+python3 - "$rs_j1" <<'EOF'
+import sys
+cut = {}
+for line in open(sys.argv[1]):
+    if not line.startswith("# retrysweep wasted: "):
+        continue
+    body = line[len("# retrysweep wasted: "):]
+    system, rest = body.split(" off: ", 1)
+    cut[system] = float(rest.rsplit("discarded_reduction_pct=", 1)[1])
+assert cut, "no wasted-reduction rows in the retrysweep output"
+good = {s: v for s, v in cut.items() if v >= 30.0}
+assert "Natto-RECSF" in good, \
+    "Natto-RECSF below 30%% discarded reduction: %r" % cut
+assert len(good) >= 3, \
+    "fewer than 3 families at >=30%% discarded reduction: %r" % cut
+print("retrysweep ok: %d/%d families >=30%% (Natto-RECSF %.1f%%)"
+      % (len(good), len(cut), cut["Natto-RECSF"]))
+EOF
+rm -f "$rs_j1" "$rs_j4"
 
 echo "== simulator throughput bench =="
 # Events/sec series (vs cluster size, vs --jobs) recorded into the repo-root

@@ -205,16 +205,34 @@ let make (cluster : Cluster.t) : System.t =
       (fun p ->
         let server = servers.(p) in
         let reads = plan.Txnkit.Exec.reads_of p and writes = plan.Txnkit.Exec.writes_of p in
+        (* Partial-abort claims for this partition: validated-prefix keys ride
+           on the request; version-confirmed ones are dropped from the reply. *)
+        let claims = Txnkit.Exec.claims_of txn reads in
         send ~src:client ~dst:server.node
           ~msg:
             (Msg.read_prepare ~txn:txn_id ~reads:(Array.length reads)
-               ~writes:(Array.length writes) ())
+               ~writes:(Array.length writes)
+               ~extra:(Txnkit.Exec.claim_extra_bytes claims) ())
           (fun () ->
-            let conflicting = Store.Occ.conflicts server.occ ~reads ~writes in
-            if conflicting <> [] then begin
+            (* The first conflicting key rides back on the abort notice so a
+               partial-abort retry knows where its validated prefix broke. *)
+            let fail_key =
+              Store.Occ.principal_conflict_key server.occ ~reads ~writes ~excluding:txn_id
+            in
+            if fail_key <> None then begin
+              (* The abort notice also salvages the still-valid local read
+                 prefix: this server never served the victim, so the retry's
+                 claims come from here. *)
+              let key = Option.value fail_key ~default:(-1) in
+              let salvage = Txnkit.Exec.salvage_reads server.kv txn ~reads ~fail_key:key in
               send ~src:server.node ~dst:client
-                ~msg:(Msg.control ~txn:txn_id Msg.Abort_notice)
-                (fun () -> on_read_reply ~ok:false []);
+                ~msg:(Msg.abort_notice ~txn:txn_id ~salvaged:(List.length salvage) ())
+                (fun () ->
+                  Txnkit.Exec.note_reads txn salvage;
+                  (match fail_key with
+                  | Some key -> Txn.pa_note_fail txn ~attempt:txn_id ~key
+                  | None -> ());
+                  on_read_reply ~ok:false []);
               send ~src:server.node ~dst:coordinator ~msg:(Msg.vote ~txn:txn_id ())
                 (fun () -> on_vote ~ok:false)
             end
@@ -222,10 +240,18 @@ let make (cluster : Cluster.t) : System.t =
               Store.Occ.prepare server.occ ~txn:txn_id ~reads ~writes;
               if Check.Recorder.enabled recorder then
                 Check.Recorder.reads_from_kv recorder ~txn:txn_id server.kv reads;
-              let values = Txnkit.Exec.read_values server.kv reads in
+              let served =
+                Txnkit.Exec.serve_keys server.kv reads
+                  ~claims:(Txnkit.Exec.claim_versions claims)
+              in
+              let values = Txnkit.Exec.read_values server.kv served in
               send ~src:server.node ~dst:client
-                ~msg:(Msg.read_reply ~txn:txn_id ~reads:(Array.length reads) ())
-                (fun () -> on_read_reply ~ok:true values);
+                ~msg:(Msg.read_reply ~txn:txn_id ~reads:(Array.length served) ())
+                (fun () ->
+                  Txnkit.Exec.note_validated txn ~attempt:txn_id ~served:values ~claims;
+                  let values = Txnkit.Exec.merge_claims ~served:values ~claims in
+                  Txnkit.Exec.note_reads txn values;
+                  on_read_reply ~ok:true values);
               (* Replicate the prepare record, then vote. *)
               Raft.Group.replicate cluster.Cluster.groups.(p)
                 ~size:

@@ -239,6 +239,11 @@ let make (cluster : Cluster.t) : System.t =
     List.iter
       (fun p ->
         let reads = plan.Txnkit.Exec.reads_of p and writes = plan.Txnkit.Exec.writes_of p in
+        (* The same partial-abort claims go to every replica of the
+           partition; each validates them against its own store, so a
+           follower lagging on async write distribution simply serves the
+           key fresh instead of honoring the claim. *)
+        let claims = Txnkit.Exec.claims_of txn reads in
         let leader_node = List.assoc p current_leader in
         Array.iter
           (fun r ->
@@ -247,24 +252,54 @@ let make (cluster : Cluster.t) : System.t =
               send ~src:client ~dst:r.node
                 ~msg:
                   (Msg.read_prepare ~txn:txn_id ~reads:(Array.length reads)
-                     ~writes:(Array.length writes) ())
+                     ~writes:(Array.length writes)
+                     ~extra:(Txnkit.Exec.claim_extra_bytes claims) ())
                 (fun () ->
-                  let conflicting = Store.Occ.conflicts r.occ ~reads ~writes in
-                  if conflicting <> [] then
+                  let fail_key =
+                    Store.Occ.principal_conflict_key r.occ ~reads ~writes ~excluding:txn_id
+                  in
+                  if fail_key <> None then begin
+                    (* Only the leader's abort is authoritative — a
+                       follower's no merely forces the slow path — so only
+                       it shrinks the validated prefix, and only it
+                       salvages its read slice for the retry's claims (the
+                       full slice: this reply doubles as the vote, so the
+                       bytes are already on the wire path). *)
+                    let salvage =
+                      if from_leader then Txnkit.Exec.salvage_all r.kv txn ~reads
+                      else []
+                    in
                     send ~src:r.node ~dst:client
-                      ~msg:(Msg.control ~txn:txn_id Msg.Abort_notice)
+                      ~msg:(Msg.abort_notice ~txn:txn_id ~salvaged:(List.length salvage) ())
                       (fun () ->
+                        (if from_leader then begin
+                           Txnkit.Exec.note_reads txn salvage;
+                           match fail_key with
+                           | Some key -> Txn.pa_note_fail txn ~attempt:txn_id ~key
+                           | None -> ()
+                         end);
                         on_reply { partition = p; from_leader; ok = false; values = [] })
+                  end
                   else begin
                     Store.Occ.prepare r.occ ~txn:txn_id ~reads ~writes;
                     (* Only the leader's values feed the write computation;
                        follower replies merely vote on the fast path. *)
                     if from_leader && Check.Recorder.enabled recorder then
                       Check.Recorder.reads_from_kv recorder ~txn:txn_id r.kv reads;
-                    let values = Txnkit.Exec.read_values r.kv reads in
+                    let served =
+                      Txnkit.Exec.serve_keys r.kv reads
+                        ~claims:(Txnkit.Exec.claim_versions claims)
+                    in
+                    let values = Txnkit.Exec.read_values r.kv served in
                     send ~src:r.node ~dst:client
-                      ~msg:(Msg.read_reply ~txn:txn_id ~reads:(Array.length reads) ())
-                      (fun () -> on_reply { partition = p; from_leader; ok = true; values })
+                      ~msg:(Msg.read_reply ~txn:txn_id ~reads:(Array.length served) ())
+                      (fun () ->
+                        if from_leader then
+                          Txnkit.Exec.note_validated txn ~attempt:txn_id ~served:values
+                            ~claims;
+                        let values = Txnkit.Exec.merge_claims ~served:values ~claims in
+                        if from_leader then Txnkit.Exec.note_reads txn values;
+                        on_reply { partition = p; from_leader; ok = true; values })
                   end))
           replicas.(p))
       plan.Txnkit.Exec.participants;

@@ -45,11 +45,22 @@ type srec = {
   arrivals : (int * int) list;  (** leader node -> estimated arrival (client clock) *)
   participants : int list;
   coord_node : int;
+  claims : (int * int) list;
+      (** partial-abort claims for this partition: (key, version) pairs the
+          client asserts are still current; honored on the normal and
+          conditional serve paths, ignored by RECSF forwarding *)
   deliver_read : source -> (int * int * int) list -> unit;
       (** runs at the requesting client on message delivery *)
-  deliver_abort : unit -> unit;
+  deliver_abort : int -> (int * int * int) list -> unit;
+      (** arguments: the first conflicting key ([-1] unknown), feeding the
+          partial-abort validated-prefix report, and the salvaged still-valid
+          local reads piggybacked on the abort notice *)
   mutable state : srec_state;
   mutable cond_on : int option;  (** conditionally prepared on this blocker *)
+  mutable fwd_keys : int array;
+      (** read keys served by RECSF forwarding (version -1, never cached
+          client-side); a Release for a served record re-ships these from
+          the committed store so the prefix cache has no speculative hole *)
   mutable queued_at : Sim_time.t option;
       (** when the record entered this server's timestamp queue; drives the
           retroactive "lock-wait" trace span, cleared once emitted *)
@@ -283,10 +294,13 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
        now fault-tolerant here, so forwarding the write data is safe. *)
     List.iter
       (fun (requester, keys, deliver) ->
+        (* Version -1: a forwarded value is speculative (the write is not
+           yet applied at the partition), so it must never seed the
+           partial-abort version cache — -1 can't match any store version. *)
         let values =
           Array.to_list keys
           |> List.filter_map (fun key ->
-                 List.assoc_opt key c.gen_pairs |> Option.map (fun data -> (key, data, 0)))
+                 List.assoc_opt key c.gen_pairs |> Option.map (fun data -> (key, data, -1)))
         in
         send ~src:c.c_node ~dst:requester
           ~msg:(Msg.recsf_reply ~txn:c.c_txn_id ~reads:(List.length values) ())
@@ -351,7 +365,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
       let values =
         Array.to_list keys
         |> List.filter_map (fun key ->
-               List.assoc_opt key c.gen_pairs |> Option.map (fun data -> (key, data, 0)))
+               List.assoc_opt key c.gen_pairs |> Option.map (fun data -> (key, data, -1)))
       in
       send ~src:c.c_node ~dst:requester
         ~msg:(Msg.recsf_reply ~txn:c.c_txn_id ~reads:(List.length values) ())
@@ -380,24 +394,39 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
     r.cond_on <- None;
     Hashtbl.remove server.recs r.txn_id
 
-  and server_abort_txn server (r : srec) ~late =
+  and server_abort_txn server (r : srec) ~late ~fail_key =
     if late then begin
       stats.late_aborts <- stats.late_aborts + 1;
       mark ~tid:server.node ~txn:r.txn_id "txn-late-abort"
     end;
     server_drop server r;
+    (* Salvage rides the abort notice: a victim aborted while still queued
+       (the common case under priority aborts) was never served, so without
+       this its retry would have nothing to claim. Bounded by the local
+       fail index — this message gates the retry, so it stays small; the
+       Release path carries the full slice off the critical path. *)
+    let salvage = Exec.salvage_reads server.kv r.txn ~reads:r.reads ~fail_key in
     send ~src:server.node ~dst:r.txn.Txn.client
-      ~msg:(Msg.control ~txn:r.txn_id Msg.Abort_notice)
-      (fun () -> r.deliver_abort ());
+      ~msg:(Msg.abort_notice ~txn:r.txn_id ~salvaged:(List.length salvage) ())
+      (fun () -> r.deliver_abort fail_key salvage);
     server_send_vote server r V_abort
 
-  and server_priority_abort server (r : srec) =
+  (* The aborter's footprint names the victim's first invalidated key: the
+     earliest read-set key the footprints share, else a shared write key
+     (which leaves the whole read prefix claimable), else unknown. *)
+  and first_shared_key (r : srec) ~against =
+    let shared k = Array.exists (( = ) k) against in
+    match Array.find_opt shared r.reads with
+    | Some k -> k
+    | None -> ( match Array.find_opt shared r.writes with Some k -> k | None -> -1)
+
+  and server_priority_abort server (r : srec) ~against =
     stats.priority_aborts <- stats.priority_aborts + 1;
     mark ~tid:server.node ~txn:r.txn_id "txn-priority-abort";
     let lineage = r.txn.Txn.wound_ts in
     Hashtbl.replace pa_counts lineage
       (1 + Option.value ~default:0 (Hashtbl.find_opt pa_counts lineage));
-    server_abort_txn server r ~late:false
+    server_abort_txn server r ~late:false ~fail_key:(first_shared_key r ~against)
 
   (* Prepared (incl. conditionally prepared) records conflicting with a
      footprint under the OCC rule. *)
@@ -439,9 +468,13 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
     r.state <- Prepared;
     mark ~tid:server.node ~txn:r.txn_id "txn-prepare";
     record_reads ~txn:r.txn_id server.kv r.reads;
-    let values = Exec.read_values server.kv r.reads in
+    (* Honor partial-abort claims: version-confirmed keys drop out of the
+       reply payload. The history above still covers the full slice, so the
+       checker sees identical reads either way. *)
+    let served = Exec.serve_keys server.kv r.reads ~claims:r.claims in
+    let values = Exec.read_values server.kv served in
     send ~src:server.node ~dst:r.txn.Txn.client
-      ~msg:(Msg.read_reply ~txn:r.txn_id ~reads:(Array.length r.reads) ())
+      ~msg:(Msg.read_reply ~txn:r.txn_id ~reads:(Array.length served) ())
       (fun () -> r.deliver_read S_normal values);
     Raft.Group.replicate cluster.Cluster.groups.(server.partition)
       ~size:(Msg.prepare_record_bytes ~reads:(Array.length r.reads) ~writes:(Array.length r.writes))
@@ -458,9 +491,10 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
     let watchers = Option.value ~default:[] (Hashtbl.find_opt server.cond_watchers blocker) in
     Hashtbl.replace server.cond_watchers blocker (r.txn_id :: watchers);
     record_reads ~txn:r.txn_id server.kv r.reads;
-    let values = Exec.read_values server.kv r.reads in
+    let served = Exec.serve_keys server.kv r.reads ~claims:r.claims in
+    let values = Exec.read_values server.kv served in
     send ~src:server.node ~dst:r.txn.Txn.client
-      ~msg:(Msg.read_reply ~txn:r.txn_id ~reads:(Array.length r.reads) ())
+      ~msg:(Msg.read_reply ~txn:r.txn_id ~reads:(Array.length served) ())
       (fun () -> r.deliver_read (S_cond blocker) values);
     Raft.Group.replicate cluster.Cluster.groups.(server.partition)
       ~size:(Msg.prepare_record_bytes ~reads:(Array.length r.reads) ~writes:(Array.length r.writes))
@@ -484,6 +518,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
            (fun k -> not (Array.exists (fun k' -> k' = k) fwd_keys))
            (Array.to_list r.reads))
     in
+    r.fwd_keys <- fwd_keys;
     let blocker_id = blocker.txn_id in
     if Array.length local_keys > 0 || Array.length fwd_keys = 0 then begin
       record_reads ~txn:r.txn_id server.kv local_keys;
@@ -538,7 +573,35 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         if prepared <> [] || waiting <> [] then begin
           stats.occ_aborts <- stats.occ_aborts + 1;
           mark ~tid:server.node ~txn:r.txn_id "txn-occ-abort";
-          server_abort_txn server r ~late:false
+          (* First invalidated key under the OCC rule, reported against the
+             principal conflicter — the smallest-(ts, id) record in conflict
+             — rather than min-combined over every concurrent bystander.
+             Most bystanders will themselves abort and never invalidate
+             anything, so the principal's first shared key is the better
+             prediction of where the prefix breaks; a wrong one merely
+             costs a failed claim that revalidation serves fresh. *)
+          let principal =
+            List.fold_left
+              (fun acc (o : srec) ->
+                match acc with
+                | Some (p : srec) when (p.ts, p.txn_id) <= (o.ts, o.txn_id) -> acc
+                | _ -> Some o)
+              None (prepared @ waiting)
+          in
+          let fail_key =
+            match principal with
+            | None -> -1
+            | Some o -> (
+                match Array.find_opt (fun k -> Array.exists (( = ) k) o.writes) r.reads with
+                | Some k -> k
+                | None -> (
+                    match
+                      Array.find_opt (fun k -> Array.exists (( = ) k) o.keys) r.writes
+                    with
+                    | Some k -> k
+                    | None -> -1))
+          in
+          server_abort_txn server r ~late:false ~fail_key
         end
         else server_prepare_normal server r
     | Txn.High ->
@@ -695,7 +758,27 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
   and server_on_abort server txn_id =
     (match Hashtbl.find_opt server.recs txn_id with
     | None -> Hashtbl.replace server.tombstones txn_id ()
-    | Some r -> server_drop server r);
+    | Some r ->
+        let unserved = r.state = Queued || r.state = Waiting in
+        server_drop server r;
+        (* A released victim that was never served here still holds
+           claimable reads: salvage the local slice back to the client.
+           This release raced the immediate retry's read-and-prepare, so
+           the salvage seeds the cache for the attempt after it — the long
+           abort chains that dominate wasted time converge on full-prefix
+           claims. The full local slice ships, not just today's prefix
+           bound: a later attempt's limit can exceed this one's, and the
+           cached entries stay claimable until their versions move. A
+           record that WAS served may still have speculative holes — RECSF
+           forwards carry version -1 and never seed the cache — so those
+           keys are re-shipped from the committed store. *)
+        let salvage_keys = if unserved then r.reads else r.fwd_keys in
+        if r.txn.Txn.pa <> None && Array.length salvage_keys > 0 then begin
+          let salvage = Exec.salvage_all server.kv r.txn ~reads:salvage_keys in
+          send ~src:server.node ~dst:r.txn.Txn.client
+            ~msg:(Msg.abort_notice ~txn:txn_id ~salvaged:(List.length salvage) ())
+            (fun () -> Exec.note_reads r.txn salvage)
+        end);
     server_notify_cond_watchers server ~blocker:txn_id ~aborted:true;
     server_rescan server;
     server_drain server
@@ -755,7 +838,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
                    < r.ts
               in
               if skip then stats.pa_skipped_completion <- stats.pa_skipped_completion + 1
-              else server_priority_abort server victim)
+              else server_priority_abort server victim ~against:r.keys)
             victims
       | Txn.Low when pa_on ->
           (* A low-priority transaction may not slot in ahead of a queued
@@ -766,6 +849,16 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
           in
           if hp_after <> [] then begin
             let hp_ts = List.fold_left (fun acc (ts, _, _) -> Stdlib.min acc ts) max_int hp_after in
+            (* The earliest conflicting high-priority record names the keys
+               that invalidated us (deterministic: min (ts, id)). *)
+            let hp_min =
+              List.fold_left
+                (fun acc (ts, id, (q : srec)) ->
+                  match acc with
+                  | Some (bts, bid, _) when (bts, bid) <= (ts, id) -> acc
+                  | _ -> Some (ts, id, q))
+                None hp_after
+            in
             let skip =
               features.Features.pa_completion_estimate
               && Estimate.completion_estimate cluster ~server_node:server.node
@@ -775,7 +868,10 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
             if skip then stats.pa_skipped_completion <- stats.pa_skipped_completion + 1
             else begin
               aborted_self := true;
-              server_priority_abort server r
+              let against =
+                match hp_min with Some (_, _, q) -> q.keys | None -> [||]
+              in
+              server_priority_abort server r ~against
             end
           end
       | Txn.High | Txn.Low -> ());
@@ -801,7 +897,13 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
                 <> [])
         in
         if late && (ordering_violation () || high_late_conflict ()) then
-          server_abort_txn server r ~late:true
+          (* Clock-skew artifact: an ordering failure, not a read
+             invalidation — no key this transaction read is known stale.
+             Report a key outside the read set (the write-set-only
+             convention), which leaves the whole read prefix presumed
+             valid; the retry's claims are revalidated against the live
+             store anyway, so optimism here costs at most a failed claim. *)
+          server_abort_txn server r ~late:true ~fail_key:max_int
         else begin
           if Trace.recording trace && r.queued_at = None then
             r.queued_at <- Some (Engine.now engine);
@@ -838,6 +940,14 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
     let leaders = List.map (fun p -> servers.(p).node) participants in
     let ts, arrivals = Estimate.timestamps cluster features ~client ~leaders in
     let coordinator = Cluster.coordinator_for cluster ~client in
+    (* Per-partition partial-abort claims, as (key, data, version) triples;
+       empty with the cache off or nothing validated. The (key, version)
+       projection rides to the server, the full triples fill in the values
+       the server omits from its reply. *)
+    let part_claims =
+      List.map (fun p -> (p, Exec.claims_of txn (plan.Exec.reads_of p))) participants
+    in
+    let claims_for p = Option.value ~default:[] (List.assoc_opt p part_claims) in
     let slots : (int, slot) Hashtbl.t = Hashtbl.create 8 in
     List.iter
       (fun p ->
@@ -876,10 +986,24 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
       then if !sent_gen = 0 || !must_resend then send_commit_request ()
     in
     let deliver_read_for p src values =
-      if not !finished then begin
+      if !finished then
+        (* The attempt is already dead (the abort notice beat this reply),
+           but the triples are authoritative committed reads that crossed
+           the wire anyway: fold them into the prefix cache like abort-time
+           salvage. Without this, a partition whose serve raced the abort
+           neither seeds the cache here nor salvages on Release (it is
+           Prepared there, i.e. "already served"). *)
+        Exec.note_reads txn values
+      else begin
         let s = Hashtbl.find slots p in
         (match (src, s.src) with
         | S_normal, prev ->
+            (* Credit validated claims once per slot: the re-serve after a
+               failed condition honors the same claims again. *)
+            if prev = None then
+              Exec.note_validated txn ~attempt:txn_id ~served:values ~claims:(claims_for p);
+            let values = Exec.merge_claims ~served:values ~claims:(claims_for p) in
+            Exec.note_reads txn values;
             s.src <- Some S_normal;
             s.got <- values;
             (* A normal read arriving for a slot we used conditionally means
@@ -887,10 +1011,21 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
             (match (prev, List.assoc_opt p !used) with
             | Some (S_cond _), Some (S_cond _) when !sent_gen > 0 -> must_resend := true
             | _ -> ())
-        | (S_cond _ | S_recsf _), None ->
+        | S_cond _, None ->
+            Exec.note_validated txn ~attempt:txn_id ~served:values ~claims:(claims_for p);
+            let values = Exec.merge_claims ~served:values ~claims:(claims_for p) in
+            Exec.note_reads txn values;
+            s.src <- Some src;
+            s.got <- values
+        | S_recsf _, None ->
+            (* RECSF serves its local slice in full (claims are not honored
+               on that path), so nothing to merge; forwarded triples carry
+               version -1 and never enter the cache. *)
+            Exec.note_reads txn values;
             s.src <- Some src;
             s.got <- values
         | S_recsf b, Some (S_recsf b') when b = b' ->
+            Exec.note_reads txn values;
             (* Merge partial RECSF deliveries (local + forwarded). *)
             List.iter
               (fun ((k, _, _) as v) ->
@@ -907,8 +1042,10 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         on_done ~committed
       end
     in
-    let deliver_abort () =
+    let deliver_abort fail_key salvage =
       if not !finished then begin
+        Exec.note_reads txn salvage;
+        Txn.pa_note_fail txn ~attempt:txn_id ~key:fail_key;
         (* Release everywhere straight from the client (per-connection FIFO
            puts these ahead of the retry), and tell the coordinator. *)
         List.iter
@@ -933,6 +1070,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
         let keys =
           Array.of_list (List.sort_uniq compare (Array.to_list reads @ Array.to_list writes))
         in
+        let claims = Exec.claim_versions (claims_for p) in
         let r : srec =
           {
             txn;
@@ -944,10 +1082,12 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
             arrivals;
             participants;
             coord_node = coordinator;
+            claims;
             deliver_read = deliver_read_for p;
             deliver_abort;
             state = Queued;
             cond_on = None;
+            fwd_keys = [||];
             queued_at = None;
             waiting_from = None;
             wait_blame = None;
@@ -957,7 +1097,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
           ~msg:
             (Msg.read_prepare ~txn:txn_id
                ~priority:(match txn.Txn.priority with Txn.High -> 1 | Txn.Low -> 0)
-               ~extra:(12 * List.length participants)
+               ~extra:(12 * List.length participants + Exec.claim_extra_bytes (claims_for p))
                ~reads:(Array.length reads) ~writes:(Array.length writes) ())
           (fun () -> server_on_read_and_prepare server r))
       participants;
@@ -967,7 +1107,7 @@ let make_with_stats (cluster : Cluster.t) ~(features : Features.t) =
        release path and let the driver retry against the re-resolved
        leaders. Armed only under fault injection — fault-free runs schedule
        nothing extra. *)
-    Failover.arm_watchdog cluster ~finished ~on_timeout:deliver_abort
+    Failover.arm_watchdog cluster ~finished ~on_timeout:(fun () -> deliver_abort (-1) [])
   in
   (System.make ~name:(Features.name features) ~submit, stats)
 

@@ -266,6 +266,9 @@ type summary = {
   unfinished : int;
   aborts : int;
   spec_aborts : int;
+  partial_restarts : int;
+  keys_reused : int;
+  keys_validated : int;
   commits : int;
 }
 
@@ -286,6 +289,9 @@ let summarize results =
   and unfinished = ref 0
   and aborts = ref 0
   and spec_aborts = ref 0
+  and partial_restarts = ref 0
+  and keys_reused = ref 0
+  and keys_validated = ref 0
   and commits = ref 0 in
   List.iter
     (fun r ->
@@ -296,6 +302,9 @@ let summarize results =
       unfinished := !unfinished + r.Workload.Driver.unfinished;
       aborts := !aborts + r.Workload.Driver.total_aborts;
       spec_aborts := !spec_aborts + r.Workload.Driver.spec_aborts;
+      partial_restarts := !partial_restarts + r.Workload.Driver.partial_restarts;
+      keys_reused := !keys_reused + r.Workload.Driver.keys_reused;
+      keys_validated := !keys_validated + r.Workload.Driver.keys_validated;
       commits := !commits + r.Workload.Driver.committed_high + r.Workload.Driver.committed_low)
     results;
   let reps = float_of_int (max 1 !n) in
@@ -310,6 +319,9 @@ let summarize results =
     unfinished = !unfinished;
     aborts = !aborts;
     spec_aborts = !spec_aborts;
+    partial_restarts = !partial_restarts;
+    keys_reused = !keys_reused;
+    keys_validated = !keys_validated;
     commits = !commits;
   }
 

@@ -188,6 +188,12 @@ type summary = {
   unfinished : int;
   aborts : int;
   spec_aborts : int;  (** deterministic families' in-epoch re-executions *)
+  partial_restarts : int;
+      (** retries that claimed at least one validated-prefix key; 0 with
+          partial aborts off *)
+  keys_reused : int;  (** total read keys claimed across those retries *)
+  keys_validated : int;
+      (** claimed keys a server confirmed current and omitted from a reply *)
   commits : int;
 }
 

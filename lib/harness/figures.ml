@@ -1054,6 +1054,151 @@ let tailblame scale =
     rows;
   flush stdout
 
+(* ------------------------------------------------------------------ *)
+(* Retry sweep: what partial aborts buy, per family, across the
+   contention range. Every family that reports a first-invalidated key
+   runs the same checked grid twice — resume-from-prefix off and on —
+   so the pa column isolates the mechanism: claimed reads shrink retry
+   payloads (read_reply bytes scale with values actually shipped),
+   which shortens aborted attempts and frees link occupancy at the hot
+   partitions. A metered pass at the most contended point then splits
+   each aborted attempt's span into reused vs discarded µs
+   (Attribution.wasted_work) and prints the discarded-µs reduction the
+   claims bought, "#"-prefixed so the CSV block stays machine-readable. *)
+
+let retrysweep scale =
+  Printf.printf
+    "\n\
+     # retrysweep — partial aborts (resume from first invalidated read) off vs on, \
+     YCSB+T @100 txn/s vs Zipf theta\n";
+  Printf.printf
+    "retrysweep,zipf,pa,system,p95_high_ms,p95_low_ms,goodput_high_tps,goodput_low_tps,aborts,partial_restarts,keys_reused,keys_validated\n%!";
+  let driver ~pa =
+    let base =
+      match scale with
+      | Full -> driver_config scale ~rate:100.
+      | Quick ->
+          (* Shorter than the latency figures: the sweep needs retries and
+             their reuse counters, not tight percentiles. *)
+          {
+            (driver_config scale ~rate:100.) with
+            Workload.Driver.duration = Sim_time.seconds 6.;
+            warmup = Sim_time.seconds 1.5;
+            cooldown = Sim_time.seconds 1.5;
+          }
+    in
+    { base with Workload.Driver.partial_abort = pa }
+  in
+  let setup_of ~pa = { Experiment.default_setup with Experiment.driver = driver ~pa } in
+  let systems =
+    [
+      Experiment.Twopl Twopl.Plain;
+      Experiment.Tapir;
+      Experiment.Carousel_basic;
+      Experiment.Carousel_fast;
+      Experiment.Natto Natto.Features.ts;
+      Experiment.Natto Natto.Features.recsf;
+    ]
+  in
+  (* Quick mode trims the grid to the contention endpoints + the headline
+     point; full mode sweeps the paper-style ladder. *)
+  let thetas =
+    match scale with Quick -> [ 0.8; 0.99; 1.2 ] | Full -> [ 0.8; 0.9; 0.99; 1.1; 1.2 ]
+  in
+  let modes = [ false; true ] in
+  let cells =
+    List.concat_map
+      (fun theta ->
+        List.concat_map (fun pa -> List.map (fun spec -> (theta, pa, spec)) systems) modes)
+      thetas
+  in
+  let outcomes =
+    map_cells cells (fun (theta, pa, spec) ->
+        Experiment.run_outcomes ~check:true (setup_of ~pa) spec
+          ~gen:(Workload.Ycsbt.gen ~theta ())
+          ~seeds:(seeds scale))
+  in
+  List.iter2
+    (fun (theta, pa, spec) outs ->
+      let s = Experiment.summarize (List.map Experiment.merge_outcome outs) in
+      let system = Experiment.spec_name spec in
+      Printf.printf "retrysweep,%.2f,%s,%s,%.1f,%.1f,%.1f,%.1f,%d,%d,%d,%d\n%!" theta
+        (if pa then "on" else "off")
+        system s.Experiment.p95_high_ms s.Experiment.p95_low_ms s.Experiment.goodput_high_tps
+        s.Experiment.goodput_low_tps s.Experiment.aborts s.Experiment.partial_restarts
+        s.Experiment.keys_reused s.Experiment.keys_validated;
+      collect ~figure:"retrysweep" ~x_label:"zipf"
+        ~x:(Printf.sprintf "%.2f/%s" theta (if pa then "on" else "off"))
+        ~system
+        [
+          ("p95_high_ms", s.Experiment.p95_high_ms);
+          ("p95_low_ms", s.Experiment.p95_low_ms);
+          ("goodput_high_tps", s.Experiment.goodput_high_tps);
+          ("goodput_low_tps", s.Experiment.goodput_low_tps);
+          ("aborts", float_of_int s.Experiment.aborts);
+          ("partial_restarts", float_of_int s.Experiment.partial_restarts);
+          ("keys_reused", float_of_int s.Experiment.keys_reused);
+          ("keys_validated", float_of_int s.Experiment.keys_validated);
+        ])
+    cells outcomes;
+  (* Wasted-work evidence at the most contended paper point: meter each
+     family off and on at Zipf 0.99 and report how much aborted-attempt
+     time the validated prefix reclaimed. *)
+  let theta = 0.99 in
+  let mcells = List.concat_map (fun spec -> List.map (fun pa -> (spec, pa)) modes) systems in
+  let metered =
+    map_cells mcells (fun (spec, pa) ->
+        Experiment.run_metrics (setup_of ~pa) spec
+          ~gen:(Workload.Ycsbt.gen ~theta ())
+          ~seed:(List.hd (seeds scale)))
+  in
+  let wasted = List.map2 (fun (spec, pa) m ->
+      (spec, pa, Metrics.Attribution.wasted_work m.Experiment.m_breakdowns)) mcells metered
+  in
+  Printf.printf
+    "# retrysweep wasted @ zipf %.2f: aborted-attempt us split (exec unchanged; \
+     reused + discarded = backoff)\n"
+    theta;
+  List.iter
+    (fun spec ->
+      let find pa =
+        List.find_map
+          (fun (s, p, w) -> if s == spec && p = pa then Some w else None)
+          wasted
+      in
+      match (find false, find true) with
+      | Some off, Some on ->
+          let system = Experiment.spec_name spec in
+          let reduction =
+            if off.Metrics.Attribution.wk_discarded_us <= 0 then 0.
+            else
+              100.
+              *. float_of_int
+                   (off.Metrics.Attribution.wk_discarded_us
+                   - on.Metrics.Attribution.wk_discarded_us)
+              /. float_of_int off.Metrics.Attribution.wk_discarded_us
+          in
+          Printf.printf
+            "# retrysweep wasted: %s off: txns=%d exec=%dus discarded=%dus | on: txns=%d \
+             exec=%dus reused=%dus discarded=%dus | discarded_reduction_pct=%.1f\n%!"
+            system off.Metrics.Attribution.wk_txns off.Metrics.Attribution.wk_exec_us
+            off.Metrics.Attribution.wk_discarded_us on.Metrics.Attribution.wk_txns
+            on.Metrics.Attribution.wk_exec_us on.Metrics.Attribution.wk_reused_us
+            on.Metrics.Attribution.wk_discarded_us reduction;
+          collect ~figure:"retrysweep" ~x_label:"wasted"
+            ~x:(Printf.sprintf "%.2f" theta)
+            ~system
+            [
+              ("off_exec_us", float_of_int off.Metrics.Attribution.wk_exec_us);
+              ("off_discarded_us", float_of_int off.Metrics.Attribution.wk_discarded_us);
+              ("on_exec_us", float_of_int on.Metrics.Attribution.wk_exec_us);
+              ("on_reused_us", float_of_int on.Metrics.Attribution.wk_reused_us);
+              ("on_discarded_us", float_of_int on.Metrics.Attribution.wk_discarded_us);
+              ("discarded_reduction_pct", reduction);
+            ]
+      | _ -> ())
+    systems
+
 let all scale =
   table1 ();
   fig7_ycsbt scale;
@@ -1073,13 +1218,14 @@ let all scale =
   attribution scale;
   check_figure scale;
   queccsweep scale;
-  tailblame scale
+  tailblame scale;
+  retrysweep scale
 
 let names =
   [
     "table1"; "fig7ab"; "fig7cd"; "fig7ef"; "fig8a"; "fig8b"; "fig9"; "fig10"; "fig11";
     "fig12"; "fig13"; "fig14"; "batchsweep"; "ablation"; "failover"; "attribution"; "check";
-    "queccsweep"; "tailblame"; "simthroughput";
+    "queccsweep"; "tailblame"; "retrysweep"; "simthroughput";
   ]
 
 let run_by_name name scale =
@@ -1103,5 +1249,6 @@ let run_by_name name scale =
   | "check" -> check_figure scale; true
   | "queccsweep" -> queccsweep scale; true
   | "tailblame" -> tailblame scale; true
+  | "retrysweep" -> retrysweep scale; true
   | "simthroughput" -> simthroughput scale; true
   | _ -> false

@@ -126,6 +126,15 @@ val tailblame : scale -> unit
     2PL baseline and full blame reports (exemplar timelines included) for
     2PL and Natto-RECSF at Zipf 0.99. Deterministic at any job count. *)
 
+val retrysweep : scale -> unit
+(** Partial-abort sweep (ISSUE 10): one system per optimistic family —
+    plus 2PL and the Natto TS/RECSF pair — at YCSB+T Zipf 0.8 → 1.2, each
+    cell run checked with resume-from-prefix off and on (the [pa] CSV
+    column). A metered pass at Zipf 0.99 splits every aborted attempt's
+    span into reused vs discarded µs ({!Metrics.Attribution.wasted_work})
+    and prints each family's discarded-µs reduction as a [#] comment.
+    Deterministic at any job count. *)
+
 val all : scale -> unit
 val run_by_name : string -> scale -> bool
 (** Dispatch "fig7ab" ... "fig14" | "table1" | "check"; [false] if unknown. *)

@@ -90,6 +90,7 @@ type txn_breakdown = {
   t_high : bool;
   t_e2e_us : int;
   t_seg : segments;
+  t_reused_us : int;
   t_charges : charge list;
 }
 
@@ -235,6 +236,7 @@ let analyze ~trace ~txns =
       let e2e = finished - born in
       let seg = ref zero in
       let attempted = ref 0 in
+      let reused = ref 0 in
       let charges : (cls * (int * bool * int * int), int ref) Hashtbl.t =
         Hashtbl.create 8
       in
@@ -250,10 +252,19 @@ let analyze ~trace ~txns =
           let hi = min finished (Sim_time.to_us a.Registry.a_end) in
           if hi > lo then begin
             attempted := !attempted + (hi - lo);
-            if not a.Registry.a_committed then
+            if not a.Registry.a_committed then begin
               (* An aborted attempt is entirely wasted from the client's
-                 point of view: all of it is retry cost. *)
-              seg := { !seg with backoff = !seg.backoff + (hi - lo) }
+                 point of view: all of it is retry cost. With partial aborts
+                 the share of the span whose reads the attempt claimed from
+                 the validated-prefix cache was not re-derived; track it
+                 (integer µs, capped by the span since a_reused <= a_reads)
+                 so the wasted-work view can split backoff into discarded
+                 vs. reused without changing the exact-sum segments. *)
+              let span = hi - lo in
+              if a.Registry.a_reused > 0 && a.Registry.a_reads > 0 then
+                reused := !reused + (span * a.Registry.a_reused / a.Registry.a_reads);
+              seg := { !seg with backoff = !seg.backoff + span }
+            end
             else begin
               let ivs =
                 match Hashtbl.find_opt intervals a.Registry.a_txn with
@@ -298,8 +309,42 @@ let analyze ~trace ~txns =
                  (rank x.ch_cls, -x.ch_us, x.ch_blocker, x.ch_key, x.ch_node)
                  (rank y.ch_cls, -y.ch_us, y.ch_blocker, y.ch_key, y.ch_node))
       in
-      { t_high = tr.Registry.high; t_e2e_us = e2e; t_seg = seg; t_charges = charges })
+      {
+        t_high = tr.Registry.high;
+        t_e2e_us = e2e;
+        t_seg = seg;
+        t_reused_us = !reused;
+        t_charges = charges;
+      })
     txns
+
+(* Retry-churn accounting over a run: the exec/backoff pool split into
+   useful execution, retry work covered by a reused prefix, and truly
+   discarded work. Integer µs throughout; wk_reused + wk_discarded =
+   wk_backoff exactly, so the view decomposes the segments it is drawn
+   from without perturbing their exact sum. *)
+type wasted = {
+  wk_txns : int;
+  wk_exec_us : int;
+  wk_backoff_us : int;
+  wk_reused_us : int;
+  wk_discarded_us : int;
+}
+
+let wasted_work bds =
+  List.fold_left
+    (fun acc bd ->
+      {
+        wk_txns = acc.wk_txns + 1;
+        wk_exec_us = acc.wk_exec_us + bd.t_seg.exec;
+        wk_backoff_us = acc.wk_backoff_us + bd.t_seg.backoff;
+        wk_reused_us = acc.wk_reused_us + bd.t_reused_us;
+        wk_discarded_us = acc.wk_discarded_us + (bd.t_seg.backoff - bd.t_reused_us);
+      })
+    { wk_txns = 0; wk_exec_us = 0; wk_backoff_us = 0; wk_reused_us = 0; wk_discarded_us = 0 }
+    bds
+
+let wasted_us w = w.wk_discarded_us
 
 type agg = {
   n : int;

@@ -79,6 +79,10 @@ type txn_breakdown = {
   t_high : bool;
   t_e2e_us : int;
   t_seg : segments;
+  t_reused_us : int;
+      (** µs of [backoff] covered by partial-abort prefix reuse: each
+          aborted attempt contributes span · a_reused / a_reads (integer,
+          so always ≤ its span); 0 with partial aborts off *)
   t_charges : charge list;
       (** blame entries, sorted by (class rank, µs desc, blocker, key, node).
           Within the sweep each elementary time segment is charged to exactly
@@ -98,6 +102,22 @@ val analyze : trace:Trace.t -> txns:Registry.txn_rec list -> txn_breakdown list
     be the full-mode buffered sink the run recorded into (a streaming or
     counters-only sink yields events for nothing, so every segment but
     backoff/residual is 0). *)
+
+type wasted = {
+  wk_txns : int;
+  wk_exec_us : int;  (** committed-attempt execution — useful work *)
+  wk_backoff_us : int;  (** aborted-attempt time: the retry-churn pool *)
+  wk_reused_us : int;  (** share of backoff covered by a reused prefix *)
+  wk_discarded_us : int;  (** backoff − reused: work truly thrown away *)
+}
+(** The wasted-work view of the exec/backoff segments.
+    [wk_reused_us + wk_discarded_us = wk_backoff_us] exactly. *)
+
+val wasted_work : txn_breakdown list -> wasted
+
+val wasted_us : wasted -> int
+(** The headline wasted-µs figure — [wk_discarded_us]; the retrysweep
+    acceptance gate compares it between partial-abort on/off runs. *)
 
 type agg = {
   n : int;

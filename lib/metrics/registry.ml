@@ -19,6 +19,8 @@ type attempt_rec = {
   a_start : Sim_time.t;
   a_end : Sim_time.t;
   a_committed : bool;
+  a_reads : int;
+  a_reused : int;
 }
 
 type txn_rec = {

@@ -105,6 +105,10 @@ type attempt_rec = {
   a_start : Simcore.Sim_time.t;
   a_end : Simcore.Sim_time.t;
   a_committed : bool;
+  a_reads : int;  (** the transaction's read-set size *)
+  a_reused : int;
+      (** read keys this attempt claimed from the partial-abort
+          validated-prefix cache; 0 for first attempts or with the cache off *)
 }
 
 type txn_rec = {

@@ -88,6 +88,9 @@ let vote ?txn () = make ?txn Vote ~bytes:vote_bytes
 let decision ?txn ~writes () = make ?txn Decision ~bytes:(decision_bytes ~writes)
 let control ?txn kind = make ?txn kind ~bytes:control_bytes
 
+let abort_notice ?txn ~salvaged () =
+  make ?txn Abort_notice ~bytes:(control_bytes + (salvaged * (key_bytes + value_bytes)))
+
 let recsf_request ?txn ~keys () =
   make ?txn Recsf_request ~bytes:(control_bytes + (keys * key_bytes))
 

@@ -65,6 +65,12 @@ val control : ?txn:int -> kind -> t
     [Abort_notice], [Release], [Cond_resolution], [Control], or an
     abort [Decision]). *)
 
+val abort_notice : ?txn:int -> salvaged:int -> unit -> t
+(** An [Abort_notice] carrying [salvaged] piggybacked (key, value) reads —
+    the aborting server's still-valid slice of the victim's read prefix,
+    seeding the partial-abort cache of a transaction that was never served.
+    [~salvaged:0] is byte-identical to [control Abort_notice]. *)
+
 val recsf_request : ?txn:int -> keys:int -> unit -> t
 val recsf_reply : ?txn:int -> reads:int -> unit -> t
 val probe : unit -> t

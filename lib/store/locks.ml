@@ -28,7 +28,7 @@ type t = {
   policy : policy;
   keys : (int, key_state) Hashtbl.t;
   txns : (int, txn_state) Hashtbl.t;
-  mutable abort_handler : int -> unit;
+  mutable abort_handler : key:int -> int -> unit;
   mutable next_seq : int;
   mutable wounds : int;  (** wound-wait aborts (older requester kills younger) *)
   mutable preempts : int;  (** priority preemptions (high requester kills low) *)
@@ -39,7 +39,7 @@ let create ~policy () =
     policy;
     keys = Hashtbl.create 1024;
     txns = Hashtbl.create 256;
-    abort_handler = (fun _ -> failwith "Locks: abort handler not set");
+    abort_handler = (fun ~key:_ _ -> failwith "Locks: abort handler not set");
     next_seq = 0;
     wounds = 0;
     preempts = 0;
@@ -142,11 +142,11 @@ let woundable t victim =
   | Some st -> (not st.wounded) && not st.pinned
   | None -> false
 
-let wound_counted t victim =
+let wound_counted t ~key victim =
   match Hashtbl.find_opt t.txns victim with
   | Some st when (not st.wounded) && not st.pinned ->
       st.wounded <- true;
-      t.abort_handler victim;
+      t.abort_handler ~key victim;
       true
   | _ -> false
 
@@ -227,7 +227,7 @@ let acquire t ~txn ~ts ~high ~key ~exclusive ~on_granted =
     if not (List.mem key st.waits) then st.waits <- key :: st.waits;
     List.iter
       (fun v ->
-        if wound_counted t v then
+        if wound_counted t ~key v then
           (* Classify for the metrics registry: under a preemption policy a
              high-priority requester's kills are priority preemptions;
              everything else is plain wound-wait. *)

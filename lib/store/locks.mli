@@ -26,7 +26,9 @@ type t
 
 val create : policy:policy -> unit -> t
 
-val set_abort_handler : t -> (int -> unit) -> unit
+val set_abort_handler : t -> (key:int -> int -> unit) -> unit
+(** [key] is the contended key whose acquisition triggered the wound — the
+    partial-abort layer reports it as the victim's first invalidated key. *)
 
 val acquire :
   t ->

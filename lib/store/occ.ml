@@ -60,6 +60,45 @@ let conflicts_any t ~keys =
     keys;
   !acc
 
+(* The earliest conflicting key under the OCC rule, scanning the (sorted)
+   read slice first so partial-abort reports name the first invalidated
+   read; a write-only conflict reports the write key instead. *)
+let first_conflict_key t ~reads ~writes ~excluding =
+  let hit table key =
+    match Hashtbl.find_opt table key with
+    | None -> false
+    | Some txns -> List.exists (fun t' -> t' <> excluding) txns
+  in
+  match Array.find_opt (fun k -> hit t.writers k) reads with
+  | Some k -> Some k
+  | None -> Array.find_opt (fun k -> hit t.writers k || hit t.readers k) writes
+
+let principal_conflict_key t ~reads ~writes ~excluding =
+  let conflicters table key acc =
+    match Hashtbl.find_opt table key with
+    | None -> acc
+    | Some txns ->
+        List.fold_left
+          (fun acc t' -> if t' = excluding then acc else min acc t')
+          acc txns
+  in
+  let principal =
+    let acc = Array.fold_left (fun acc k -> conflicters t.writers k acc) max_int reads in
+    Array.fold_left
+      (fun acc k -> conflicters t.readers k (conflicters t.writers k acc))
+      acc writes
+  in
+  if principal = max_int then None
+  else
+    let hits table key =
+      match Hashtbl.find_opt table key with
+      | None -> false
+      | Some txns -> List.mem principal txns
+    in
+    match Array.find_opt (fun k -> hits t.writers k) reads with
+    | Some k -> Some k
+    | None -> Array.find_opt (fun k -> hits t.writers k || hits t.readers k) writes
+
 let footprint t ~txn =
   Option.map (fun { reads; writes } -> (reads, writes)) (Hashtbl.find_opt t.by_txn txn)
 

@@ -198,19 +198,28 @@ let make (cluster : Cluster.t) : System.t =
                        ~writes:(Array.length writes_p) ())
                   (fun () ->
                     (* TAPIR validation: reads must still be current here, and
-                       the footprint must not conflict with a prepared txn. *)
-                    let stale =
-                      List.exists
+                       the footprint must not conflict with a prepared txn.
+                       The first offending key rides back on the vote so a
+                       partial-abort retry knows where its prefix broke. *)
+                    let stale_key =
+                      List.find_opt
                         (fun (key, version) -> Store.Kv.version r.kv key <> version)
                         read_versions
                     in
-                    let conflicted =
-                      Store.Occ.conflicts r.occ ~reads:reads_p ~writes:writes_p <> []
+                    let fail_key =
+                      match stale_key with
+                      | Some (key, _) -> Some key
+                      | None ->
+                          Store.Occ.principal_conflict_key r.occ ~reads:reads_p
+                            ~writes:writes_p ~excluding:txn_id
                     in
-                    let ok = (not stale) && not conflicted in
+                    let ok = fail_key = None in
                     if ok then Store.Occ.prepare r.occ ~txn:txn_id ~reads:reads_p ~writes:writes_p;
                     send ~src:r.node ~dst:client ~msg:(Msg.vote ~txn:txn_id ()) (fun () ->
                         if not !finished then begin
+                          (match fail_key with
+                          | Some key -> Txn.pa_note_fail txn ~attempt:txn_id ~key
+                          | None -> ());
                           votes := (p, ok) :: !votes;
                           decr pending;
                           if !pending = 0 then decide ()
@@ -222,16 +231,28 @@ let make (cluster : Cluster.t) : System.t =
       (fun p ->
         let r = nearest_replica ~failover ~client p in
         let keys = plan.Exec.reads_of p in
+        (* Partial-abort claims: keys from the validated prefix ride on the
+           request as (key, value, version) and, when the replica confirms
+           the version still matches, are dropped from the reply payload. *)
+        let claims = Exec.claims_of txn keys in
         send ~src:client ~dst:r.node
-          ~msg:(Msg.read_prepare ~txn:txn_id ~reads:(Array.length keys) ~writes:0 ())
+          ~msg:
+            (Msg.read_prepare ~txn:txn_id ~reads:(Array.length keys) ~writes:0
+               ~extra:(Exec.claim_extra_bytes claims) ())
           (fun () ->
             if Check.Recorder.enabled recorder then
               Check.Recorder.reads_from_kv recorder ~txn:txn_id r.kv keys;
-            let values = Exec.read_values r.kv keys in
+            let served =
+              Exec.serve_keys r.kv keys ~claims:(Exec.claim_versions claims)
+            in
+            let values = Exec.read_values r.kv served in
             send ~src:r.node ~dst:client
-              ~msg:(Msg.read_reply ~txn:txn_id ~reads:(Array.length keys) ())
+              ~msg:(Msg.read_reply ~txn:txn_id ~reads:(Array.length served) ())
               (fun () ->
                 if not !finished then begin
+                  Exec.note_validated txn ~attempt:txn_id ~served:values ~claims;
+                  let values = Exec.merge_claims ~served:values ~claims in
+                  Exec.note_reads txn values;
                   read_results := (p, values) :: !read_results;
                   decr reads_pending;
                   if !reads_pending = 0 then round_two ()

@@ -16,7 +16,9 @@ let name_of = function
 type live_rec = {
   txn : Txn.t;
   txn_id : int;  (** attempt id snapshot; [txn.id] moves on when the driver retries *)
-  deliver_abort : unit -> unit;
+  deliver_abort : int -> unit;
+      (** argument: the conflicting key ([-1] unknown), feeding the
+          partial-abort validated-prefix report *)
   mutable gone : bool;
 }
 
@@ -43,7 +45,7 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
   let trace = Netsim.Network.trace net in
   let send ~src ~dst ~msg f = Rpc.send net ~src ~dst ~msg f in
   let recorder = cluster.Cluster.recorder in
-  let abort_locally server txn_id =
+  let abort_locally server ~key txn_id =
     match Hashtbl.find_opt server.live txn_id with
     | None -> ()
     | Some r ->
@@ -51,10 +53,11 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
         Hashtbl.remove server.live txn_id;
         Hashtbl.replace server.tombstones txn_id ();
         Store.Locks.release_all server.locks ~txn:txn_id;
-        (* Tell the aborted transaction's client. *)
+        (* Tell the aborted transaction's client, naming the contended key
+           so the retry can resume from the first invalidated read. *)
         send ~src:server.node ~dst:r.txn.Txn.client
           ~msg:(Msg.control ~txn:r.txn_id Msg.Abort_notice)
-          (fun () -> r.deliver_abort ())
+          (fun () -> r.deliver_abort key)
   in
   let servers =
     Array.init cluster.Cluster.n_partitions (fun p ->
@@ -68,7 +71,7 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
             tombstones = Hashtbl.create 256;
           }
         in
-        Store.Locks.set_abort_handler s.locks (fun txn_id -> abort_locally s txn_id);
+        Store.Locks.set_abort_handler s.locks (fun ~key txn_id -> abort_locally s ~key txn_id);
         s)
   in
   (* Per-partition lock-table instruments for the metrics registry. *)
@@ -146,7 +149,7 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
     if not !granted then
       ignore
         (Simcore.Engine.schedule_after engine lock_timeout (fun () ->
-             if (not !granted) && not r.gone then abort_locally server r.txn_id))
+             if (not !granted) && not r.gone then abort_locally server ~key r.txn_id))
   in
   let coords : (int, coord) Hashtbl.t = Hashtbl.create 4096 in
   let coord_state ~txn_id ~client ~n_participants =
@@ -201,7 +204,10 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
         on_done ~committed:false
       end
     in
-    let deliver_abort () = abort_attempt () in
+    let deliver_abort key =
+      Txn.pa_note_fail txn ~attempt:txn_id ~key;
+      abort_attempt ()
+    in
     (* ---- phase 3: coordinator decision ---- *)
     let coord_commit pairs =
       let c = coord_state ~txn_id ~client ~n_participants:n in
@@ -326,8 +332,15 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
         (fun p ->
           let server = servers.(p) in
           let keys = plan.Exec.reads_of p in
+          (* Partial-abort claims for this partition's keys: (key, value,
+             version) triples the client believes are still current. They ride
+             on the request (12 bytes each) and, when the server confirms the
+             version, drop the key from the reply payload. *)
+          let claims = Exec.claims_of txn keys in
           send ~src:client ~dst:server.node
-            ~msg:(Msg.read_prepare ~txn:txn_id ~reads:(Array.length keys) ~writes:0 ())
+            ~msg:
+              (Msg.read_prepare ~txn:txn_id ~reads:(Array.length keys) ~writes:0
+                 ~extra:(Exec.claim_extra_bytes claims) ())
             (fun () ->
               if Hashtbl.mem server.tombstones txn_id then ()
               else begin
@@ -351,7 +364,14 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
                             if Check.Recorder.enabled recorder then
                               Check.Recorder.reads_from_kv recorder ~txn:txn_id
                                 server.kv keys;
-                            let values = Exec.read_values server.kv keys in
+                            (* Serve only unclaimed / stale-claimed keys; the
+                               history is recorded over the full slice either
+                               way, so the checker sees identical reads. *)
+                            let served =
+                              Exec.serve_keys server.kv keys
+                                ~claims:(Exec.claim_versions claims)
+                            in
+                            let values = Exec.read_values server.kv served in
                             (* Deliberately broken variant for checker tests:
                                give up the read locks as soon as the reads
                                are served, before the 2PC prepare — the
@@ -363,9 +383,17 @@ let make ?(lock_timeout = Simcore.Sim_time.seconds 1.0) ?(early_read_release = f
                             if early_read_release then
                               Store.Locks.release_all server.locks ~txn:txn_id;
                             send ~src:server.node ~dst:client
-                              ~msg:(Msg.read_reply ~txn:txn_id ~reads:needed ())
+                              ~msg:
+                                (Msg.read_reply ~txn:txn_id
+                                   ~reads:(Array.length served) ())
                               (fun () ->
                                 if not !finished then begin
+                                  Exec.note_validated txn ~attempt:txn_id
+                                    ~served:values ~claims;
+                                  let values =
+                                    Exec.merge_claims ~served:values ~claims
+                                  in
+                                  Exec.note_reads txn values;
                                   read_replies := values :: !read_replies;
                                   decr reads_pending;
                                   if !reads_pending = 0 then phase_one_done ()

@@ -7,10 +7,34 @@ type plan = {
 }
 
 let plan_of cluster (txn : Txn.t) =
+  (* The key sets are fixed for the transaction's lifetime and the record is
+     reused across retries, so the partition slicing is memoized on it —
+     attempt 2+ pays zero re-splitting cost. *)
+  let pc =
+    match txn.Txn.plan_cache with
+    | Some pc -> pc
+    | None ->
+        let participants = Cluster.participants cluster txn in
+        let slice keys =
+          List.map
+            (fun p -> (p, Cluster.keys_on_partition cluster ~partition:p keys))
+            participants
+        in
+        let pc =
+          {
+            Txn.pc_participants = participants;
+            pc_reads = slice txn.Txn.read_set;
+            pc_writes = slice txn.Txn.write_set;
+          }
+        in
+        txn.Txn.plan_cache <- Some pc;
+        pc
+  in
+  let find slices p = match List.assoc_opt p slices with Some a -> a | None -> [||] in
   {
-    participants = Cluster.participants cluster txn;
-    reads_of = (fun p -> Cluster.keys_on_partition cluster ~partition:p txn.Txn.read_set);
-    writes_of = (fun p -> Cluster.keys_on_partition cluster ~partition:p txn.Txn.write_set);
+    participants = pc.Txn.pc_participants;
+    reads_of = (fun p -> find pc.Txn.pc_reads p);
+    writes_of = (fun p -> find pc.Txn.pc_writes p);
   }
 
 let read_values kv keys =
@@ -32,3 +56,68 @@ let write_pairs (txn : Txn.t) read_values =
 
 let pairs_on_partition cluster ~partition pairs =
   List.filter (fun (key, _) -> Cluster.partition_of_key cluster key = partition) pairs
+
+(* ---- partial-abort claim plumbing (shared by every optimistic family) ---- *)
+
+let claims_of (txn : Txn.t) keys =
+  match txn.Txn.pa with
+  | None -> []
+  | Some pa ->
+      Array.to_list keys
+      |> List.filter_map (fun key ->
+             match Txn.read_index txn key with
+             | i when i >= 0 && i < pa.Txn.limit && pa.Txn.have.(i) ->
+                 Some (key, pa.Txn.values.(i), pa.Txn.versions.(i))
+             | _ -> None)
+
+let claim_versions claims = List.map (fun (key, _, version) -> (key, version)) claims
+
+let serve_keys kv keys ~claims =
+  if claims = [] then keys
+  else
+    Array.of_list
+      (List.filter
+         (fun key ->
+           match List.assoc_opt key claims with
+           | Some version -> Store.Kv.version kv key <> version
+           | None -> true)
+         (Array.to_list keys))
+
+let merge_claims ~served ~claims =
+  if claims = [] then served
+  else
+    served
+    @ List.filter
+        (fun (key, _, _) -> not (List.exists (fun (k, _, _) -> k = key) served))
+        claims
+
+let note_validated (txn : Txn.t) ~attempt ~served ~claims =
+  if claims <> [] then
+    Txn.pa_note_reused txn ~attempt
+      (List.length
+         (List.filter
+            (fun (key, _, _) -> not (List.exists (fun (k, _, _) -> k = key) served))
+            claims))
+
+let note_reads (txn : Txn.t) entries =
+  if txn.Txn.pa <> None then
+    List.iter (fun (key, data, version) -> Txn.pa_note_read txn ~key ~data ~version) entries
+
+let claim_extra_bytes claims = 12 * List.length claims
+
+let salvage_reads kv (txn : Txn.t) ~reads ~fail_key =
+  if txn.Txn.pa = None then []
+  else begin
+    let bound =
+      if fail_key < 0 then 0
+      else match Txn.read_index txn fail_key with -1 -> max_int | i -> i
+    in
+    if bound = 0 then []
+    else
+      read_values kv
+        (Array.of_list
+           (List.filter (fun k -> Txn.read_index txn k < bound) (Array.to_list reads)))
+  end
+
+let salvage_all kv (txn : Txn.t) ~reads =
+  if txn.Txn.pa = None then [] else read_values kv reads

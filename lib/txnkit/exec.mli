@@ -21,3 +21,68 @@ val write_pairs : Txn.t -> int array -> (int * int) list
     write values. *)
 
 val pairs_on_partition : Cluster.t -> partition:int -> (int * int) list -> (int * int) list
+
+(** {2 Partial-abort claims}
+
+    With partial aborts on, a retry {e claims} the cached (key, version)
+    pairs of its validated read prefix instead of asking for the data again.
+    The server compares each claimed version against its live store: a match
+    omits the value from the reply (the payload shrinks — that is the real
+    saving), a mismatch serves the key fresh. Either way the server records
+    the {e full} read slice to the checker, so histories are identical with
+    the cache on or off. *)
+
+val claims_of : Txn.t -> int array -> (int * int * int) list
+(** [(key, data, version)] claimable from the validated prefix for a
+    partition's read slice; [[]] when partial aborts are off. *)
+
+val claim_versions : (int * int * int) list -> (int * int) list
+(** What actually crosses the wire: the (key, version) pairs. *)
+
+val serve_keys : Store.Kv.t -> int array -> claims:(int * int) list -> int array
+(** Server side: the keys that must be served fresh — unclaimed keys plus
+    claims whose version no longer matches the store. *)
+
+val merge_claims :
+  served:(int * int * int) list -> claims:(int * int * int) list -> (int * int * int) list
+(** Client side: fresh served values plus claimed entries the server
+    validated (and therefore omitted). Served values win on overlap. *)
+
+val note_validated :
+  Txn.t -> attempt:int -> served:(int * int * int) list -> claims:(int * int * int) list -> unit
+(** Client side, on a reply that honored claims: credits the claims the
+    server validated (their keys are absent from [served]) to the attempt's
+    reuse counter. The driver reports {e this} — values actually omitted
+    from replies — as [keys_reused], so over-claiming never inflates the
+    accounting. *)
+
+val note_reads : Txn.t -> (int * int * int) list -> unit
+(** Folds authoritatively served [(key, data, version)] entries into the
+    prefix cache (no-op when partial aborts are off; negative versions —
+    speculative forwards — are skipped). *)
+
+val claim_extra_bytes : (int * int * int) list -> int
+(** Wire cost of piggybacking the claims on a read-and-prepare. *)
+
+val salvage_reads :
+  Store.Kv.t -> Txn.t -> reads:int array -> fail_key:int -> (int * int * int) list
+(** Abort-time salvage: the aborting server's current [(key, data, version)]
+    triples for the partition's read keys that lie strictly before
+    [fail_key] in the transaction's read order — exactly the slice a resumed
+    retry could claim. This is what lets a victim aborted {e before} being
+    served (Natto's priority aborts, Carousel's arrival conflicts) still
+    restart with a populated prefix. The bound keeps the abort notice — the
+    message gating the retry — small. Empty when partial aborts are off or
+    the conflict is unknown ([fail_key < 0]) or at read index 0; a
+    write-set-only [fail_key] salvages the whole local read slice. Entries
+    are read from the aborting leader's store and revalidated like any
+    other claim, so a racing later write is always repaired by a fresh
+    serve. *)
+
+val salvage_all : Store.Kv.t -> Txn.t -> reads:int array -> (int * int * int) list
+(** Unbounded salvage: the full local read slice, regardless of the fail
+    index. For paths where the extra bytes are off the retry's critical
+    path (Natto's Release processing) or the abort reply is the vote
+    itself (Carousel Fast's leader): a later attempt's claim limit can
+    exceed this one's, and a cached entry stays claimable until its
+    version moves. Empty when partial aborts are off. *)

@@ -10,6 +10,7 @@ type config = {
   max_retries : int;
   drain : Sim_time.t;
   seed : int;
+  partial_abort : bool;
 }
 
 let default_config =
@@ -22,6 +23,7 @@ let default_config =
     max_retries = 100;
     drain = Sim_time.seconds 40.;
     seed = 1;
+    partial_abort = false;
   }
 
 type result = {
@@ -35,6 +37,9 @@ type result = {
   total_attempts : int;
   total_aborts : int;
   spec_aborts : int;
+  partial_restarts : int;
+  keys_reused : int;
+  keys_validated : int;
   goodput_high_tps : float;
   goodput_low_tps : float;
   window_seconds : float;
@@ -46,6 +51,9 @@ type state = {
   mutable aborts : int;
   mutable failed : int;
   mutable inflight : int;
+  mutable partial_restarts : int;
+  mutable keys_reused : int;
+  mutable keys_validated : int;
   high : float Vec.t;
   low : float Vec.t;
   log : (float * float * bool) Vec.t;
@@ -64,6 +72,9 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
       aborts = 0;
       failed = 0;
       inflight = 0;
+      partial_restarts = 0;
+      keys_reused = 0;
+      keys_validated = 0;
       high = Vec.create ();
       low = Vec.create ();
       log = Vec.create ();
@@ -102,9 +113,19 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
   let m_on = Metrics.Registry.enabled metrics in
   let c_commits = if m_on then Some (Metrics.Registry.counter metrics "txn.commits") else None in
   let c_aborts = if m_on then Some (Metrics.Registry.counter metrics "txn.aborts") else None in
+  let c_partial =
+    if m_on then Some (Metrics.Registry.counter metrics "pa.partial_restarts") else None
+  in
+  let c_reused =
+    if m_on then Some (Metrics.Registry.counter metrics "pa.keys_reused") else None
+  in
+  let c_validated =
+    if m_on then Some (Metrics.Registry.counter metrics "pa.keys_validated") else None
+  in
   let h_high = if m_on then Some (Metrics.Registry.histogram metrics "latency.high_ms") else None in
   let h_low = if m_on then Some (Metrics.Registry.histogram metrics "latency.low_ms") else None in
   let bump c = match c with Some c -> Metrics.Registry.add c 1 | None -> () in
+  let bump_n c n = match c with Some c -> Metrics.Registry.add c n | None -> () in
   let observe h v = match h with Some h -> Metrics.Registry.observe h v | None -> () in
   (* Attempt lineage per logical transaction: retries get fresh attempt ids,
      so the trace alone cannot reconnect them; the attribution engine needs
@@ -123,7 +144,7 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
         }
     end
   in
-  let rec attempt (txn : Txn.t) ~tries ~history =
+  let rec attempt (txn : Txn.t) ~tries ~history ~reused =
     st.attempts <- st.attempts + 1;
     (* Each attempt gets its own span on the trace's transaction track;
        retries show up as consecutive spans under fresh attempt ids. *)
@@ -139,6 +160,20 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
       Check.Recorder.start recorder ~txn:txn.Txn.id ~at:(Engine.now engine);
     let a_start = Engine.now engine in
     system.System.submit txn ~on_done:(fun ~committed ->
+        (* What the attempt actually reused: claims the servers validated
+           (values omitted from replies), not claims merely made — so a
+           mispredicted prefix never inflates the accounting. *)
+        (* Two reuse counters, both reported: [claimed] is the resumed
+           prefix — reads this attempt took from the checkpoint instead of
+           re-issuing (the wasted-work view's basis) — and [validated] is
+           the subset some server confirmed current and omitted from a
+           reply. An attempt aborted before any serve keeps claimed > 0,
+           validated = 0: it resumed, but nothing shipped. *)
+        let validated = Txn.pa_reused txn in
+        if validated > 0 then begin
+          st.keys_validated <- st.keys_validated + validated;
+          bump_n c_validated validated
+        end;
         let history =
           if m_on then
             {
@@ -146,6 +181,8 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
               a_start;
               a_end = Engine.now engine;
               a_committed = committed;
+              a_reads = Array.length txn.Txn.read_set;
+              a_reused = reused;
             }
             :: history
           else history
@@ -193,7 +230,17 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
                submission, so mutating it here cannot confuse still-in-flight
                messages from the aborted attempt. *)
             txn.Txn.id <- fresh_id ();
-            attempt txn ~tries:(tries + 1) ~history
+            (* Roll the partial-abort prefix cache over to the new attempt:
+               the retry claims the validated prefix instead of re-reading
+               it. Returns 0 (and stays inert) with the cache off. *)
+            let claimed = Txn.pa_prepare_retry txn ~next_attempt:txn.Txn.id in
+            if claimed > 0 then begin
+              st.partial_restarts <- st.partial_restarts + 1;
+              st.keys_reused <- st.keys_reused + claimed;
+              bump c_partial;
+              bump_n c_reused claimed
+            end;
+            attempt txn ~tries:(tries + 1) ~history ~reused:claimed
           end
         end)
   in
@@ -207,8 +254,9 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
       gen.Gen.make ~rng ~id ~client ~born ~wound_ts:((Sim_time.to_us born * 1024) + (id land 1023))
         ~priority
     in
+    if config.partial_abort then Txn.enable_pa txn;
     st.inflight <- st.inflight + 1;
-    attempt txn ~tries:0 ~history:[]
+    attempt txn ~tries:0 ~history:[] ~reused:0
   in
   let rec arrival_loop () =
     let gap = Rng.exponential rng ~mean:(1e6 /. config.rate_tps) in
@@ -235,6 +283,9 @@ let run (cluster : Cluster.t) (system : System.t) ~(gen : Gen.t) config =
     total_attempts = st.attempts;
     total_aborts = st.aborts;
     spec_aborts = (match system.System.spec_aborts with Some f -> f () | None -> 0);
+    partial_restarts = st.partial_restarts;
+    keys_reused = st.keys_reused;
+    keys_validated = st.keys_validated;
     goodput_high_tps = float_of_int st.committed_high /. window_seconds;
     goodput_low_tps = float_of_int st.committed_low /. window_seconds;
     window_seconds;

@@ -19,6 +19,10 @@ type config = {
   max_retries : int;
   drain : Simcore.Sim_time.t;  (** extra time to let in-flight transactions finish *)
   seed : int;
+  partial_abort : bool;
+      (** retries claim the validated read prefix (versioned, server
+          re-validated) instead of re-reading it — off by default, behavior
+          byte-identical when off *)
 }
 
 val default_config : config
@@ -43,6 +47,15 @@ type result = {
   spec_aborts : int;
       (** deterministic families only: in-epoch speculative re-executions
           (their replacement for client-visible retries); [0] elsewhere *)
+  partial_restarts : int;
+      (** retries that claimed at least one key from the validated-prefix
+          cache; 0 with partial aborts off *)
+  keys_reused : int;  (** total read keys claimed across all such retries *)
+  keys_validated : int;
+      (** the subset of claimed keys some server confirmed current and
+          omitted from a reply — claims an attempt carried to its death
+          unserved count as reused (the prefix was resumed) but not as
+          validated *)
   goodput_high_tps : float;  (** in-window commits / window length *)
   goodput_low_tps : float;
   window_seconds : float;

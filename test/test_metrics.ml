@@ -155,6 +155,8 @@ let test_attribution_single_attempt () =
             a_start = Sim_time.us 1000;
             a_end = Sim_time.us 9000;
             a_committed = true;
+            a_reads = 0;
+            a_reused = 0;
           };
         ];
     }
@@ -199,6 +201,8 @@ let test_attribution_overlap_priority () =
             a_start = Sim_time.us 1000;
             a_end = Sim_time.us 8000;
             a_committed = true;
+            a_reads = 0;
+            a_reused = 0;
           };
         ];
     }
@@ -230,6 +234,8 @@ let test_attribution_retry_and_residual () =
             a_start = Sim_time.us 1000;
             a_end = Sim_time.us 4000;
             a_committed = false;
+            a_reads = 0;
+            a_reused = 0;
           };
           (* 500us gap before the retry -> residual *)
           {
@@ -237,6 +243,8 @@ let test_attribution_retry_and_residual () =
             a_start = Sim_time.us 4500;
             a_end = Sim_time.us 10000;
             a_committed = true;
+            a_reads = 0;
+            a_reused = 0;
           };
         ];
     }
@@ -346,7 +354,14 @@ let build_and_analyze r =
   let attempts =
     List.mapi
       (fun i (id, s, e) ->
-        { Registry.a_txn = id; a_start = s; a_end = e; a_committed = i = n - 1 })
+        {
+          Registry.a_txn = id;
+          a_start = s;
+          a_end = e;
+          a_committed = i = n - 1;
+          a_reads = 0;
+          a_reused = 0;
+        })
       r.r_attempts
   in
   Attribution.analyze ~trace
@@ -374,7 +389,17 @@ let one_txn ?(high = false) ~id ~s ~e () =
     Registry.born = s;
     finished = e;
     high;
-    attempts = [ { Registry.a_txn = id; a_start = s; a_end = e; a_committed = true } ];
+    attempts =
+      [
+        {
+          Registry.a_txn = id;
+          a_start = s;
+          a_end = e;
+          a_committed = true;
+          a_reads = 0;
+          a_reused = 0;
+        };
+      ];
   }
 
 let span_pair ?blame trace ~txn ~name s e =
@@ -586,6 +611,7 @@ let test_aggregate () =
           exec = e2e - lock;
           residual = 0;
         };
+      t_reused_us = 0;
       t_charges = [];
     }
   in

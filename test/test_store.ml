@@ -120,7 +120,7 @@ let prop_occ_prepare_release_inverse =
 let make_locks ?(policy = Locks.Wound_wait) () =
   let locks = Locks.create ~policy () in
   let wounded = ref [] in
-  Locks.set_abort_handler locks (fun txn ->
+  Locks.set_abort_handler locks (fun ~key:_ txn ->
       wounded := txn :: !wounded;
       Locks.release_all locks ~txn);
   (locks, wounded)
@@ -274,7 +274,7 @@ let prop_locks_exclusive_never_shared =
       let locks = Locks.create ~policy:Locks.Wound_wait () in
       let holds : (int * int * bool) list ref = ref [] in
       let ok = ref true in
-      Locks.set_abort_handler locks (fun txn ->
+      Locks.set_abort_handler locks (fun ~key:_ txn ->
           holds := List.filter (fun (t, _, _) -> t <> txn) !holds;
           Locks.release_all locks ~txn);
       let release txn = holds := List.filter (fun (t, _, _) -> t <> txn) !holds in
@@ -334,7 +334,7 @@ let prop_locks_queue_invariants =
         in
         List.iter (Hashtbl.remove held) mine
       in
-      Locks.set_abort_handler locks (fun txn ->
+      Locks.set_abort_handler locks (fun ~key:_ txn ->
           Hashtbl.replace dead txn ();
           forget txn;
           Locks.release_all locks ~txn);
